@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 10 (path density) at micro scale: dense
+//! paths (few distinct sequences) are where Shared's advantage over
+//! Cubing is largest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowcube_bench::experiments::{fig10_config, paper_path_spec};
+use flowcube_datagen::generate;
+use flowcube_mining::{mine, mine_cubing, CubingConfig, SharedConfig, TransactionDb};
+use flowcube_pathdb::MergePolicy;
+
+fn bench(c: &mut Criterion) {
+    let n = 2_000usize;
+    let delta = (n as f64 * 0.01).ceil() as u64;
+    let mut group = c.benchmark_group("fig10_pathdensity");
+    group.sample_size(10);
+    for seqs in [10usize, 50, 150] {
+        let generated = generate(&fig10_config(n, seqs));
+        let spec = paper_path_spec(generated.db.schema());
+        let tx = TransactionDb::encode(&generated.db, spec, MergePolicy::Sum);
+        group.bench_with_input(BenchmarkId::new("shared", seqs), &seqs, |b, _| {
+            b.iter(|| mine(&tx, &SharedConfig::shared(delta)))
+        });
+        group.bench_with_input(BenchmarkId::new("cubing", seqs), &seqs, |b, _| {
+            b.iter(|| mine_cubing(&generated.db, &tx, &CubingConfig::new(delta)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

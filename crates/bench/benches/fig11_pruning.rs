@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 11: the cost side of pruning power —
+//! time of Shared vs Basic on identical input (candidate-count data
+//! itself comes from the `exp_fig11` binary, which prints the counted
+//! candidates per length).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowcube_bench::experiments::{base_config, paper_path_spec};
+use flowcube_datagen::generate;
+use flowcube_mining::{mine, SharedConfig, TransactionDb};
+use flowcube_pathdb::MergePolicy;
+
+fn bench(c: &mut Criterion) {
+    let n = 1_000usize;
+    let generated = generate(&base_config(n));
+    let spec = paper_path_spec(generated.db.schema());
+    let tx = TransactionDb::encode(&generated.db, spec, MergePolicy::Sum);
+    let delta = (n as f64 * 0.01).ceil() as u64;
+    let mut group = c.benchmark_group("fig11_pruning");
+    group.sample_size(10);
+    group.bench_function("shared", |b| {
+        b.iter(|| mine(&tx, &SharedConfig::shared(delta)))
+    });
+    group.bench_function("basic", |b| {
+        b.iter(|| mine(&tx, &SharedConfig::basic(delta)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 6 (database-size scaling), at micro scale:
+//! statistical timing of Shared vs Cubing vs Basic as N grows. For the
+//! paper-scale sweep use the `exp_fig6` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowcube_bench::experiments::{base_config, paper_path_spec};
+use flowcube_datagen::generate;
+use flowcube_mining::{mine, mine_cubing, CubingConfig, SharedConfig, TransactionDb};
+use flowcube_pathdb::MergePolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_dbsize");
+    group.sample_size(10);
+    for n in [500usize, 1_000, 2_000] {
+        let generated = generate(&base_config(n));
+        let spec = paper_path_spec(generated.db.schema());
+        let tx = TransactionDb::encode(&generated.db, spec, MergePolicy::Sum);
+        let delta = (n as f64 * 0.01).ceil() as u64;
+        group.bench_with_input(BenchmarkId::new("shared", n), &n, |b, _| {
+            b.iter(|| mine(&tx, &SharedConfig::shared(delta)))
+        });
+        group.bench_with_input(BenchmarkId::new("cubing", n), &n, |b, _| {
+            b.iter(|| mine_cubing(&generated.db, &tx, &CubingConfig::new(delta)))
+        });
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("basic", n), &n, |b, _| {
+                b.iter(|| mine(&tx, &SharedConfig::basic(delta)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 7 (minimum-support scaling) at micro scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowcube_bench::experiments::{base_config, paper_path_spec};
+use flowcube_datagen::generate;
+use flowcube_mining::{mine, mine_cubing, CubingConfig, SharedConfig, TransactionDb};
+use flowcube_pathdb::MergePolicy;
+
+fn bench(c: &mut Criterion) {
+    let n = 2_000usize;
+    let generated = generate(&base_config(n));
+    let spec = paper_path_spec(generated.db.schema());
+    let tx = TransactionDb::encode(&generated.db, spec, MergePolicy::Sum);
+    let mut group = c.benchmark_group("fig7_minsup");
+    group.sample_size(10);
+    for pct in [0.005f64, 0.01, 0.02] {
+        let delta = ((n as f64 * pct).ceil() as u64).max(2);
+        let label = format!("{:.1}%", pct * 100.0);
+        group.bench_with_input(BenchmarkId::new("shared", &label), &delta, |b, &d| {
+            b.iter(|| mine(&tx, &SharedConfig::shared(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("cubing", &label), &delta, |b, &d| {
+            b.iter(|| mine_cubing(&generated.db, &tx, &CubingConfig::new(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("basic", &label), &delta, |b, &d| {
+            b.iter(|| mine(&tx, &SharedConfig::basic(d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 8 (dimensionality scaling) at micro scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowcube_bench::experiments::{fig8_config, paper_path_spec};
+use flowcube_datagen::generate;
+use flowcube_mining::{mine, mine_cubing, CubingConfig, SharedConfig, TransactionDb};
+use flowcube_pathdb::MergePolicy;
+
+fn bench(c: &mut Criterion) {
+    let n = 2_000usize;
+    let delta = (n as f64 * 0.01).ceil() as u64;
+    let mut group = c.benchmark_group("fig8_dims");
+    group.sample_size(10);
+    for dims in [2usize, 5, 8] {
+        let generated = generate(&fig8_config(n, dims));
+        let spec = paper_path_spec(generated.db.schema());
+        let tx = TransactionDb::encode(&generated.db, spec, MergePolicy::Sum);
+        group.bench_with_input(BenchmarkId::new("shared", dims), &dims, |b, _| {
+            b.iter(|| mine(&tx, &SharedConfig::shared(delta)))
+        });
+        group.bench_with_input(BenchmarkId::new("cubing", dims), &dims, |b, _| {
+            b.iter(|| mine_cubing(&generated.db, &tx, &CubingConfig::new(delta)))
+        });
+        group.bench_with_input(BenchmarkId::new("basic", dims), &dims, |b, _| {
+            b.iter(|| mine(&tx, &SharedConfig::basic(delta)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

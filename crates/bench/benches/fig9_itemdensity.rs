@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 9 (item-dimension density) at micro scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowcube_bench::experiments::{fig9_config, paper_path_spec};
+use flowcube_datagen::generate;
+use flowcube_mining::{mine, mine_cubing, CubingConfig, SharedConfig, TransactionDb};
+use flowcube_pathdb::MergePolicy;
+
+fn bench(c: &mut Criterion) {
+    let n = 2_000usize;
+    let delta = (n as f64 * 0.01).ceil() as u64;
+    let mut group = c.benchmark_group("fig9_itemdensity");
+    group.sample_size(10);
+    for variant in ['a', 'b', 'c'] {
+        let generated = generate(&fig9_config(n, variant));
+        let spec = paper_path_spec(generated.db.schema());
+        let tx = TransactionDb::encode(&generated.db, spec, MergePolicy::Sum);
+        group.bench_with_input(BenchmarkId::new("shared", variant), &variant, |b, _| {
+            b.iter(|| mine(&tx, &SharedConfig::shared(delta)))
+        });
+        group.bench_with_input(BenchmarkId::new("cubing", variant), &variant, |b, _| {
+            b.iter(|| mine_cubing(&generated.db, &tx, &CubingConfig::new(delta)))
+        });
+        if variant != 'a' {
+            group.bench_with_input(BenchmarkId::new("basic", variant), &variant, |b, _| {
+                b.iter(|| mine(&tx, &SharedConfig::basic(delta)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

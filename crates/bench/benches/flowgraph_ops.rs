@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the flowgraph measure itself: building a graph
+//! from paths, the algebraic merge of Lemma 4.2, KL similarity, and
+//! exception mining.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowcube_bench::experiments::base_config;
+use flowcube_datagen::generate;
+use flowcube_flowgraph::{
+    mine_exceptions, ExceptionParams, FlowGraph, FlowSimilarity, KlSimilarity,
+};
+use flowcube_hier::{DurationLevel, LocationCut, PathLevel};
+use flowcube_pathdb::{aggregate_stages, AggStage, MergePolicy};
+
+fn bench(c: &mut Criterion) {
+    let generated = generate(&base_config(5_000));
+    let loc = generated.db.schema().locations();
+    let level = PathLevel::new(
+        "leaf",
+        LocationCut::uniform_level(loc, loc.max_level()),
+        DurationLevel::Raw,
+    );
+    let paths: Vec<Vec<AggStage>> = generated
+        .db
+        .records()
+        .iter()
+        .map(|r| aggregate_stages(&r.stages, &level, MergePolicy::Sum).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("flowgraph_ops");
+    group.bench_function("build_5k_paths", |b| {
+        b.iter(|| FlowGraph::build(paths.iter().map(|p| p.as_slice())))
+    });
+
+    let left = FlowGraph::build(paths[..2_500].iter().map(|p| p.as_slice()));
+    let right = FlowGraph::build(paths[2_500..].iter().map(|p| p.as_slice()));
+    group.bench_function("merge_halves", |b| {
+        b.iter(|| {
+            let mut g = left.clone();
+            g.merge(&right);
+            g
+        })
+    });
+
+    let full = FlowGraph::build(paths.iter().map(|p| p.as_slice()));
+    let kl = KlSimilarity::default();
+    group.bench_function("kl_divergence", |b| b.iter(|| kl.divergence(&left, &full)));
+
+    let small: Vec<Vec<AggStage>> = paths[..500].to_vec();
+    let small_graph = FlowGraph::build(small.iter().map(|p| p.as_slice()));
+    let params = ExceptionParams {
+        min_support: 25,
+        min_deviation: 0.25,
+    };
+    group.bench_function("mine_exceptions_500_paths", |b| {
+        b.iter(|| mine_exceptions(&small_graph, &small, &params))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

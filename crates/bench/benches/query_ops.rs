@@ -1,0 +1,58 @@
+//! Query-side latency: point lookups, ancestor-fallback lookups,
+//! roll-ups, path scoring, and flowgraph diffing on a materialized cube.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowcube_bench::experiments::base_config;
+use flowcube_core::{FlowCube, FlowCubeParams, ItemPlan};
+use flowcube_datagen::generate;
+use flowcube_flowgraph::{diff, path_probability, top_k_paths};
+use flowcube_hier::{ConceptId, DurationLevel, LocationCut, PathLatticeSpec, PathLevel};
+use flowcube_pathdb::{aggregate_stages, MergePolicy};
+
+fn bench(c: &mut Criterion) {
+    let generated = generate(&base_config(5_000));
+    let db = &generated.db;
+    let loc = db.schema().locations();
+    let spec = PathLatticeSpec::new(vec![PathLevel::new(
+        "leaf",
+        LocationCut::uniform_level(loc, 2),
+        DurationLevel::Raw,
+    )]);
+    let cube = FlowCube::build(
+        db,
+        spec,
+        FlowCubeParams::new(50).with_exceptions(false),
+        ItemPlan::All,
+    );
+    let apex = vec![ConceptId::ROOT; db.schema().num_dims()];
+    // A leaf-level key for fallback lookups (likely iceberg-pruned).
+    let leaf_key: Vec<ConceptId> = db.records()[0].dims.clone();
+
+    let mut group = c.benchmark_group("query_ops");
+    group.bench_function("cell_exact", |b| b.iter(|| cube.cell(&apex, 0)));
+    group.bench_function("lookup_with_fallback", |b| {
+        b.iter(|| cube.lookup(&leaf_key, 0))
+    });
+    group.bench_function("drill_down", |b| b.iter(|| cube.drill_down(&apex, 0, 0)));
+
+    let graph = &cube.cell(&apex, 0).unwrap().graph;
+    let level = cube.spec().level(0).clone();
+    let probe = aggregate_stages(&db.records()[0].stages, &level, MergePolicy::Sum).unwrap();
+    group.bench_function("path_probability", |b| {
+        b.iter(|| path_probability(graph, &probe))
+    });
+    group.bench_function("top_k_paths", |b| b.iter(|| top_k_paths(graph, 10)));
+
+    let half = {
+        let paths: Vec<_> = db.records()[..2_500]
+            .iter()
+            .map(|r| aggregate_stages(&r.stages, &level, MergePolicy::Sum).unwrap())
+            .collect::<Vec<_>>();
+        flowcube_flowgraph::FlowGraph::build(paths.iter().map(|p| p.as_slice()))
+    };
+    group.bench_function("diff_graphs", |b| b.iter(|| diff(&half, graph, 0.01)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Cube compression study (paper §4.3–§4.4): how much the iceberg
+//! condition and non-redundancy pruning shrink the flowcube.
+//!
+//! The paper claims a non-redundant flowcube "can provide significant
+//! space savings when compared to a complete flowcube". This experiment
+//! quantifies both knobs on two data regimes:
+//!
+//! * `independent` — dimensions don't influence flows (every cell
+//!   mirrors its parents; redundancy pruning should remove almost all
+//!   specialized cells);
+//! * `correlated`  — product lines flow differently
+//!   (`flow_correlation = 0.8`; their cells must survive).
+//!
+//! Usage: `exp_compression [--scale 0.1]`
+
+use flowcube_bench::experiments::ExperimentScale;
+use flowcube_core::{FlowCube, FlowCubeParams, ItemPlan};
+use flowcube_datagen::{generate, DimShape, GeneratorConfig};
+use flowcube_hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel};
+
+fn config(n: usize, correlated: bool) -> GeneratorConfig {
+    GeneratorConfig {
+        num_paths: n,
+        dims: vec![DimShape::new(vec![3, 3, 4], 0.8); 3],
+        num_sequences: 12,
+        flow_correlation: if correlated { 0.8 } else { 0.0 },
+        seed: 1234,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let n = scale.apply(100_000);
+    println!("== Cube compression (N = {n}, d = 3) ==");
+    println!(
+        "{:<12} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "regime", "δ", "full", "iceberg", "τ=0.1", "τ=0.5", "kept %"
+    );
+    for correlated in [false, true] {
+        let regime = if correlated { "correlated" } else { "independent" };
+        let out = generate(&config(n, correlated));
+        let loc = out.db.schema().locations();
+        let spec = PathLatticeSpec::new(vec![PathLevel::new(
+            "leaf",
+            LocationCut::uniform_level(loc, 2),
+            DurationLevel::Bucket(2),
+        )]);
+        let full = FlowCube::build(
+            &out.db,
+            spec.clone(),
+            FlowCubeParams::new(1).with_exceptions(false),
+            ItemPlan::All,
+        );
+        for delta_pct in [0.01f64, 0.05] {
+            let delta = ((n as f64 * delta_pct).ceil() as u64).max(1);
+            let iceberg = FlowCube::build(
+                &out.db,
+                spec.clone(),
+                FlowCubeParams::new(delta).with_exceptions(false),
+                ItemPlan::All,
+            );
+            let at_tau = |tau: f64| {
+                FlowCube::build(
+                    &out.db,
+                    spec.clone(),
+                    FlowCubeParams::new(delta)
+                        .with_exceptions(false)
+                        .with_redundancy(tau),
+                    ItemPlan::All,
+                )
+                .total_cells()
+            };
+            let loose = at_tau(0.5);
+            println!(
+                "{:<12} {:>8} {:>8} {:>10} {:>10} {:>10} {:>9.2}%",
+                regime,
+                delta,
+                full.total_cells(),
+                iceberg.total_cells(),
+                at_tau(0.1),
+                loose,
+                100.0 * loose as f64 / full.total_cells() as f64
+            );
+        }
+    }
+}

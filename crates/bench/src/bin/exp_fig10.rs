@@ -1,0 +1,24 @@
+//! Figure 10 — runtime vs. path density (number of distinct location
+//! sequences; paper sweeps roughly 10–150 on the x-axis labelled 5–50).
+//! Few distinct sequences = dense paths = many frequent segments: mining
+//! is most expensive there, and Shared's one-pass multi-level counting
+//! pulls far ahead of Cubing's per-cell re-mining. Basic cannot run at
+//! all on dense paths (candidate explosion), as in the paper.
+//!
+//! Usage: `exp_fig10 [--scale 0.1]`
+
+use flowcube_bench::experiments::{fig10_config, ExperimentScale};
+use flowcube_bench::runner::{print_header, print_row, run_all};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let n = scale.apply(100_000);
+    print_header(&format!(
+        "Figure 10: path density (N = {n}, δ = 1%, d = 5)"
+    ));
+    for seqs in [10usize, 25, 50, 100, 150] {
+        let config = fig10_config(n, seqs);
+        let r = run_all(&format!("seqs={seqs}"), &config, 0.01, false);
+        print_row(&r);
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 11 — pruning power: candidates counted per pattern length,
+//! Basic vs. Shared (paper: N = 100k, δ = 1%, d = 5; Shared stops at
+//! length 8 while Basic drags ancestor-laden transactions out to
+//! length 12).
+//!
+//! Usage: `exp_fig11 [--scale 0.1]`
+
+use flowcube_bench::experiments::{base_config, paper_path_spec, ExperimentScale};
+use flowcube_datagen::generate;
+use flowcube_mining::{mine, SharedConfig, TransactionDb};
+use flowcube_pathdb::MergePolicy;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let n = scale.apply(100_000);
+    let config = base_config(n);
+    let generated = generate(&config);
+    let spec = paper_path_spec(generated.db.schema());
+    let tx = TransactionDb::encode(&generated.db, spec, MergePolicy::Sum);
+    let delta = ((n as f64) * 0.01).ceil() as u64;
+
+    println!("== Figure 11: pruning power (N = {n}, δ = 1%) ==");
+    let shared = mine(&tx, &SharedConfig::shared(delta));
+    let basic = mine(&tx, &SharedConfig::basic(delta));
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "length", "basic", "shared"
+    );
+    let max = shared
+        .stats
+        .counted_by_length
+        .len()
+        .max(basic.stats.counted_by_length.len());
+    for k in 0..max {
+        let b = basic.stats.counted_by_length.get(k).copied().unwrap_or(0);
+        let s = shared.stats.counted_by_length.get(k).copied().unwrap_or(0);
+        println!("{:<16} {:>14} {:>14}", k + 1, b, s);
+    }
+    println!(
+        "total            {:>14} {:>14}",
+        basic.stats.total_counted(),
+        shared.stats.total_counted()
+    );
+    println!(
+        "max length       {:>14} {:>14}",
+        basic.stats.max_length(),
+        shared.stats.max_length()
+    );
+    println!(
+        "shared prunes: ancestor={} unlinkable={} precount={} subset={}",
+        shared.stats.pruned_ancestor,
+        shared.stats.pruned_unlinkable,
+        shared.stats.pruned_precount,
+        shared.stats.pruned_subset
+    );
+}

@@ -1,0 +1,28 @@
+//! Figure 7 — runtime vs. minimum support (paper: 0.3%–2%, N = 100k,
+//! d = 5). All three algorithms improve as support rises; Basic improves
+//! fastest, Shared stays ahead of Cubing with a widening relative gap.
+//!
+//! Usage: `exp_fig7 [--scale 0.1]`
+
+use flowcube_bench::experiments::{base_config, fig7_supports, ExperimentScale};
+use flowcube_bench::runner::{print_header, print_row};
+use flowcube_datagen::generate;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let n = scale.apply(100_000);
+    let config = base_config(n);
+    let generated = generate(&config);
+    print_header(&format!(
+        "Figure 7: minimum support sweep (N = {n}, d = 5)"
+    ));
+    for pct in fig7_supports() {
+        let r = flowcube_bench::runner::run_all_on(
+            &format!("δ={:.1}%", pct * 100.0),
+            &generated.db,
+            pct,
+            true,
+        );
+        print_row(&r);
+    }
+}

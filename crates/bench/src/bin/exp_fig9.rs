@@ -1,0 +1,25 @@
+//! Figure 9 — runtime vs. item-dimension density (paper datasets:
+//! a = 2,2,5 / b = 4,4,6 / c = 5,5,10 distinct values per level;
+//! N = 100k, δ = 1%, d = 5). Sparser data (more distinct values) means
+//! fewer frequent cells and segments, so every algorithm gets faster.
+//! Basic could not run dataset *a* in the paper (candidate explosion);
+//! we skip it there too.
+//!
+//! Usage: `exp_fig9 [--scale 0.1]`
+
+use flowcube_bench::experiments::{fig9_config, ExperimentScale};
+use flowcube_bench::runner::{print_header, print_row, run_all};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let n = scale.apply(100_000);
+    print_header(&format!(
+        "Figure 9: item density (N = {n}, δ = 1%, d = 5)"
+    ));
+    for variant in ['a', 'b', 'c'] {
+        let config = fig9_config(n, variant);
+        let run_basic = variant != 'a';
+        let r = run_all(&format!("dataset {variant}"), &config, 0.01, run_basic);
+        print_row(&r);
+    }
+}

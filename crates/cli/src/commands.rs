@@ -1,0 +1,314 @@
+//! CLI subcommand implementations.
+
+use crate::args::Args;
+use flowcube_core::{Algorithm, FlowCube, FlowCubeParams, ItemPlan};
+use flowcube_datagen::{generate as gen_paths, DimShape, GeneratorConfig};
+use flowcube_hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel, Schema};
+use flowcube_mining::{
+    mine as mine_itemsets, mine_cubing, CubingConfig, SharedConfig, TransactionDb,
+};
+use flowcube_pathdb::{MergePolicy, PathDatabase};
+
+pub const USAGE: &str = "\
+flowcube — RFID FlowCube construction and analysis (VLDB 2006 reproduction)
+
+USAGE:
+  flowcube generate --paths N [--dims D] [--seqs S] [--seed K]
+                    [--flow-correlation F] [--exception-bias B] --out db.json
+  flowcube build    --db db.json --min-support N [--eps E] [--tau T]
+                    [--no-exceptions] [--parallel] --out cube.json
+  flowcube cells    --cube cube.json [--level NAME] [--limit N]
+  flowcube query    --cube cube.json --cell v1,v2,… (use * for any)
+                    [--level NAME]
+  flowcube mine     --db db.json --algorithm shared|basic|cubing
+                    --min-support N
+  flowcube predict  --cube cube.json --cell v1,… --observed loc:dur,loc:dur
+                    [--level NAME]
+  flowcube tables   (reproduce the paper's Tables 1-4 examples)
+";
+
+fn read_db(path: &str) -> Result<PathDatabase, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut db: PathDatabase =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    // Rebuild the name indexes serde skips.
+    let (mut schema, records) = db.into_parts();
+    schema.rebuild_indexes();
+    db = PathDatabase::from_records(schema, records).map_err(|e| e.to_string())?;
+    Ok(db)
+}
+
+/// The default 4-level path lattice of the paper's experiments: leaf and
+/// one-up location cuts × raw and `*` durations.
+fn default_spec(schema: &Schema) -> PathLatticeSpec {
+    let loc = schema.locations();
+    let fine = LocationCut::uniform_level(loc, loc.max_level());
+    let coarse = LocationCut::uniform_level(loc, loc.max_level().saturating_sub(1).max(1));
+    PathLatticeSpec::new(vec![
+        PathLevel::new("loc0/dur0", fine.clone(), DurationLevel::Raw),
+        PathLevel::new("loc0/dur*", fine, DurationLevel::Any),
+        PathLevel::new("loc1/dur0", coarse.clone(), DurationLevel::Raw),
+        PathLevel::new("loc1/dur*", coarse, DurationLevel::Any),
+    ])
+}
+
+pub fn generate(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let config = GeneratorConfig {
+        num_paths: args.num("paths", 10_000usize)?,
+        dims: vec![
+            DimShape::new(vec![4, 4, 6], 0.8);
+            args.num("dims", 5usize)?
+        ],
+        num_sequences: args.num("seqs", 30usize)?,
+        seed: args.num("seed", 42u64)?,
+        flow_correlation: args.num("flow-correlation", 0.0f64)?,
+        exception_bias: args.num("exception-bias", 0.0f64)?,
+        ..Default::default()
+    };
+    let generated = gen_paths(&config);
+    let json = serde_json::to_string(&generated.db).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} paths over {} dimensions to {out}",
+        generated.db.len(),
+        generated.db.schema().num_dims()
+    );
+    Ok(())
+}
+
+pub fn build(args: &Args) -> Result<(), String> {
+    let db = read_db(args.require("db")?)?;
+    let out = args.require("out")?;
+    let mut params = FlowCubeParams::new(args.num("min-support", 100u64)?);
+    params.exception_deviation = args.num("eps", params.exception_deviation)?;
+    if let Some(tau) = args.get("tau") {
+        params.redundancy_tau =
+            Some(tau.parse().map_err(|_| format!("--tau: bad value {tau:?}"))?);
+    }
+    if args.flag("no-exceptions") {
+        params.mine_exceptions = false;
+    }
+    if args.flag("parallel") {
+        params.parallel = true;
+    }
+    let spec = default_spec(db.schema());
+    let cube = FlowCube::build(&db, spec, params, ItemPlan::All);
+    println!(
+        "built cube: {} cuboids, {} cells [{}]",
+        cube.num_cuboids(),
+        cube.total_cells(),
+        cube.stats().summary()
+    );
+    let json = serde_json::to_string(&cube).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn read_cube(path: &str) -> Result<FlowCube, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut cube: FlowCube =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    cube.rebuild_indexes();
+    Ok(cube)
+}
+
+pub fn cells(args: &Args) -> Result<(), String> {
+    let cube = read_cube(args.require("cube")?)?;
+    let limit = args.num("limit", 50usize)?;
+    let level_filter = args.get("level");
+    let mut shown = 0;
+    let mut rows: Vec<String> = Vec::new();
+    for (ck, cuboid) in cube.cuboids() {
+        let level_name = &cube.spec().level(ck.path_level).name;
+        if let Some(f) = level_filter {
+            if level_name != f {
+                continue;
+            }
+        }
+        for (key, entry) in cuboid.iter() {
+            rows.push(format!(
+                "{:<40} @{:<12} {:>7} paths {:>4} nodes {:>3} exceptions",
+                flowcube_core::display_key(key, cube.schema()),
+                level_name,
+                entry.support,
+                entry.graph.len() - 1,
+                entry.exceptions.len()
+            ));
+        }
+    }
+    rows.sort();
+    for r in &rows {
+        println!("{r}");
+        shown += 1;
+        if shown >= limit {
+            println!("… ({} more)", rows.len() - shown);
+            break;
+        }
+    }
+    println!("total: {} cells in {} cuboids", cube.total_cells(), cube.num_cuboids());
+    Ok(())
+}
+
+pub fn query(args: &Args) -> Result<(), String> {
+    let cube = read_cube(args.require("cube")?)?;
+    let cell_spec = args.require("cell")?;
+    let names: Vec<Option<&str>> = cell_spec
+        .split(',')
+        .map(|s| {
+            let s = s.trim();
+            if s == "*" || s.is_empty() {
+                None
+            } else {
+                Some(s)
+            }
+        })
+        .collect();
+    let key = cube
+        .key_from_names(&names)
+        .ok_or_else(|| format!("cannot resolve cell {cell_spec:?}"))?;
+    let level_name = args.get_or("level", &cube.spec().level(0).name).to_string();
+    let pl = cube
+        .path_level_id(&level_name)
+        .ok_or_else(|| format!("unknown path level {level_name:?}"))?;
+    match cube.lookup(&key, pl) {
+        Some(lk) => {
+            if !lk.exact {
+                println!(
+                    "(cell not materialized; showing nearest ancestor {})",
+                    flowcube_core::display_key(lk.source_key, cube.schema())
+                );
+            }
+            println!("{}", cube.describe_cell(lk.source_key, pl));
+            print!(
+                "{}",
+                lk.entry.graph.render(cube.schema().locations())
+            );
+            if !lk.entry.exceptions.is_empty() {
+                println!("exceptions: {}", lk.entry.exceptions.len());
+            }
+            Ok(())
+        }
+        None => Err("no materialized cell or ancestor found".into()),
+    }
+}
+
+pub fn mine(args: &Args) -> Result<(), String> {
+    let db = read_db(args.require("db")?)?;
+    let delta = args.num("min-support", 100u64)?;
+    let spec = default_spec(db.schema());
+    let t0 = std::time::Instant::now();
+    let tx = TransactionDb::encode(&db, spec, MergePolicy::Sum);
+    let encode = t0.elapsed();
+    let algo = match args.get_or("algorithm", "shared") {
+        "shared" => Algorithm::Shared,
+        "basic" => Algorithm::Basic,
+        "cubing" => Algorithm::Cubing,
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let t0 = std::time::Instant::now();
+    let out = match algo {
+        Algorithm::Shared => mine_itemsets(&tx, &SharedConfig::shared(delta)),
+        Algorithm::Basic => mine_itemsets(&tx, &SharedConfig::basic(delta)),
+        Algorithm::Cubing => mine_cubing(&db, &tx, &CubingConfig::new(delta)),
+    };
+    let elapsed = t0.elapsed();
+    println!(
+        "{:?}: encode {:?}, mine {:?}; {} frequent patterns, {} candidates counted",
+        algo,
+        encode,
+        elapsed,
+        out.stats.total_frequent(),
+        out.stats.total_counted()
+    );
+    println!("candidates per length: {:?}", out.stats.counted_by_length);
+    println!("frequent per length:   {:?}", out.stats.frequent_by_length);
+    Ok(())
+}
+
+/// Predict the next location for an observed partial path within a cell.
+pub fn predict(args: &Args) -> Result<(), String> {
+    let cube = read_cube(args.require("cube")?)?;
+    let cell_spec = args.require("cell")?;
+    let names: Vec<Option<&str>> = cell_spec
+        .split(',')
+        .map(|s| {
+            let s = s.trim();
+            (s != "*" && !s.is_empty()).then_some(s)
+        })
+        .collect();
+    let key = cube
+        .key_from_names(&names)
+        .ok_or_else(|| format!("cannot resolve cell {cell_spec:?}"))?;
+    let level_name = args.get_or("level", &cube.spec().level(0).name).to_string();
+    let pl = cube
+        .path_level_id(&level_name)
+        .ok_or_else(|| format!("unknown path level {level_name:?}"))?;
+    let lk = cube
+        .lookup(&key, pl)
+        .ok_or("no materialized cell or ancestor found")?;
+    // Parse --observed "loc:dur,loc:dur,…" (dur optional).
+    let observed_spec = args.require("observed")?;
+    let loc_h = cube.schema().locations();
+    let mut observed = Vec::new();
+    for part in observed_spec.split(',') {
+        let part = part.trim();
+        let (loc_name, dur) = match part.split_once(':') {
+            Some((l, d)) => (
+                l,
+                Some(
+                    d.parse::<u32>()
+                        .map_err(|_| format!("bad duration in {part:?}"))?,
+                ),
+            ),
+            None => (part, None),
+        };
+        let loc = loc_h.id_of(loc_name).map_err(|e| e.to_string())?;
+        observed.push(flowcube_pathdb::AggStage { loc, dur });
+    }
+    let dist = lk
+        .entry
+        .predict_next(&observed)
+        .ok_or("observed prefix not present in this cell's flowgraph")?;
+    println!(
+        "next-hop prediction after {} ({} exceptions consulted):",
+        observed_spec,
+        lk.entry.exceptions.len()
+    );
+    let mut rows: Vec<(f64, String)> = dist
+        .probabilities()
+        .map(|(k, p)| {
+            (
+                p,
+                k.map_or("(terminate)".to_string(), |l| loc_h.name_of(l).to_string()),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (p, name) in rows {
+        println!("  {name:<24} {:.1}%", p * 100.0);
+    }
+    Ok(())
+}
+
+pub fn tables(_args: &Args) -> Result<(), String> {
+    // Delegate to the sample data; same content as examples/paper_tables.
+    let db = flowcube_pathdb::samples::paper_table1();
+    println!("Table 1 — path database:");
+    for r in db.records() {
+        println!("  {:>2}  {}", r.id, db.display_record(r));
+    }
+    let loc = db.schema().locations();
+    let spec = PathLatticeSpec::new(vec![PathLevel::new(
+        "base",
+        LocationCut::uniform_level(loc, 2),
+        DurationLevel::Raw,
+    )]);
+    let tx = TransactionDb::encode(&db, spec, MergePolicy::Sum);
+    println!("\nTable 3 — transformed transaction database:");
+    for i in 0..tx.len() {
+        println!("  {:>2}  {}", tx.record_id(i), tx.display_transaction(i));
+    }
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! `flowcube` CLI internals, exposed as a library for testing.
+
+pub mod args;
+pub mod commands;
+
+pub use args::Args;

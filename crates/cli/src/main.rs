@@ -1,0 +1,31 @@
+//! `flowcube` — command-line interface for the FlowCube reproduction.
+
+use flowcube_cli::{commands, Args};
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "build" => commands::build(&args),
+        "cells" => commands::cells(&args),
+        "query" => commands::query(&args),
+        "mine" => commands::mine(&args),
+        "predict" => commands::predict(&args),
+        "tables" => commands::tables(&args),
+        "" | "help" | "--help" => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

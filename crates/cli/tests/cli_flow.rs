@@ -1,0 +1,119 @@
+//! End-to-end CLI flow: generate → build → cells/query/mine against
+//! temp files, driving the command functions directly.
+
+use flowcube_cli::{commands, Args};
+
+fn args(line: &str) -> Args {
+    Args::parse(line.split_whitespace().map(String::from)).expect("parse")
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("flowcube-cli-test-{}-{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn generate_build_query_cycle() {
+    let db = tmp("db.json");
+    let cube = tmp("cube.json");
+    commands::generate(&args(&format!(
+        "generate --paths 500 --dims 2 --seqs 6 --seed 3 --out {db}"
+    )))
+    .expect("generate");
+    assert!(std::fs::metadata(&db).is_ok());
+
+    commands::build(&args(&format!(
+        "build --db {db} --min-support 25 --no-exceptions --out {cube}"
+    )))
+    .expect("build");
+    assert!(std::fs::metadata(&cube).is_ok());
+
+    commands::cells(&args(&format!("cells --cube {cube} --limit 3"))).expect("cells");
+    commands::query(&args(&format!(
+        "query --cube {cube} --cell *,* --level loc0/dur0"
+    )))
+    .expect("query");
+    commands::mine(&args(&format!(
+        "mine --db {db} --algorithm shared --min-support 25"
+    )))
+    .expect("mine shared");
+    commands::mine(&args(&format!(
+        "mine --db {db} --algorithm cubing --min-support 25"
+    )))
+    .expect("mine cubing");
+
+    let _ = std::fs::remove_file(&db);
+    let _ = std::fs::remove_file(&cube);
+}
+
+#[test]
+fn build_with_redundancy_and_exceptions() {
+    let db = tmp("db2.json");
+    let cube = tmp("cube2.json");
+    commands::generate(&args(&format!(
+        "generate --paths 400 --dims 2 --seed 5 --flow-correlation 0.5 --out {db}"
+    )))
+    .expect("generate");
+    commands::build(&args(&format!(
+        "build --db {db} --min-support 40 --tau 0.5 --eps 0.2 --parallel --out {cube}"
+    )))
+    .expect("build with exceptions");
+    commands::cells(&args(&format!("cells --cube {cube} --level loc0/dur0 --limit 2")))
+        .expect("cells filtered");
+    let _ = std::fs::remove_file(&db);
+    let _ = std::fs::remove_file(&cube);
+}
+
+#[test]
+fn errors_are_reported() {
+    assert!(commands::build(&args("build --db /nonexistent.json --out /tmp/x")).is_err());
+    assert!(commands::query(&args("query --cube /nonexistent.json --cell a")).is_err());
+    assert!(commands::mine(&args("mine --db /nonexistent.json")).is_err());
+    assert!(commands::generate(&args("generate")).is_err()); // missing --out
+    // unknown algorithm
+    let db = tmp("db3.json");
+    commands::generate(&args(&format!("generate --paths 120 --dims 2 --out {db}")))
+        .expect("generate");
+    assert!(commands::mine(&args(&format!(
+        "mine --db {db} --algorithm quantum"
+    )))
+    .is_err());
+    let _ = std::fs::remove_file(&db);
+}
+
+#[test]
+fn predict_flow() {
+    let db = tmp("db4.json");
+    let cube = tmp("cube4.json");
+    commands::generate(&args(&format!(
+        "generate --paths 600 --dims 2 --seqs 5 --seed 11 --exception-bias 0.8 --out {db}"
+    )))
+    .expect("generate");
+    commands::build(&args(&format!(
+        "build --db {db} --min-support 30 --eps 0.1 --out {cube}"
+    )))
+    .expect("build");
+    // Find a first-hop location by reading the db back.
+    let text = std::fs::read_to_string(&db).unwrap();
+    let parsed: flowcube_pathdb::PathDatabase = serde_json::from_str(&text).unwrap();
+    let first = parsed.records()[0].stages[0].loc;
+    let loc_name = parsed.schema().locations().name_of(first).to_string();
+    commands::predict(&args(&format!(
+        "predict --cube {cube} --cell *,* --observed {loc_name}:1"
+    )))
+    .expect("predict");
+    // bad observed location
+    assert!(commands::predict(&args(&format!(
+        "predict --cube {cube} --cell *,* --observed mars:1"
+    )))
+    .is_err());
+    let _ = std::fs::remove_file(&db);
+    let _ = std::fs::remove_file(&cube);
+}
+
+#[test]
+fn tables_runs() {
+    commands::tables(&args("tables")).expect("tables");
+}

@@ -1,0 +1,359 @@
+//! Flowcube construction pipeline (paper §5): mine frequent cells and
+//! path segments, materialize a flowgraph per frequent cell and path
+//! level, attach exceptions, then prune redundant cells.
+
+use crate::cell::{aggregate_key, level_of_key, CellEntry, CellKey, Cuboid, CuboidKey};
+use crate::params::{Algorithm, FlowCubeParams, ItemPlan};
+use crate::stats::BuildStats;
+use flowcube_flowgraph::{
+    exceptions_from_segments, is_redundant, ExceptionParams, FlowGraph, KlSimilarity,
+    Segment,
+};
+use flowcube_hier::{
+    ConceptId, FxHashMap, ItemLevel, PathLatticeSpec, PathLevelId, Schema,
+};
+use flowcube_mining::{
+    mine, mine_cubing, CubingConfig, FrequentItemsets, ItemId, ItemKind, SharedConfig,
+    TransactionDb,
+};
+use flowcube_pathdb::{aggregate_stages, AggStage, PathDatabase};
+use std::time::Instant;
+
+/// Everything produced by the build, consumed by [`crate::FlowCube`].
+pub(crate) struct BuildOutput {
+    pub cuboids: FxHashMap<CuboidKey, Cuboid>,
+    pub stats: BuildStats,
+}
+
+/// A unit of materialization work: one frequent cell at one path level.
+struct WorkItem {
+    cell_idx: usize,
+    item_level: ItemLevel,
+    key: CellKey,
+    path_level: PathLevelId,
+    tids: Vec<u32>,
+    support: u64,
+}
+
+pub(crate) fn build(
+    db: &PathDatabase,
+    spec: PathLatticeSpec,
+    params: &FlowCubeParams,
+    plan: &ItemPlan,
+) -> BuildOutput {
+    let mut stats = BuildStats::default();
+    let schema = db.schema();
+
+    // ---- Phase 1: find frequent cells (and, when exceptions are on,
+    // frequent path segments).
+    //
+    // Exceptions are the only part of the measure that needs frequent
+    // *path segments* (Lemma 4.3); the duration/transition distributions
+    // are algebraic. So with `mine_exceptions == false` we skip
+    // frequent-pattern mining entirely and compute the iceberg cells with
+    // a plain BUC pass — this also makes `min_support = 1` builds (full,
+    // no iceberg) tractable, where itemset mining would enumerate every
+    // subset of every transaction.
+    let mut cells: Vec<(ItemLevel, CellKey)> = Vec::new();
+    let mut cell_items: Vec<Vec<ItemId>> = Vec::new();
+    let mut tids: Vec<Vec<u32>> = Vec::new();
+    let apex_included = plan.includes(&ItemLevel::top(schema.num_dims()));
+    let mut segments: FxHashMap<(Vec<ItemId>, PathLevelId), Vec<Vec<ItemId>>> =
+        FxHashMap::default();
+
+    let mined_ctx: Option<(TransactionDb, FrequentItemsets)> = if params.mine_exceptions {
+        let t0 = Instant::now();
+        let tx = TransactionDb::encode(db, spec.clone(), params.merge);
+        stats.encode_time = t0.elapsed();
+        let t0 = Instant::now();
+        let mined: FrequentItemsets = match params.algorithm {
+            Algorithm::Shared => mine(&tx, &SharedConfig::shared(params.min_support)),
+            Algorithm::Basic => mine(&tx, &SharedConfig::basic(params.min_support)),
+            Algorithm::Cubing => mine_cubing(db, &tx, &CubingConfig::new(params.min_support)),
+        };
+        stats.mining = mined.stats.clone();
+        stats.mining_time = t0.elapsed();
+        Some((tx, mined))
+    } else {
+        None
+    };
+
+    let t0 = Instant::now();
+    match &mined_ctx {
+        Some((tx, mined)) => {
+            let dict = tx.dict();
+            // The apex cell (all *) is implicit in the mining output.
+            if db.len() as u64 >= params.min_support {
+                cells.push((
+                    ItemLevel::top(schema.num_dims()),
+                    vec![ConceptId::ROOT; schema.num_dims()],
+                ));
+                cell_items.push(Vec::new());
+            }
+            for (items, _support) in mined.frequent_cells(tx) {
+                let mut key = vec![ConceptId::ROOT; schema.num_dims()];
+                for &it in &items {
+                    let ItemKind::Dim { dim, concept } = dict.kind(it) else {
+                        unreachable!("frequent_cells returns dim items only");
+                    };
+                    key[dim as usize] = concept;
+                }
+                let level = level_of_key(&key, schema);
+                if plan.includes(&level) {
+                    cells.push((level, key));
+                    cell_items.push(items);
+                }
+            }
+            stats.frequent_cells = cells.len();
+
+            // Tid lists, grouped by item level, in one DB pass.
+            let mut by_level: FxHashMap<ItemLevel, FxHashMap<CellKey, usize>> =
+                FxHashMap::default();
+            for (i, (level, key)) in cells.iter().enumerate() {
+                by_level
+                    .entry(level.clone())
+                    .or_default()
+                    .insert(key.clone(), i);
+            }
+            tids = vec![Vec::new(); cells.len()];
+            for (t, record) in db.records().iter().enumerate() {
+                for (level, keys) in &by_level {
+                    let key = aggregate_key(&record.dims, level, schema);
+                    if let Some(&i) = keys.get(&key) {
+                        tids[i].push(t as u32);
+                    }
+                }
+            }
+        }
+        None => {
+            // BUC directly yields cells with their tid lists.
+            let (buc_cells, _) = flowcube_mining::buc_iceberg(db, params.min_support);
+            for cell in buc_cells {
+                let key: CellKey = cell
+                    .values
+                    .iter()
+                    .map(|v| v.unwrap_or(ConceptId::ROOT))
+                    .collect();
+                let level = level_of_key(&key, schema);
+                if plan.includes(&level) {
+                    cells.push((level, key));
+                    cell_items.push(Vec::new());
+                    tids.push(cell.tids);
+                }
+            }
+            stats.frequent_cells = cells.len();
+        }
+    }
+
+    // ---- Phase 2: segments per (cell, path level) for exception mining.
+    // One pass over all frequent itemsets: split into (dim part, per-level
+    // concrete-duration stage segment).
+    if let Some((tx, mined)) = &mined_ctx {
+        let dict = tx.dict();
+        for (itemset, _support) in &mined.itemsets {
+            let mut dims: Vec<ItemId> = Vec::new();
+            let mut stages: Vec<ItemId> = Vec::new();
+            let mut level: Option<PathLevelId> = None;
+            let mut uniform = true;
+            for &it in itemset.iter() {
+                match dict.kind(it) {
+                    ItemKind::Dim { .. } => dims.push(it),
+                    ItemKind::Stage { level: l, dur, .. } => {
+                        if dur.is_none() {
+                            uniform = false; // passage-only items add nothing
+                            break;
+                        }
+                        match level {
+                            None => level = Some(l),
+                            Some(prev) if prev == l => {}
+                            _ => {
+                                uniform = false; // mixed-level segments apply
+                                break; // at neither level exactly
+                            }
+                        }
+                        stages.push(it);
+                    }
+                }
+            }
+            if let (true, Some(l)) = (uniform && !stages.is_empty(), level) {
+                segments.entry((dims, l)).or_default().push(stages);
+            }
+        }
+    }
+
+    // ---- Phase 5: aggregate every path once per path level.
+    let num_levels = spec.len();
+    let agg_paths: Vec<Vec<Vec<AggStage>>> = (0..num_levels)
+        .map(|lvl| {
+            let level = spec.level(lvl as PathLevelId);
+            db.records()
+                .iter()
+                .map(|r| {
+                    aggregate_stages(&r.stages, level, params.merge)
+                        .expect("db locations are covered by every cut")
+                })
+                .collect()
+        })
+        .collect();
+    stats.prepare_time = t0.elapsed();
+
+    // ---- Phase 6: materialize one flowgraph per (cell, path level).
+    let t0 = Instant::now();
+    let mut work: Vec<WorkItem> = Vec::with_capacity(cells.len() * num_levels);
+    for (i, (level, key)) in cells.iter().enumerate() {
+        if key.iter().all(|&c| c == ConceptId::ROOT) && !apex_included {
+            continue;
+        }
+        if (tids[i].len() as u64) < params.min_support {
+            continue; // plan-filtered parents may fall below δ — skip
+        }
+        for lvl in 0..num_levels as PathLevelId {
+            work.push(WorkItem {
+                cell_idx: i,
+                item_level: level.clone(),
+                key: key.clone(),
+                path_level: lvl,
+                tids: tids[i].clone(),
+                support: tids[i].len() as u64,
+            });
+        }
+    }
+
+    let exc_params = ExceptionParams {
+        min_support: params.min_support,
+        min_deviation: params.exception_deviation,
+    };
+    let dict_opt = mined_ctx.as_ref().map(|(tx, _)| tx.dict());
+    let materialize = |w: &WorkItem| -> (CuboidKey, CellKey, CellEntry) {
+        let paths: Vec<&[AggStage]> = w
+            .tids
+            .iter()
+            .map(|&t| agg_paths[w.path_level as usize][t as usize].as_slice())
+            .collect();
+        let graph = FlowGraph::build(paths.iter().copied());
+        let exceptions = if let Some(dict) = dict_opt {
+            // Reuse the shared mining output: the cell's frequent segments
+            // at this path level, translated onto the graph's nodes.
+            let dims_key = cell_items[w.cell_idx].clone();
+            let segs: Vec<Segment> = segments
+                .get(&(dims_key, w.path_level))
+                .map(|list| {
+                    list.iter()
+                        .filter_map(|items| {
+                            let mut seg: Segment = Vec::with_capacity(items.len());
+                            for &it in items {
+                                let ItemKind::Stage { prefix, dur, .. } = dict.kind(it)
+                                else {
+                                    return None;
+                                };
+                                let seq = dict.prefixes().sequence(prefix);
+                                let node = graph.node_by_prefix(&seq)?;
+                                seg.push((node, dur?));
+                            }
+                            seg.sort_by_key(|&(n, _)| graph.branch_of(n).len());
+                            Some(seg)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let owned: Vec<Vec<AggStage>> = paths.iter().map(|p| p.to_vec()).collect();
+            exceptions_from_segments(&graph, &owned, &segs, &exc_params)
+        } else {
+            Vec::new()
+        };
+        (
+            CuboidKey {
+                item_level: w.item_level.clone(),
+                path_level: w.path_level,
+            },
+            w.key.clone(),
+            CellEntry {
+                support: w.support,
+                graph,
+                exceptions,
+                redundant: false,
+            },
+        )
+    };
+
+    let results: Vec<(CuboidKey, CellKey, CellEntry)> = if params.parallel && work.len() > 8 {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(work.len());
+        let chunk = work.len().div_ceil(threads);
+        let mut results = Vec::with_capacity(work.len());
+        let materialize = &materialize;
+        crossbeam::scope(|s| {
+            let handles: Vec<_> = work
+                .chunks(chunk)
+                .map(|c| s.spawn(move |_| c.iter().map(materialize).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                results.extend(h.join().expect("materialize worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        results
+    } else {
+        work.iter().map(materialize).collect()
+    };
+
+    let mut cuboids: FxHashMap<CuboidKey, Cuboid> = FxHashMap::default();
+    for (ck, key, entry) in results {
+        cuboids.entry(ck).or_default().cells.insert(key, entry);
+    }
+    stats.cells_materialized = cuboids.values().map(|c| c.len()).sum();
+    stats.materialize_time = t0.elapsed();
+
+    // ---- Phase 7: non-redundancy pruning (Definition 4.4).
+    let t0 = Instant::now();
+    if let Some(tau) = params.redundancy_tau {
+        prune_redundant(&mut cuboids, schema, tau, &mut stats);
+    }
+    stats.redundancy_time = t0.elapsed();
+
+    BuildOutput { cuboids, stats }
+}
+
+/// Mark and drop cells similar to all their item-lattice parents at the
+/// same path level.
+fn prune_redundant(
+    cuboids: &mut FxHashMap<CuboidKey, Cuboid>,
+    schema: &Schema,
+    tau: f64,
+    stats: &mut BuildStats,
+) {
+    let metric = KlSimilarity::default();
+    // Decide first (against the *unpruned* cube: Definition 4.4 compares
+    // to the parents' flowgraphs, which exist whether or not a parent is
+    // itself redundant), then drop.
+    let mut to_drop: Vec<(CuboidKey, CellKey)> = Vec::new();
+    for (ck, cuboid) in cuboids.iter() {
+        for (key, entry) in cuboid.iter() {
+            let mut parents: Vec<&FlowGraph> = Vec::new();
+            let mut any_parent_level = false;
+            for parent_level in ck.item_level.parents() {
+                let parent_ck = CuboidKey {
+                    item_level: parent_level.clone(),
+                    path_level: ck.path_level,
+                };
+                let parent_key = aggregate_key(key, &parent_level, schema);
+                if let Some(p) = cuboids.get(&parent_ck).and_then(|c| c.get(&parent_key)) {
+                    any_parent_level = true;
+                    parents.push(&p.graph);
+                }
+            }
+            if any_parent_level && is_redundant(&entry.graph, &parents, &metric, tau) {
+                to_drop.push((ck.clone(), key.clone()));
+            }
+        }
+    }
+    stats.cells_pruned_redundant = to_drop.len();
+    for (ck, key) in to_drop {
+        if let Some(cuboid) = cuboids.get_mut(&ck) {
+            cuboid.cells.remove(&key);
+        }
+    }
+    cuboids.retain(|_, c| !c.is_empty());
+}

@@ -1,0 +1,329 @@
+//! The [`FlowCube`]: the materialized warehouse of commodity flows
+//! (Definition 4.1) with OLAP-style navigation.
+
+use crate::build::{self, BuildOutput};
+use crate::cell::{aggregate_key, display_key, level_of_key, CellEntry, CellKey, Cuboid, CuboidKey};
+use crate::params::{FlowCubeParams, ItemPlan};
+use crate::stats::BuildStats;
+use flowcube_hier::{
+    ConceptId, FxHashMap, ItemLevel, PathLatticeSpec, PathLevelId, Schema,
+};
+use flowcube_pathdb::PathDatabase;
+use serde::{Deserialize, Serialize};
+
+/// Result of a point lookup: the entry plus whether it came from the
+/// requested cell or from the nearest materialized ancestor (the
+/// non-redundant cube's contract: a pruned cell "can be inferred from
+/// higher level cells").
+#[derive(Debug)]
+pub struct Lookup<'a> {
+    pub entry: &'a CellEntry,
+    /// `true` when the exact requested cell was materialized.
+    pub exact: bool,
+    /// The cell the entry actually came from.
+    pub source_key: &'a CellKey,
+    pub source_level: &'a ItemLevel,
+}
+
+/// A materialized flowcube.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowCube {
+    schema: Schema,
+    spec: PathLatticeSpec,
+    params: FlowCubeParams,
+    #[serde(with = "crate::serde_map")]
+    cuboids: FxHashMap<CuboidKey, Cuboid>,
+    stats: BuildStats,
+}
+
+impl FlowCube {
+    /// Construct a flowcube from a path database (paper §5).
+    pub fn build(
+        db: &PathDatabase,
+        spec: PathLatticeSpec,
+        params: FlowCubeParams,
+        plan: ItemPlan,
+    ) -> Self {
+        let BuildOutput { cuboids, stats } = build::build(db, spec.clone(), &params, &plan);
+        FlowCube {
+            schema: db.schema().clone(),
+            spec,
+            params,
+            cuboids,
+            stats,
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn spec(&self) -> &PathLatticeSpec {
+        &self.spec
+    }
+
+    pub fn params(&self) -> &FlowCubeParams {
+        &self.params
+    }
+
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Number of non-empty cuboids.
+    pub fn num_cuboids(&self) -> usize {
+        self.cuboids.len()
+    }
+
+    /// Total cells across cuboids.
+    pub fn total_cells(&self) -> usize {
+        self.cuboids.values().map(|c| c.len()).sum()
+    }
+
+    /// Iterate `(cuboid key, cuboid)` pairs.
+    pub fn cuboids(&self) -> impl Iterator<Item = (&CuboidKey, &Cuboid)> {
+        self.cuboids.iter()
+    }
+
+    /// The cuboid at `<Il, Pl>`, if any cell of it was materialized.
+    pub fn cuboid(&self, item_level: &ItemLevel, path_level: PathLevelId) -> Option<&Cuboid> {
+        self.cuboids.get(&CuboidKey {
+            item_level: item_level.clone(),
+            path_level,
+        })
+    }
+
+    /// Exact cell lookup; the item level is derived from the key.
+    pub fn cell(&self, key: &[ConceptId], path_level: PathLevelId) -> Option<&CellEntry> {
+        let level = level_of_key(key, &self.schema);
+        self.cuboid(&level, path_level)?.get(key)
+    }
+
+    /// Convenience: cell lookup by `(dimension value name | None)` pairs
+    /// and path level name.
+    pub fn cell_by_names(
+        &self,
+        names: &[Option<&str>],
+        path_level: &str,
+    ) -> Option<&CellEntry> {
+        let key = self.key_from_names(names)?;
+        let pl = self.path_level_id(path_level)?;
+        self.cell(&key, pl)
+    }
+
+    /// Resolve a path level by its configured name.
+    pub fn path_level_id(&self, name: &str) -> Option<PathLevelId> {
+        (0..self.spec.len() as PathLevelId).find(|&i| self.spec.level(i).name == name)
+    }
+
+    /// Resolve a cell key from value names (`None` = `*`).
+    pub fn key_from_names(&self, names: &[Option<&str>]) -> Option<CellKey> {
+        if names.len() != self.schema.num_dims() {
+            return None;
+        }
+        names
+            .iter()
+            .enumerate()
+            .map(|(d, n)| match n {
+                None => Some(ConceptId::ROOT),
+                Some(name) => self.schema.dim(d as u8).id_of(name).ok(),
+            })
+            .collect()
+    }
+
+    /// Point lookup that falls back to the nearest materialized ancestor
+    /// cell (breadth-first up the item lattice) — how a non-redundant /
+    /// iceberg cube answers queries for pruned cells.
+    pub fn lookup(&self, key: &[ConceptId], path_level: PathLevelId) -> Option<Lookup<'_>> {
+        let level = level_of_key(key, &self.schema);
+        let mut frontier: Vec<(ItemLevel, CellKey)> = vec![(level, key.to_vec())];
+        let mut exact = true;
+        let mut seen: Vec<(ItemLevel, CellKey)> = Vec::new();
+        while !frontier.is_empty() {
+            for (lvl, k) in &frontier {
+                let ck = CuboidKey {
+                    item_level: lvl.clone(),
+                    path_level,
+                };
+                if let Some((ck_ref, cuboid)) = self.cuboids.get_key_value(&ck) {
+                    if let Some((source_key, entry)) = cuboid.cells.get_key_value(k.as_slice())
+                    {
+                        return Some(Lookup {
+                            entry,
+                            exact,
+                            source_key,
+                            source_level: &ck_ref.item_level,
+                        });
+                    }
+                }
+            }
+            // Expand to parents.
+            let mut next: Vec<(ItemLevel, CellKey)> = Vec::new();
+            for (lvl, k) in frontier.drain(..) {
+                for parent in lvl.parents() {
+                    let pk = aggregate_key(&k, &parent, &self.schema);
+                    if !next.iter().any(|(l, kk)| *l == parent && *kk == pk)
+                        && !seen.iter().any(|(l, kk)| *l == parent && *kk == pk)
+                    {
+                        next.push((parent, pk));
+                    }
+                }
+                seen.push((lvl, k));
+            }
+            frontier = next;
+            exact = false;
+        }
+        None
+    }
+
+    /// Roll up one dimension of a cell: the parent cell with `dim`
+    /// aggregated one level.
+    pub fn roll_up(
+        &self,
+        key: &[ConceptId],
+        dim: usize,
+        path_level: PathLevelId,
+    ) -> Option<(CellKey, &CellEntry)> {
+        let level = level_of_key(key, &self.schema);
+        if level.0[dim] == 0 {
+            return None;
+        }
+        let mut parent_level = level.clone();
+        parent_level.0[dim] -= 1;
+        let parent_key = aggregate_key(key, &parent_level, &self.schema);
+        let entry = self.cuboid(&parent_level, path_level)?.get(&parent_key)?;
+        Some((parent_key, entry))
+    }
+
+    /// Drill down one dimension: all materialized child cells obtained by
+    /// specializing `dim` one level.
+    pub fn drill_down(
+        &self,
+        key: &[ConceptId],
+        dim: usize,
+        path_level: PathLevelId,
+    ) -> Vec<(CellKey, &CellEntry)> {
+        let level = level_of_key(key, &self.schema);
+        let h = self.schema.dim(dim as u8);
+        let mut child_level = level.clone();
+        child_level.0[dim] += 1;
+        let Some(cuboid) = self.cuboid(&child_level, path_level) else {
+            return Vec::new();
+        };
+        let children = if key[dim] == ConceptId::ROOT && level.0[dim] == 0 {
+            h.concepts_at_level(1).collect::<Vec<_>>()
+        } else {
+            h.children_of(key[dim]).to_vec()
+        };
+        let mut out = Vec::new();
+        for c in children {
+            let mut child_key = key.to_vec();
+            child_key[dim] = c;
+            if let Some(entry) = cuboid.get(&child_key) {
+                out.push((child_key, entry));
+            }
+        }
+        out
+    }
+
+    /// Slice a cuboid: all cells whose `dim` coordinate equals `value`.
+    pub fn slice(
+        &self,
+        item_level: &ItemLevel,
+        path_level: PathLevelId,
+        dim: usize,
+        value: ConceptId,
+    ) -> Vec<(&CellKey, &CellEntry)> {
+        self.cuboid(item_level, path_level)
+            .map(|c| c.iter().filter(|(k, _)| k[dim] == value).collect())
+            .unwrap_or_default()
+    }
+
+    /// Dice a cuboid with an arbitrary predicate over keys.
+    pub fn dice<'a>(
+        &'a self,
+        item_level: &ItemLevel,
+        path_level: PathLevelId,
+        pred: impl Fn(&CellKey) -> bool + 'a,
+    ) -> Vec<(&'a CellKey, &'a CellEntry)> {
+        self.cuboid(item_level, path_level)
+            .map(|c| c.iter().filter(move |(k, _)| pred(k)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Rebuild the name-lookup indexes that serde skips; call after
+    /// deserializing a cube.
+    pub fn rebuild_indexes(&mut self) {
+        self.schema.rebuild_indexes();
+    }
+
+    /// Merge another flowcube built over a **disjoint partition** of the
+    /// same logical database (same schema and path-level spec) into this
+    /// one — distributed construction via Lemma 4.2: flowgraph
+    /// distributions are algebraic, so partition cubes combine by adding
+    /// counts.
+    ///
+    /// Two caveats, by design:
+    /// * exceptions are **holistic** (Lemma 4.3) and cannot be merged —
+    ///   merged cells get their exception lists cleared; re-mine them
+    ///   where needed;
+    /// * the iceberg condition was applied per partition, so a cell
+    ///   frequent only in the union may be missing from both inputs.
+    ///   Build partitions with δ = 1 for an exact merge.
+    ///
+    /// # Errors
+    /// Returns an error string when the schemas or path-level specs are
+    /// incompatible.
+    pub fn merge_from(&mut self, other: &FlowCube) -> Result<(), String> {
+        if self.schema.num_dims() != other.schema.num_dims() {
+            return Err("dimension count mismatch".into());
+        }
+        if self.spec.len() != other.spec.len() {
+            return Err("path-level spec mismatch".into());
+        }
+        for i in 0..self.spec.len() as PathLevelId {
+            if self.spec.level(i).name != other.spec.level(i).name {
+                return Err(format!("path level {i} name mismatch"));
+            }
+        }
+        for (ck, cuboid) in &other.cuboids {
+            let mine = self.cuboids.entry(ck.clone()).or_default();
+            for (key, entry) in cuboid.iter() {
+                match mine.cells.get_mut(key) {
+                    Some(existing) => {
+                        existing.graph.merge(&entry.graph);
+                        existing.support += entry.support;
+                        existing.exceptions.clear();
+                    }
+                    None => {
+                        let mut cloned = entry.clone();
+                        cloned.exceptions.clear();
+                        mine.cells.insert(key.clone(), cloned);
+                    }
+                }
+            }
+        }
+        self.stats.cells_materialized = self.total_cells();
+        Ok(())
+    }
+
+    /// Human-readable cell description.
+    pub fn describe_cell(&self, key: &[ConceptId], path_level: PathLevelId) -> String {
+        let name = &self.spec.level(path_level).name;
+        match self.cell(key, path_level) {
+            Some(e) => format!(
+                "{} @ {}: {} paths, {} nodes, {} exceptions",
+                display_key(key, &self.schema),
+                name,
+                e.support,
+                e.graph.len() - 1,
+                e.exceptions.len()
+            ),
+            None => format!(
+                "{} @ {}: not materialized",
+                display_key(key, &self.schema),
+                name
+            ),
+        }
+    }
+}

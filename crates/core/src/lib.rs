@@ -1,0 +1,39 @@
+//! The FlowCube: a warehouse of RFID commodity flows (Gonzalez, Han, Li;
+//! VLDB 2006).
+//!
+//! A [`FlowCube`] is a collection of cuboids, each characterized by an
+//! item abstraction level and a path abstraction level; the measure of a
+//! cell is a [`flowcube_flowgraph::FlowGraph`] over the paths in the cell,
+//! annotated with exceptions. Construction (paper §5) mines frequent
+//! cells and frequent path segments simultaneously at every abstraction
+//! level, materializes only cells passing the iceberg condition δ, and
+//! optionally drops cells redundant w.r.t. their lattice parents
+//! (Definition 4.4).
+//!
+//! ```
+//! use flowcube_core::{FlowCube, FlowCubeParams, ItemPlan};
+//! use flowcube_hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel};
+//! use flowcube_pathdb::samples;
+//!
+//! let db = samples::paper_table1();
+//! let loc = db.schema().locations();
+//! let spec = PathLatticeSpec::new(vec![PathLevel::new(
+//!     "base",
+//!     LocationCut::uniform_level(loc, 2),
+//!     DurationLevel::Raw,
+//! )]);
+//! let cube = FlowCube::build(&db, spec, FlowCubeParams::new(2), ItemPlan::All);
+//! assert!(cube.total_cells() > 0);
+//! ```
+
+mod build;
+pub(crate) mod serde_map;
+pub mod cell;
+pub mod cube;
+pub mod params;
+pub mod stats;
+
+pub use cell::{aggregate_key, display_key, level_of_key, CellEntry, CellKey, Cuboid, CuboidKey};
+pub use cube::{FlowCube, Lookup};
+pub use params::{Algorithm, FlowCubeParams, ItemPlan};
+pub use stats::BuildStats;

@@ -1,0 +1,145 @@
+//! Construction parameters and materialization plans.
+
+use flowcube_hier::ItemLevel;
+use flowcube_pathdb::MergePolicy;
+use serde::{Deserialize, Serialize};
+
+/// Which mining algorithm powers flowcube construction (§5 / §6).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Algorithm 1 — simultaneous multi-level mining with all prunings.
+    Shared,
+    /// Shared with every candidate-pruning optimization disabled.
+    Basic,
+    /// Algorithm 2 — BUC iceberg cube + per-cell Apriori.
+    Cubing,
+}
+
+/// Flowcube construction parameters (δ, ε, τ of §3–§4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowCubeParams {
+    /// δ — minimum paths per materialized cell (iceberg condition) and
+    /// minimum support for frequent path segments / exceptions.
+    pub min_support: u64,
+    /// ε — minimum distribution shift for an exception to be recorded.
+    pub exception_deviation: f64,
+    /// τ — when set, cells whose flowgraph diverges from **all** parent
+    /// cells by at most τ (KL) are pruned as redundant (Definition 4.4).
+    pub redundancy_tau: Option<f64>,
+    /// How durations combine when consecutive stages merge under
+    /// aggregation.
+    pub merge: MergePolicy,
+    pub algorithm: Algorithm,
+    /// Mine exceptions (the holistic, expensive part of the measure).
+    pub mine_exceptions: bool,
+    /// Build cell flowgraphs on multiple threads.
+    pub parallel: bool,
+}
+
+impl FlowCubeParams {
+    pub fn new(min_support: u64) -> Self {
+        FlowCubeParams {
+            min_support,
+            exception_deviation: 0.25,
+            redundancy_tau: None,
+            merge: MergePolicy::Sum,
+            algorithm: Algorithm::Shared,
+            mine_exceptions: true,
+            parallel: false,
+        }
+    }
+
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    pub fn with_redundancy(mut self, tau: f64) -> Self {
+        self.redundancy_tau = Some(tau);
+        self
+    }
+
+    pub fn with_exceptions(mut self, on: bool) -> Self {
+        self.mine_exceptions = on;
+        self
+    }
+
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+}
+
+/// Which item-lattice levels get materialized (§5, "Partial
+/// Materialization", after Han et al.'s minimum/observation-layer
+/// strategy).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub enum ItemPlan {
+    /// Materialize every frequent cell at every item level.
+    #[default]
+    All,
+    /// Materialize only the listed item levels.
+    Selected(Vec<ItemLevel>),
+    /// Materialize a minimum layer, an observation layer, and selected
+    /// cuboids on popular drill paths between them.
+    Layers {
+        /// Most aggregated layer users ever need.
+        minimum: ItemLevel,
+        /// Layer where most analysis happens (more detailed).
+        observation: ItemLevel,
+        /// Extra cuboids between the two layers.
+        popular: Vec<ItemLevel>,
+    },
+}
+
+impl ItemPlan {
+    /// Does the plan materialize `level`?
+    pub fn includes(&self, level: &ItemLevel) -> bool {
+        match self {
+            ItemPlan::All => true,
+            ItemPlan::Selected(levels) => levels.contains(level),
+            ItemPlan::Layers {
+                minimum,
+                observation,
+                popular,
+            } => level == minimum || level == observation || popular.contains(level),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let p = FlowCubeParams::new(5)
+            .with_algorithm(Algorithm::Cubing)
+            .with_redundancy(0.1)
+            .with_exceptions(false)
+            .parallel(true);
+        assert_eq!(p.min_support, 5);
+        assert_eq!(p.algorithm, Algorithm::Cubing);
+        assert_eq!(p.redundancy_tau, Some(0.1));
+        assert!(!p.mine_exceptions);
+        assert!(p.parallel);
+    }
+
+    #[test]
+    fn item_plan_filters() {
+        let all = ItemPlan::All;
+        assert!(all.includes(&ItemLevel(vec![1, 2])));
+        let sel = ItemPlan::Selected(vec![ItemLevel(vec![0, 0]), ItemLevel(vec![1, 1])]);
+        assert!(sel.includes(&ItemLevel(vec![1, 1])));
+        assert!(!sel.includes(&ItemLevel(vec![0, 1])));
+        let layers = ItemPlan::Layers {
+            minimum: ItemLevel(vec![1, 0]),
+            observation: ItemLevel(vec![2, 1]),
+            popular: vec![ItemLevel(vec![2, 0])],
+        };
+        assert!(layers.includes(&ItemLevel(vec![1, 0])));
+        assert!(layers.includes(&ItemLevel(vec![2, 1])));
+        assert!(layers.includes(&ItemLevel(vec![2, 0])));
+        assert!(!layers.includes(&ItemLevel(vec![1, 1])));
+    }
+}

@@ -1,0 +1,64 @@
+//! Serde adapter serializing hash maps as sequences of `(key, value)`
+//! pairs, so cubes with structured keys (cell keys, cuboid keys) survive
+//! formats like JSON whose native maps require string keys.
+
+use flowcube_hier::FxHashMap;
+use serde::de::{Deserialize, Deserializer};
+use serde::ser::{Serialize, Serializer};
+use std::hash::Hash;
+
+pub fn serialize<K, V, S>(map: &FxHashMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+where
+    K: Serialize + Ord + Hash + Eq,
+    V: Serialize,
+    S: Serializer,
+{
+    // Sort for deterministic output.
+    let mut pairs: Vec<(&K, &V)> = map.iter().collect();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    serializer.collect_seq(pairs)
+}
+
+pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<FxHashMap<K, V>, D::Error>
+where
+    K: Deserialize<'de> + Hash + Eq,
+    V: Deserialize<'de>,
+    D: Deserializer<'de>,
+{
+    let pairs: Vec<(K, V)> = Vec::deserialize(deserializer)?;
+    Ok(pairs.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use flowcube_hier::FxHashMap;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Holder {
+        #[serde(with = "super")]
+        map: FxHashMap<Vec<u32>, String>,
+    }
+
+    #[test]
+    fn roundtrip_vec_keys_through_json() {
+        let mut map = FxHashMap::default();
+        map.insert(vec![1, 2], "a".to_string());
+        map.insert(vec![3], "b".to_string());
+        let h = Holder { map };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Holder = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let mut map = FxHashMap::default();
+        for i in 0..20u32 {
+            map.insert(vec![i], i.to_string());
+        }
+        let a = serde_json::to_string(&Holder { map: map.clone() }).unwrap();
+        let b = serde_json::to_string(&Holder { map }).unwrap();
+        assert_eq!(a, b);
+    }
+}

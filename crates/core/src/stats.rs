@@ -1,0 +1,71 @@
+//! Build-time statistics: phase timings plus the mining counters.
+
+use flowcube_mining::MiningStats;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Statistics collected during flowcube construction.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BuildStats {
+    /// Counters from the frequent-pattern phase (candidates per length,
+    /// prunes, scans, …).
+    pub mining: MiningStats,
+    /// Transforming the path database into transactions.
+    pub encode_time: Duration,
+    /// Frequent-pattern mining proper.
+    pub mining_time: Duration,
+    /// Cell/tid-list/segment preparation.
+    pub prepare_time: Duration,
+    /// Flowgraph + exception materialization.
+    pub materialize_time: Duration,
+    /// Non-redundancy pruning.
+    pub redundancy_time: Duration,
+    /// Frequent cells found by mining (before plan filtering drops and
+    /// the apex is added).
+    pub frequent_cells: usize,
+    /// Cells materialized across all cuboids (before redundancy pruning).
+    pub cells_materialized: usize,
+    /// Cells dropped as redundant.
+    pub cells_pruned_redundant: usize,
+}
+
+impl BuildStats {
+    /// Total wall-clock time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.encode_time
+            + self.mining_time
+            + self.prepare_time
+            + self.materialize_time
+            + self.redundancy_time
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "cells={} (pruned {} redundant), frequent patterns={}, \
+             candidates counted={}, total {:?}",
+            self.cells_materialized,
+            self.cells_pruned_redundant,
+            self.mining.total_frequent(),
+            self.mining.total_counted(),
+            self.total_time(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_summary() {
+        let s = BuildStats {
+            encode_time: Duration::from_millis(5),
+            mining_time: Duration::from_millis(10),
+            cells_materialized: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(15));
+        assert!(s.summary().contains("cells=3"));
+    }
+}

@@ -1,0 +1,496 @@
+//! End-to-end tests of flowcube construction and navigation on the
+//! paper's running example and on synthetic data.
+
+use flowcube_core::{Algorithm, FlowCube, FlowCubeParams, ItemPlan};
+use flowcube_datagen::{generate, GeneratorConfig};
+use flowcube_hier::{
+    ConceptId, DurationLevel, ItemLevel, LocationCut, PathLatticeSpec, PathLevel,
+};
+use flowcube_pathdb::samples;
+
+fn paper_spec(db: &flowcube_pathdb::PathDatabase) -> PathLatticeSpec {
+    let loc = db.schema().locations();
+    let fine = LocationCut::uniform_level(loc, 2);
+    let coarse = LocationCut::uniform_level(loc, 1);
+    PathLatticeSpec::new(vec![
+        PathLevel::new("fine/raw", fine.clone(), DurationLevel::Raw),
+        PathLevel::new("fine/*", fine, DurationLevel::Any),
+        PathLevel::new("coarse/raw", coarse.clone(), DurationLevel::Raw),
+        PathLevel::new("coarse/*", coarse, DurationLevel::Any),
+    ])
+}
+
+fn paper_cube(min_support: u64) -> (flowcube_pathdb::PathDatabase, FlowCube) {
+    let db = samples::paper_table1();
+    let spec = paper_spec(&db);
+    let cube = FlowCube::build(&db, spec, FlowCubeParams::new(min_support), ItemPlan::All);
+    (db, cube)
+}
+
+#[test]
+fn apex_cell_covers_everything() {
+    let (db, cube) = paper_cube(2);
+    let key = vec![ConceptId::ROOT, ConceptId::ROOT];
+    let entry = cube.cell(&key, 0).expect("apex cell");
+    assert_eq!(entry.support, db.len() as u64);
+    assert_eq!(entry.graph.total_paths(), 8);
+}
+
+/// Figure 4: the flowgraph for cell (outerwear, nike) summarizes paths
+/// 4, 5, 6 — factory → truck → {shelf → checkout, warehouse}.
+#[test]
+fn figure4_outerwear_nike_cell() {
+    let (db, cube) = paper_cube(2);
+    let schema = db.schema();
+    let entry = cube
+        .cell_by_names(&[Some("outerwear"), Some("nike")], "fine/raw")
+        .expect("(outerwear, nike) cell");
+    assert_eq!(entry.support, 3);
+    let loc = schema.locations();
+    let f = loc.id_of("factory").unwrap();
+    let t = loc.id_of("truck").unwrap();
+    let s = loc.id_of("shelf").unwrap();
+    let w = loc.id_of("warehouse").unwrap();
+    let g = &entry.graph;
+    let ft = g.node_by_prefix(&[f, t]).expect("factory→truck branch");
+    assert_eq!(g.count(ft), 3);
+    let trans = g.transitions(ft);
+    assert!((trans.probability(Some(s)) - 2.0 / 3.0).abs() < 1e-9);
+    assert!((trans.probability(Some(w)) - 1.0 / 3.0).abs() < 1e-9);
+    // no dist_center branch in this cell
+    let d = loc.id_of("dist_center").unwrap();
+    assert!(g.node_by_prefix(&[f, d]).is_none());
+}
+
+#[test]
+fn iceberg_condition_drops_rare_cells() {
+    let (_, cube) = paper_cube(2);
+    // (shirt, nike) has one path — below δ=2.
+    assert!(cube
+        .cell_by_names(&[Some("shirt"), Some("nike")], "fine/raw")
+        .is_none());
+    // but present at δ=1
+    let (_, cube1) = paper_cube(1);
+    assert!(cube1
+        .cell_by_names(&[Some("shirt"), Some("nike")], "fine/raw")
+        .is_some());
+}
+
+#[test]
+fn lookup_falls_back_to_ancestors() {
+    let (db, cube) = paper_cube(2);
+    let schema = db.schema();
+    let shirt = schema.dim(0).id_of("shirt").unwrap();
+    let nike = schema.dim(1).id_of("nike").unwrap();
+    // (shirt, nike) was iceberg-pruned; lookup walks to a parent.
+    let lk = cube.lookup(&[shirt, nike], 0).expect("ancestor fallback");
+    assert!(!lk.exact);
+    // the parent is (outerwear, nike) (support 3 ≥ 2)
+    assert_eq!(
+        flowcube_core::display_key(lk.source_key, schema),
+        "(outerwear, nike)"
+    );
+    // exact lookups report exact
+    let tennis = schema.dim(0).id_of("tennis").unwrap();
+    let lk = cube.lookup(&[tennis, nike], 0).expect("tennis nike");
+    assert!(lk.exact);
+}
+
+#[test]
+fn roll_up_and_drill_down_navigate_lattice() {
+    let (db, cube) = paper_cube(2);
+    let schema = db.schema();
+    let tennis = schema.dim(0).id_of("tennis").unwrap();
+    let nike = schema.dim(1).id_of("nike").unwrap();
+    let key = vec![tennis, nike];
+    // roll up product: tennis → shoes
+    let (parent_key, parent) = cube.roll_up(&key, 0, 0).expect("roll-up");
+    assert_eq!(schema.dim(0).name_of(parent_key[0]), "shoes");
+    assert_eq!(parent.support, 3); // shoes+nike = records 1,2,3
+    // drill shoes back down: tennis (support 2); sandals pruned (1 path)
+    let children = cube.drill_down(&parent_key, 0, 0);
+    assert_eq!(children.len(), 1);
+    assert_eq!(schema.dim(0).name_of(children[0].0[0]), "tennis");
+    // rolling up a * dimension is None
+    let apex = vec![ConceptId::ROOT, ConceptId::ROOT];
+    assert!(cube.roll_up(&apex, 0, 0).is_none());
+}
+
+#[test]
+fn slice_and_dice() {
+    let (db, cube) = paper_cube(2);
+    let schema = db.schema();
+    let nike = schema.dim(1).id_of("nike").unwrap();
+    let level = ItemLevel(vec![2, 2]); // (type, brand)
+    let sliced = cube.slice(&level, 0, 1, nike);
+    // (shoes, nike) and (outerwear, nike)
+    assert_eq!(sliced.len(), 2);
+    let diced = cube.dice(&level, 0, |k| k[1] == nike);
+    assert_eq!(diced.len(), 2);
+    let all = cube.dice(&level, 0, |_| true);
+    assert!(all.len() >= 2);
+}
+
+#[test]
+fn all_algorithms_build_identical_cubes() {
+    let db = samples::paper_table1();
+    let spec = paper_spec(&db);
+    let shared = FlowCube::build(
+        &db,
+        spec.clone(),
+        FlowCubeParams::new(2).with_algorithm(Algorithm::Shared),
+        ItemPlan::All,
+    );
+    let basic = FlowCube::build(
+        &db,
+        spec.clone(),
+        FlowCubeParams::new(2).with_algorithm(Algorithm::Basic),
+        ItemPlan::All,
+    );
+    let cubing = FlowCube::build(
+        &db,
+        spec,
+        FlowCubeParams::new(2).with_algorithm(Algorithm::Cubing),
+        ItemPlan::All,
+    );
+    for other in [&basic, &cubing] {
+        assert_eq!(shared.num_cuboids(), other.num_cuboids());
+        assert_eq!(shared.total_cells(), other.total_cells());
+        for (ck, cuboid) in shared.cuboids() {
+            let oc = other
+                .cuboid(&ck.item_level, ck.path_level)
+                .expect("cuboid present in both");
+            assert_eq!(cuboid.len(), oc.len());
+            for (key, entry) in cuboid.iter() {
+                let oe = oc.get(key).expect("cell present in both");
+                assert_eq!(entry.support, oe.support);
+                assert_eq!(entry.graph.total_paths(), oe.graph.total_paths());
+                assert_eq!(entry.graph.len(), oe.graph.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_build_matches_serial() {
+    let config = GeneratorConfig {
+        num_paths: 300,
+        seed: 11,
+        ..Default::default()
+    };
+    let out = generate(&config);
+    let loc = out.db.schema().locations();
+    let spec = PathLatticeSpec::new(vec![
+        PathLevel::new(
+            "leaf/raw",
+            LocationCut::uniform_level(loc, 2),
+            DurationLevel::Raw,
+        ),
+        PathLevel::new(
+            "group/*",
+            LocationCut::uniform_level(loc, 1),
+            DurationLevel::Any,
+        ),
+    ]);
+    let serial = FlowCube::build(
+        &out.db,
+        spec.clone(),
+        FlowCubeParams::new(10).parallel(false),
+        ItemPlan::All,
+    );
+    let parallel = FlowCube::build(
+        &out.db,
+        spec,
+        FlowCubeParams::new(10).parallel(true),
+        ItemPlan::All,
+    );
+    assert_eq!(serial.total_cells(), parallel.total_cells());
+    for (ck, cuboid) in serial.cuboids() {
+        let pc = parallel.cuboid(&ck.item_level, ck.path_level).unwrap();
+        for (key, entry) in cuboid.iter() {
+            let pe = pc.get(key).unwrap();
+            assert_eq!(entry.support, pe.support);
+            assert_eq!(entry.exceptions.len(), pe.exceptions.len());
+        }
+    }
+}
+
+#[test]
+fn plan_restricts_materialized_levels() {
+    let db = samples::paper_table1();
+    let spec = paper_spec(&db);
+    let observation = ItemLevel(vec![2, 2]);
+    let minimum = ItemLevel(vec![1, 1]);
+    let plan = ItemPlan::Layers {
+        minimum: minimum.clone(),
+        observation: observation.clone(),
+        popular: vec![],
+    };
+    let cube = FlowCube::build(&db, spec, FlowCubeParams::new(2), plan);
+    for (ck, _) in cube.cuboids() {
+        assert!(
+            ck.item_level == observation || ck.item_level == minimum,
+            "unexpected level {:?}",
+            ck.item_level
+        );
+    }
+    assert!(cube.cuboid(&observation, 0).is_some());
+}
+
+#[test]
+fn redundancy_pruning_drops_lookalike_children() {
+    // Synthetic data where children mirror their parents' flow behavior:
+    // most specialized cells should be pruned as redundant.
+    let config = GeneratorConfig {
+        num_paths: 400,
+        num_sequences: 5,
+        seed: 3,
+        ..Default::default()
+    };
+    let out = generate(&config);
+    let loc = out.db.schema().locations();
+    let spec = PathLatticeSpec::new(vec![PathLevel::new(
+        "leaf/*",
+        LocationCut::uniform_level(loc, 2),
+        DurationLevel::Any,
+    )]);
+    let full = FlowCube::build(
+        &out.db,
+        spec.clone(),
+        FlowCubeParams::new(20).with_exceptions(false),
+        ItemPlan::All,
+    );
+    let pruned = FlowCube::build(
+        &out.db,
+        spec,
+        FlowCubeParams::new(20)
+            .with_exceptions(false)
+            .with_redundancy(0.5),
+        ItemPlan::All,
+    );
+    assert!(pruned.total_cells() < full.total_cells());
+    assert_eq!(
+        pruned.total_cells() + pruned.stats().cells_pruned_redundant,
+        full.total_cells()
+    );
+    // The apex cuboid survives (no parents → never redundant).
+    let apex = ItemLevel::top(out.db.schema().num_dims());
+    assert!(pruned.cuboid(&apex, 0).is_some());
+    // Pruned cells remain answerable through ancestors.
+    let (key, _) = full
+        .cuboids()
+        .flat_map(|(_, c)| c.iter())
+        .next()
+        .map(|(k, e)| (k.clone(), e.support))
+        .unwrap();
+    assert!(pruned.lookup(&key, 0).is_some());
+}
+
+#[test]
+fn exceptions_survive_cube_construction() {
+    // Engineered database: in cell (tennis, nike), duration 9 at the
+    // factory flips the next location.
+    use flowcube_pathdb::{PathDatabase, PathRecord, Stage};
+    let schema = samples::paper_schema();
+    let l = |n: &str| schema.locations().id_of(n).unwrap();
+    let tennis = schema.dim(0).id_of("tennis").unwrap();
+    let nike = schema.dim(1).id_of("nike").unwrap();
+    let mut db = PathDatabase::new(schema.clone());
+    for i in 0..6 {
+        db.push(PathRecord::new(
+            i,
+            vec![tennis, nike],
+            vec![Stage::new(l("factory"), 1), Stage::new(l("shelf"), 1)],
+        ))
+        .unwrap();
+    }
+    for i in 6..12 {
+        db.push(PathRecord::new(
+            i,
+            vec![tennis, nike],
+            vec![Stage::new(l("factory"), 9), Stage::new(l("warehouse"), 1)],
+        ))
+        .unwrap();
+    }
+    let loc = db.schema().locations();
+    let spec = PathLatticeSpec::new(vec![PathLevel::new(
+        "fine/raw",
+        LocationCut::uniform_level(loc, 2),
+        DurationLevel::Raw,
+    )]);
+    let mut params = FlowCubeParams::new(4);
+    params.exception_deviation = 0.3;
+    let cube = FlowCube::build(&db, spec, params, ItemPlan::All);
+    let entry = cube
+        .cell_by_names(&[Some("tennis"), Some("nike")], "fine/raw")
+        .unwrap();
+    assert!(
+        !entry.exceptions.is_empty(),
+        "expected a transition exception given (factory,9)"
+    );
+    let has_factory_condition = entry.exceptions.iter().any(|e| {
+        e.condition.len() == 1 && e.deviation >= 0.3 && e.support >= 4
+    });
+    assert!(has_factory_condition);
+}
+
+#[test]
+fn describe_and_name_helpers() {
+    let (_, cube) = paper_cube(2);
+    assert!(cube.path_level_id("fine/raw").is_some());
+    assert!(cube.path_level_id("nope").is_none());
+    let key = cube
+        .key_from_names(&[Some("tennis"), Some("nike")])
+        .unwrap();
+    let desc = cube.describe_cell(&key, 0);
+    assert!(desc.contains("tennis"), "{desc}");
+    assert!(desc.contains("paths"), "{desc}");
+    let missing = cube
+        .key_from_names(&[Some("shirt"), Some("nike")])
+        .unwrap();
+    assert!(cube.describe_cell(&missing, 0).contains("not materialized"));
+    assert!(cube.key_from_names(&[Some("tennis")]).is_none());
+    assert!(cube.key_from_names(&[Some("mars"), None]).is_none());
+}
+
+/// Distributed construction: two partition cubes at δ = 1 merge into a
+/// cube whose graphs match a single-shot build exactly.
+#[test]
+fn partition_cubes_merge_to_full_cube() {
+    let config = GeneratorConfig {
+        num_paths: 200,
+        seed: 77,
+        ..Default::default()
+    };
+    let out = generate(&config);
+    let loc = out.db.schema().locations();
+    let spec = PathLatticeSpec::new(vec![PathLevel::new(
+        "leaf",
+        LocationCut::uniform_level(loc, 2),
+        DurationLevel::Raw,
+    )]);
+    // Split records into two halves.
+    use flowcube_pathdb::PathDatabase;
+    let (schema, records) = out.db.into_parts();
+    let mid = records.len() / 2;
+    let left = PathDatabase::from_records(schema.clone(), records[..mid].to_vec()).unwrap();
+    let right = PathDatabase::from_records(schema.clone(), records[mid..].to_vec()).unwrap();
+    let full_db = PathDatabase::from_records(schema, records).unwrap();
+
+    let params = || FlowCubeParams::new(1).with_exceptions(false);
+    let mut merged = FlowCube::build(&left, spec.clone(), params(), ItemPlan::All);
+    let right_cube = FlowCube::build(&right, spec.clone(), params(), ItemPlan::All);
+    merged.merge_from(&right_cube).unwrap();
+    let full = FlowCube::build(&full_db, spec, params(), ItemPlan::All);
+
+    assert_eq!(merged.total_cells(), full.total_cells());
+    for (ck, cuboid) in full.cuboids() {
+        let mc = merged.cuboid(&ck.item_level, ck.path_level).unwrap();
+        for (key, entry) in cuboid.iter() {
+            let me = mc.get(key).unwrap();
+            assert_eq!(me.support, entry.support);
+            assert_eq!(me.graph.total_paths(), entry.graph.total_paths());
+            assert_eq!(me.graph.len(), entry.graph.len());
+            for n in entry.graph.node_ids() {
+                let prefix = entry.graph.prefix_of(n);
+                let m = me.graph.node_by_prefix(&prefix).unwrap();
+                assert_eq!(me.graph.count(m), entry.graph.count(n));
+                assert_eq!(me.graph.durations(m), entry.graph.durations(n));
+            }
+        }
+    }
+}
+
+/// Cubes persist through JSON and answer the same queries after
+/// `rebuild_indexes`.
+#[test]
+fn cube_serde_roundtrip() {
+    let (_, cube) = paper_cube(2);
+    let json = serde_json::to_string(&cube).expect("serialize cube");
+    let mut back: FlowCube = serde_json::from_str(&json).expect("deserialize cube");
+    back.rebuild_indexes();
+    assert_eq!(cube.num_cuboids(), back.num_cuboids());
+    assert_eq!(cube.total_cells(), back.total_cells());
+    // Named lookup works after index rebuild.
+    let a = cube
+        .cell_by_names(&[Some("outerwear"), Some("nike")], "fine/raw")
+        .unwrap();
+    let b = back
+        .cell_by_names(&[Some("outerwear"), Some("nike")], "fine/raw")
+        .unwrap();
+    assert_eq!(a.support, b.support);
+    assert_eq!(a.graph.len(), b.graph.len());
+    assert_eq!(a.exceptions.len(), b.exceptions.len());
+    // Serialization is deterministic.
+    let json2 = serde_json::to_string(&cube).unwrap();
+    assert_eq!(json, json2);
+}
+
+#[test]
+fn merge_rejects_incompatible_cubes() {
+    let (_, a) = paper_cube(2);
+    // Different spec length.
+    let db = samples::paper_table1();
+    let loc = db.schema().locations();
+    let spec = PathLatticeSpec::new(vec![PathLevel::new(
+        "only",
+        LocationCut::uniform_level(loc, 2),
+        DurationLevel::Raw,
+    )]);
+    let b = FlowCube::build(&db, spec, FlowCubeParams::new(2), ItemPlan::All);
+    let mut a2 = a.clone();
+    assert!(a2.merge_from(&b).is_err());
+}
+
+#[test]
+fn selected_plan_materializes_only_listed_levels() {
+    let db = samples::paper_table1();
+    let spec = paper_spec(&db);
+    let only = ItemLevel(vec![2, 2]);
+    let cube = FlowCube::build(
+        &db,
+        spec,
+        FlowCubeParams::new(2),
+        ItemPlan::Selected(vec![only.clone()]),
+    );
+    assert!(cube.num_cuboids() > 0);
+    for (ck, _) in cube.cuboids() {
+        assert_eq!(ck.item_level, only);
+    }
+    // The apex is not in the plan → no apex cell.
+    let apex = vec![ConceptId::ROOT, ConceptId::ROOT];
+    assert!(cube.cell(&apex, 0).is_none());
+}
+
+#[test]
+fn prediction_through_cell_entry() {
+    let (db, cube) = paper_cube(2);
+    let schema = db.schema();
+    let loc = schema.locations();
+    let apex = vec![ConceptId::ROOT, ConceptId::ROOT];
+    let cell = cube.cell(&apex, 0).unwrap();
+    // After factory with any duration: dist_center 5/8, truck 3/8.
+    let observed = [flowcube_pathdb::AggStage {
+        loc: loc.id_of("factory").unwrap(),
+        dur: None,
+    }];
+    let dist = cell.predict_next(&observed).unwrap();
+    let dc = loc.id_of("dist_center").unwrap();
+    assert!((dist.probability(Some(dc)) - 5.0 / 8.0).abs() < 1e-9);
+    // Unknown location prefix → None.
+    let bogus = [flowcube_pathdb::AggStage {
+        loc: loc.id_of("checkout").unwrap(),
+        dur: None,
+    }];
+    assert!(cell.predict_next(&bogus).is_none());
+}
+
+#[test]
+fn stats_are_populated() {
+    let (_, cube) = paper_cube(2);
+    let s = cube.stats();
+    assert!(s.frequent_cells > 0);
+    assert!(s.cells_materialized > 0);
+    assert!(s.mining.total_frequent() > 0);
+    assert!(s.summary().contains("cells="));
+}

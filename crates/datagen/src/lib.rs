@@ -1,0 +1,10 @@
+//! Synthetic RFID path generation (paper §6.1): a Zipf-skewed retail
+//! supply-chain simulator producing [`flowcube_pathdb::PathDatabase`]s
+//! with configurable size, dimensionality, item density, and path density
+//! — the knobs behind every experiment in the paper's evaluation.
+
+pub mod gen;
+pub mod zipf;
+
+pub use gen::{build_schema, generate, to_readings, DimShape, Generated, GeneratorConfig};
+pub use zipf::Zipf;

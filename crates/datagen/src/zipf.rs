@@ -1,0 +1,121 @@
+//! Zipf-distributed sampling (paper §6.1: "values … are all drawn from a
+//! Zipf distribution with varying α to simulate different degrees of data
+//! skew").
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over `{0, …, n-1}`: `P(i) ∝ 1/(i+1)^α`.
+///
+/// `α = 0` degenerates to the uniform distribution. Sampling is a binary
+/// search over the precomputed CDF.
+///
+/// ```
+/// use flowcube_datagen::Zipf;
+/// let z = Zipf::new(3, 1.0); // weights 1, 1/2, 1/3
+/// assert!((z.probability(0) - 6.0 / 11.0).abs() < 1e-12);
+/// assert!(z.probability(0) > z.probability(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with skew `alpha`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "bad alpha {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against rounding: the last entry must be exactly 1.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of rank `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.probability(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_orders_probabilities() {
+        let z = Zipf::new(5, 1.5);
+        for i in 1..5 {
+            assert!(z.probability(i) < z.probability(i - 1));
+        }
+    }
+
+    #[test]
+    fn samples_cover_support_and_respect_skew() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 is the most frequent, and empirical ≈ theoretical.
+        assert!(counts[0] > counts[9]);
+        let p0 = counts[0] as f64 / 100_000.0;
+        assert!((p0 - z.probability(0)).abs() < 0.01);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.probability(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Structural comparison of two flowgraphs.
+//!
+//! The paper's introduction motivates queries like *"contrast path
+//! durations with historic flow information for the same region in
+//! 2005"*. [`diff`] walks the union of two flowgraphs and reports, per
+//! shared prefix, how much the transition and duration distributions
+//! moved — plus the prefixes that exist on only one side.
+
+use crate::graph::{FlowGraph, NodeId};
+use flowcube_hier::{ConceptHierarchy, ConceptId};
+use serde::{Deserialize, Serialize};
+
+/// Where a prefix exists.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Presence {
+    Both,
+    /// Only in the first ("current") graph — a new flow.
+    LeftOnly,
+    /// Only in the second ("historic") graph — a disappeared flow.
+    RightOnly,
+}
+
+/// Change record for one path prefix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeDelta {
+    pub prefix: Vec<ConceptId>,
+    pub presence: Presence,
+    /// L∞ shift of the transition distribution (0 when one side absent).
+    pub transition_deviation: f64,
+    /// L∞ shift of the duration distribution.
+    pub duration_deviation: f64,
+    /// Reach probability of the prefix on each side.
+    pub reach_left: f64,
+    pub reach_right: f64,
+}
+
+impl NodeDelta {
+    /// Severity used for ranking: the larger deviation weighted by the
+    /// larger reach (a big shift on a rare branch matters less).
+    pub fn severity(&self) -> f64 {
+        let dev = match self.presence {
+            Presence::Both => self.transition_deviation.max(self.duration_deviation),
+            _ => 1.0,
+        };
+        dev * self.reach_left.max(self.reach_right)
+    }
+}
+
+/// The full comparison result, sorted by descending severity.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FlowDiff {
+    pub deltas: Vec<NodeDelta>,
+}
+
+impl FlowDiff {
+    /// The `n` most severe changes.
+    pub fn top(&self, n: usize) -> &[NodeDelta] {
+        &self.deltas[..n.min(self.deltas.len())]
+    }
+
+    /// True when no prefix shifted by at least `epsilon` (and no branch
+    /// appeared/disappeared with meaningful reach).
+    pub fn is_stable(&self, epsilon: f64) -> bool {
+        self.deltas.iter().all(|d| d.severity() < epsilon)
+    }
+
+    /// Render with location names, one line per delta.
+    pub fn render(&self, hierarchy: &ConceptHierarchy, limit: usize) -> String {
+        let mut out = String::new();
+        for d in self.top(limit) {
+            let path: Vec<&str> = d.prefix.iter().map(|&c| hierarchy.name_of(c)).collect();
+            let tag = match d.presence {
+                Presence::Both => format!(
+                    "Δtrans={:.2} Δdur={:.2}",
+                    d.transition_deviation, d.duration_deviation
+                ),
+                Presence::LeftOnly => "NEW".to_string(),
+                Presence::RightOnly => "GONE".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<40} {} (reach {:.2} vs {:.2})\n",
+                path.join("→"),
+                tag,
+                d.reach_left,
+                d.reach_right
+            ));
+        }
+        out
+    }
+}
+
+/// Compare `left` (current) against `right` (historic), ignoring
+/// prefixes whose reach probability is below `min_reach` on both sides.
+pub fn diff(left: &FlowGraph, right: &FlowGraph, min_reach: f64) -> FlowDiff {
+    let mut deltas = Vec::new();
+    walk(left, right, NodeId::ROOT, Some(NodeId::ROOT), min_reach, &mut deltas);
+    // Right-only branches: walk right, reporting prefixes absent in left.
+    walk_right_only(left, right, NodeId::ROOT, min_reach, &mut deltas);
+    deltas.sort_by(|a, b| b.severity().total_cmp(&a.severity()));
+    FlowDiff { deltas }
+}
+
+fn walk(
+    left: &FlowGraph,
+    right: &FlowGraph,
+    ln: NodeId,
+    rn: Option<NodeId>,
+    min_reach: f64,
+    out: &mut Vec<NodeDelta>,
+) {
+    let reach_left = left.reach_probability(ln);
+    let reach_right = rn.map_or(0.0, |r| right.reach_probability(r));
+    if reach_left < min_reach && reach_right < min_reach {
+        return;
+    }
+    match rn {
+        Some(rn_id) => {
+            let trans_dev = left.transitions(ln).max_deviation(&right.transitions(rn_id));
+            let dur_dev = if ln == NodeId::ROOT {
+                0.0
+            } else {
+                left.durations(ln).max_deviation(right.durations(rn_id))
+            };
+            out.push(NodeDelta {
+                prefix: left.prefix_of(ln),
+                presence: Presence::Both,
+                transition_deviation: trans_dev,
+                duration_deviation: dur_dev,
+                reach_left,
+                reach_right,
+            });
+        }
+        None => {
+            out.push(NodeDelta {
+                prefix: left.prefix_of(ln),
+                presence: Presence::LeftOnly,
+                transition_deviation: 0.0,
+                duration_deviation: 0.0,
+                reach_left,
+                reach_right: 0.0,
+            });
+        }
+    }
+    for &c in left.children(ln) {
+        let loc = left.location(c);
+        let rc = rn.and_then(|r| right.child_at(r, loc));
+        walk(left, right, c, rc, min_reach, out);
+    }
+}
+
+fn walk_right_only(
+    left: &FlowGraph,
+    right: &FlowGraph,
+    rn: NodeId,
+    min_reach: f64,
+    out: &mut Vec<NodeDelta>,
+) {
+    for &rc in right.children(rn) {
+        let prefix = right.prefix_of(rc);
+        if left.node_by_prefix(&prefix).is_none() {
+            let reach_right = right.reach_probability(rc);
+            if reach_right >= min_reach {
+                out.push(NodeDelta {
+                    prefix,
+                    presence: Presence::RightOnly,
+                    transition_deviation: 0.0,
+                    duration_deviation: 0.0,
+                    reach_left: 0.0,
+                    reach_right,
+                });
+            }
+            // children of a missing prefix are missing too; don't spam
+            continue;
+        }
+        walk_right_only(left, right, rc, min_reach, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcube_pathdb::AggStage;
+
+    fn path(locs: &[(u32, u32)]) -> Vec<AggStage> {
+        locs.iter()
+            .map(|&(l, d)| AggStage {
+                loc: ConceptId(l),
+                dur: Some(d),
+            })
+            .collect()
+    }
+
+    fn graph(paths: &[Vec<AggStage>]) -> FlowGraph {
+        FlowGraph::build(paths.iter().map(|p| p.as_slice()))
+    }
+
+    #[test]
+    fn identical_graphs_are_stable() {
+        let g = graph(&[path(&[(1, 2), (2, 3)]), path(&[(1, 2), (3, 1)])]);
+        let d = diff(&g, &g, 0.0);
+        assert!(d.is_stable(1e-9));
+        assert!(d.deltas.iter().all(|x| x.presence == Presence::Both));
+    }
+
+    #[test]
+    fn transition_shift_detected_and_ranked() {
+        let old = graph(&[
+            path(&[(1, 1), (2, 1)]),
+            path(&[(1, 1), (2, 1)]),
+            path(&[(1, 1), (3, 1)]),
+            path(&[(1, 1), (3, 1)]),
+        ]);
+        let new = graph(&[
+            path(&[(1, 1), (2, 1)]),
+            path(&[(1, 1), (2, 1)]),
+            path(&[(1, 1), (2, 1)]),
+            path(&[(1, 1), (3, 1)]),
+        ]);
+        let d = diff(&new, &old, 0.0);
+        assert!(!d.is_stable(0.1));
+        // The node "1" has the biggest shift: transitions 50/50 → 75/25.
+        let top = &d.top(1)[0];
+        assert_eq!(top.prefix, vec![ConceptId(1)]);
+        assert!((top.transition_deviation - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_and_gone_branches() {
+        let old = graph(&[path(&[(1, 1), (2, 1)])]);
+        let new = graph(&[path(&[(1, 1), (9, 1)])]);
+        let d = diff(&new, &old, 0.0);
+        let new_branch = d
+            .deltas
+            .iter()
+            .find(|x| x.presence == Presence::LeftOnly)
+            .expect("new branch");
+        assert_eq!(new_branch.prefix, vec![ConceptId(1), ConceptId(9)]);
+        let gone = d
+            .deltas
+            .iter()
+            .find(|x| x.presence == Presence::RightOnly)
+            .expect("gone branch");
+        assert_eq!(gone.prefix, vec![ConceptId(1), ConceptId(2)]);
+    }
+
+    #[test]
+    fn min_reach_filters_rare_branches() {
+        let mut paths: Vec<_> = (0..99).map(|_| path(&[(1, 1), (2, 1)])).collect();
+        paths.push(path(&[(1, 1), (7, 1)])); // 1% branch
+        let a = graph(&paths);
+        let b = graph(&paths[..99]);
+        let filtered = diff(&a, &b, 0.05);
+        assert!(filtered
+            .deltas
+            .iter()
+            .all(|d| d.prefix != vec![ConceptId(1), ConceptId(7)]));
+        let full = diff(&a, &b, 0.0);
+        assert!(full
+            .deltas
+            .iter()
+            .any(|d| d.prefix == vec![ConceptId(1), ConceptId(7)]));
+    }
+
+    #[test]
+    fn render_names() {
+        let mut h = ConceptHierarchy::new("location");
+        let a = h.add(ConceptId::ROOT, "alpha").unwrap();
+        let b = h.add(ConceptId::ROOT, "beta").unwrap();
+        let old = graph(&[path(&[(a.0, 1), (b.0, 1)])]);
+        let new = graph(&[path(&[(a.0, 2), (b.0, 1)])]);
+        let d = diff(&new, &old, 0.0);
+        let s = d.render(&h, 10);
+        assert!(s.contains("alpha"), "{s}");
+    }
+}

@@ -1,0 +1,462 @@
+//! The flowgraph structure (paper §3, Definition 3.1).
+//!
+//! A flowgraph is a prefix tree over paths: every node corresponds to a
+//! unique path prefix, and carries a duration distribution, transition
+//! counts to its children, and a termination count. Exceptions (the `X`
+//! component of Definition 3.1) live in [`crate::exception`].
+
+use crate::dist::CountDist;
+use flowcube_hier::{ConceptHierarchy, ConceptId, DurValue};
+use flowcube_pathdb::AggStage;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Node index within one [`FlowGraph`]. `NodeId::ROOT` is the virtual
+/// start node shared by all paths.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub const ROOT: NodeId = NodeId(0);
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Node {
+    /// Location of this node. Meaningless for the root.
+    loc: ConceptId,
+    parent: NodeId,
+    children: Vec<NodeId>,
+    /// Number of paths passing through (or ending at) this node.
+    count: u64,
+    /// Number of paths terminating exactly here.
+    terminate: u64,
+    /// Distribution of durations spent at this node.
+    durations: CountDist<DurValue>,
+}
+
+/// A tree-shaped probabilistic workflow summarizing a set of paths.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowGraph {
+    nodes: Vec<Node>,
+    total_paths: u64,
+}
+
+impl Default for FlowGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowGraph {
+    /// An empty flowgraph (just the virtual root).
+    pub fn new() -> Self {
+        FlowGraph {
+            nodes: vec![Node {
+                loc: ConceptId::ROOT,
+                parent: NodeId::ROOT,
+                children: Vec::new(),
+                count: 0,
+                terminate: 0,
+                durations: CountDist::new(),
+            }],
+            total_paths: 0,
+        }
+    }
+
+    /// Build a flowgraph from aggregated paths (one scan — steps (1) and
+    /// (2) of the paper's flowgraph computation).
+    ///
+    /// ```
+    /// use flowcube_flowgraph::FlowGraph;
+    /// use flowcube_pathdb::AggStage;
+    /// use flowcube_hier::ConceptId;
+    ///
+    /// let path = vec![
+    ///     AggStage { loc: ConceptId(1), dur: Some(4) },
+    ///     AggStage { loc: ConceptId(2), dur: Some(1) },
+    /// ];
+    /// let g = FlowGraph::build([path.as_slice()]);
+    /// assert_eq!(g.total_paths(), 1);
+    /// let n = g.node_by_prefix(&[ConceptId(1)]).unwrap();
+    /// assert_eq!(g.durations(n).probability(Some(4)), 1.0);
+    /// ```
+    pub fn build<'a>(paths: impl IntoIterator<Item = &'a [AggStage]>) -> Self {
+        let mut g = FlowGraph::new();
+        for p in paths {
+            g.insert_path(p);
+        }
+        g
+    }
+
+    /// Insert one aggregated path, updating all counts along its prefix.
+    pub fn insert_path(&mut self, path: &[AggStage]) {
+        self.total_paths += 1;
+        self.nodes[0].count += 1;
+        if path.is_empty() {
+            self.nodes[0].terminate += 1;
+            return;
+        }
+        let mut cur = NodeId::ROOT;
+        for stage in path {
+            let child = self.child_at(cur, stage.loc).unwrap_or_else(|| {
+                let id = NodeId(self.nodes.len() as u32);
+                self.nodes.push(Node {
+                    loc: stage.loc,
+                    parent: cur,
+                    children: Vec::new(),
+                    count: 0,
+                    terminate: 0,
+                    durations: CountDist::new(),
+                });
+                let idx = cur.index();
+                self.nodes[idx].children.push(id);
+                id
+            });
+            let node = &mut self.nodes[child.index()];
+            node.count += 1;
+            node.durations.add(stage.dur);
+            cur = child;
+        }
+        self.nodes[cur.index()].terminate += 1;
+    }
+
+    /// Total paths summarized.
+    pub fn total_paths(&self) -> u64 {
+        self.total_paths
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total_paths == 0
+    }
+
+    /// The child of `n` labelled `loc`, if present.
+    pub fn child_at(&self, n: NodeId, loc: ConceptId) -> Option<NodeId> {
+        self.nodes[n.index()]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c.index()].loc == loc)
+    }
+
+    /// Children of `n`.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n.index()].children
+    }
+
+    /// Parent of `n` (the root is its own parent).
+    pub fn parent(&self, n: NodeId) -> NodeId {
+        self.nodes[n.index()].parent
+    }
+
+    /// Location labelling `n`.
+    pub fn location(&self, n: NodeId) -> ConceptId {
+        self.nodes[n.index()].loc
+    }
+
+    /// Paths passing through `n`.
+    pub fn count(&self, n: NodeId) -> u64 {
+        self.nodes[n.index()].count
+    }
+
+    /// Paths terminating at `n`.
+    pub fn terminate_count(&self, n: NodeId) -> u64 {
+        self.nodes[n.index()].terminate
+    }
+
+    /// Duration counts observed at `n`.
+    pub fn durations(&self, n: NodeId) -> &CountDist<DurValue> {
+        &self.nodes[n.index()].durations
+    }
+
+    /// The transition distribution at `n`, keyed by the next location
+    /// (`None` = terminate). Derived from child counts on demand.
+    pub fn transitions(&self, n: NodeId) -> CountDist<Option<ConceptId>> {
+        let node = &self.nodes[n.index()];
+        let mut d = CountDist::new();
+        if node.terminate > 0 {
+            d.add_n(None, node.terminate);
+        }
+        for &c in &node.children {
+            let child = &self.nodes[c.index()];
+            d.add_n(Some(child.loc), child.count);
+        }
+        d
+    }
+
+    /// Probability that a random path reaches `n`.
+    pub fn reach_probability(&self, n: NodeId) -> f64 {
+        if self.total_paths == 0 {
+            0.0
+        } else {
+            self.nodes[n.index()].count as f64 / self.total_paths as f64
+        }
+    }
+
+    /// Locate the node for a location-sequence prefix.
+    pub fn node_by_prefix(&self, prefix: &[ConceptId]) -> Option<NodeId> {
+        let mut cur = NodeId::ROOT;
+        for &loc in prefix {
+            cur = self.child_at(cur, loc)?;
+        }
+        Some(cur)
+    }
+
+    /// The location sequence from the root down to `n` (exclusive of the
+    /// virtual root).
+    pub fn prefix_of(&self, n: NodeId) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        let mut cur = n;
+        while cur != NodeId::ROOT {
+            out.push(self.nodes[cur.index()].loc);
+            cur = self.nodes[cur.index()].parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// The chain of nodes from the first stage down to `n` inclusive.
+    pub fn branch_of(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = n;
+        while cur != NodeId::ROOT {
+            out.push(cur);
+            cur = self.nodes[cur.index()].parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// All node ids, root first, in creation order (parents precede
+    /// children).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Merge `other` into `self` by summing counts on matching prefixes
+    /// (Lemma 4.2: the distribution component is algebraic, so a
+    /// higher-level flowgraph can be assembled from materialized
+    /// lower-level ones without revisiting the path database).
+    pub fn merge(&mut self, other: &FlowGraph) {
+        self.total_paths += other.total_paths;
+        self.merge_node(NodeId::ROOT, other, NodeId::ROOT);
+    }
+
+    fn merge_node(&mut self, mine: NodeId, other: &FlowGraph, theirs: NodeId) {
+        {
+            let o = &other.nodes[theirs.index()];
+            let m = &mut self.nodes[mine.index()];
+            m.count += o.count;
+            m.terminate += o.terminate;
+            m.durations.merge(&o.durations);
+        }
+        for &oc in &other.nodes[theirs.index()].children {
+            let loc = other.nodes[oc.index()].loc;
+            let mc = self.child_at(mine, loc).unwrap_or_else(|| {
+                let id = NodeId(self.nodes.len() as u32);
+                self.nodes.push(Node {
+                    loc,
+                    parent: mine,
+                    children: Vec::new(),
+                    count: 0,
+                    terminate: 0,
+                    durations: CountDist::new(),
+                });
+                let idx = mine.index();
+                self.nodes[idx].children.push(id);
+                id
+            });
+            self.merge_node(mc, other, oc);
+        }
+    }
+
+    /// Pretty-print in the style of Figure 3, resolving location names via
+    /// `hierarchy`.
+    pub fn render(&self, hierarchy: &ConceptHierarchy) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "flowgraph over {} paths", self.total_paths);
+        self.render_node(hierarchy, NodeId::ROOT, 0, &mut out);
+        out
+    }
+
+    fn render_node(
+        &self,
+        hierarchy: &ConceptHierarchy,
+        n: NodeId,
+        depth: usize,
+        out: &mut String,
+    ) {
+        let node = &self.nodes[n.index()];
+        if n != NodeId::ROOT {
+            let indent = "  ".repeat(depth);
+            let trans_p = if self.nodes[node.parent.index()].count > 0 {
+                node.count as f64 / self.nodes[node.parent.index()].count as f64
+            } else {
+                0.0
+            };
+            let durs: Vec<String> = node
+                .durations
+                .probabilities()
+                .map(|(d, p)| match d {
+                    Some(v) => format!("{v}:{p:.2}"),
+                    None => format!("*:{p:.2}"),
+                })
+                .collect();
+            let term = if node.count > 0 {
+                node.terminate as f64 / node.count as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{indent}{} p={trans_p:.2} dur[{}] term={term:.2}",
+                hierarchy.name_of(node.loc),
+                durs.join(" ")
+            );
+        }
+        for &c in &node.children {
+            self.render_node(hierarchy, c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcube_hier::{DurationLevel, LocationCut, PathLevel};
+    use flowcube_pathdb::{aggregate_stages, samples, MergePolicy};
+
+    /// Aggregate Table 1 at the leaf level and build the Figure 3
+    /// flowgraph.
+    fn figure3_graph() -> (FlowGraph, flowcube_hier::Schema) {
+        let db = samples::paper_table1();
+        let loc = db.schema().locations();
+        let level = PathLevel::new(
+            "leaf",
+            LocationCut::uniform_level(loc, loc.max_level()),
+            DurationLevel::Raw,
+        );
+        let paths: Vec<Vec<AggStage>> = db
+            .records()
+            .iter()
+            .map(|r| aggregate_stages(&r.stages, &level, MergePolicy::Sum).unwrap())
+            .collect();
+        let g = FlowGraph::build(paths.iter().map(|p| p.as_slice()));
+        let schema = db.into_parts().0;
+        (g, schema)
+    }
+
+    #[test]
+    fn figure3_factory_node_distributions() {
+        let (g, schema) = figure3_graph();
+        let loc = schema.locations();
+        let f = loc.id_of("factory").unwrap();
+        let node = g.node_by_prefix(&[f]).unwrap();
+        // Paper Figure 3: factory duration 5 : 0.38, 10 : 0.62;
+        // transitions dist_center 0.65 ≈ 5/8, truck 0.35 ≈ 3/8.
+        assert_eq!(g.count(node), 8);
+        let d = g.durations(node);
+        assert!((d.probability(Some(5)) - 3.0 / 8.0).abs() < 1e-9);
+        assert!((d.probability(Some(10)) - 5.0 / 8.0).abs() < 1e-9);
+        let t = g.transitions(node);
+        let dc = loc.id_of("dist_center").unwrap();
+        let tr = loc.id_of("truck").unwrap();
+        assert!((t.probability(Some(dc)) - 5.0 / 8.0).abs() < 1e-9);
+        assert!((t.probability(Some(tr)) - 3.0 / 8.0).abs() < 1e-9);
+        assert_eq!(t.probability(None), 0.0);
+    }
+
+    #[test]
+    fn figure3_truck_to_warehouse_branch() {
+        let (g, schema) = figure3_graph();
+        let loc = schema.locations();
+        let f = loc.id_of("factory").unwrap();
+        let t = loc.id_of("truck").unwrap();
+        let w = loc.id_of("warehouse").unwrap();
+        let s = loc.id_of("shelf").unwrap();
+        // factory → truck splits: shelf 2/3, warehouse 1/3 (records 4,5,6)
+        let ft = g.node_by_prefix(&[f, t]).unwrap();
+        assert_eq!(g.count(ft), 3);
+        let trans = g.transitions(ft);
+        assert!((trans.probability(Some(s)) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((trans.probability(Some(w)) - 1.0 / 3.0).abs() < 1e-9);
+        // warehouse terminates
+        let ftw = g.node_by_prefix(&[f, t, w]).unwrap();
+        assert_eq!(g.terminate_count(ftw), 1);
+        assert_eq!(g.transitions(ftw).probability(None), 1.0);
+    }
+
+    #[test]
+    fn prefix_and_branch_navigation() {
+        let (g, schema) = figure3_graph();
+        let loc = schema.locations();
+        let f = loc.id_of("factory").unwrap();
+        let d = loc.id_of("dist_center").unwrap();
+        let t = loc.id_of("truck").unwrap();
+        let n = g.node_by_prefix(&[f, d, t]).unwrap();
+        assert_eq!(g.prefix_of(n), vec![f, d, t]);
+        assert_eq!(g.branch_of(n).len(), 3);
+        assert!(g.node_by_prefix(&[d]).is_none());
+        assert_eq!(g.node_by_prefix(&[]), Some(NodeId::ROOT));
+    }
+
+    #[test]
+    fn reach_probability_sums() {
+        let (g, _) = figure3_graph();
+        assert_eq!(g.reach_probability(NodeId::ROOT), 1.0);
+        // All level-1 children partition the paths
+        let total: f64 = g
+            .children(NodeId::ROOT)
+            .iter()
+            .map(|&c| g.reach_probability(c))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_union_build() {
+        let db = samples::paper_table1();
+        let loc = db.schema().locations();
+        let level = PathLevel::new(
+            "leaf",
+            LocationCut::uniform_level(loc, loc.max_level()),
+            DurationLevel::Raw,
+        );
+        let paths: Vec<Vec<AggStage>> = db
+            .records()
+            .iter()
+            .map(|r| aggregate_stages(&r.stages, &level, MergePolicy::Sum).unwrap())
+            .collect();
+        let full = FlowGraph::build(paths.iter().map(|p| p.as_slice()));
+        let mut left = FlowGraph::build(paths[..4].iter().map(|p| p.as_slice()));
+        let right = FlowGraph::build(paths[4..].iter().map(|p| p.as_slice()));
+        left.merge(&right);
+        assert_eq!(left.total_paths(), full.total_paths());
+        assert_eq!(left.len(), full.len());
+        // every prefix agrees on counts and duration distributions
+        for n in full.node_ids() {
+            let prefix = full.prefix_of(n);
+            let m = left.node_by_prefix(&prefix).unwrap();
+            assert_eq!(left.count(m), full.count(n));
+            assert_eq!(left.terminate_count(m), full.terminate_count(n));
+            assert_eq!(left.durations(m), full.durations(n));
+        }
+    }
+
+    #[test]
+    fn render_smoke() {
+        let (g, schema) = figure3_graph();
+        let s = g.render(schema.locations());
+        assert!(s.contains("factory"));
+        assert!(s.contains("warehouse"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Query operations on flowgraphs: path scoring, top-k likely paths, and
+//! exception-aware next-hop prediction.
+//!
+//! A flowgraph *is* a probabilistic model of paths (a tree-shaped PDFA);
+//! these helpers expose it as one. `predict_next` additionally overlays
+//! the cell's mined exceptions — the whole point of storing them: "items
+//! that stay for more than 1 week in the factory … move to the warehouse
+//! with probability 90%".
+
+use crate::dist::CountDist;
+use crate::exception::{Exception, ExceptionDetail};
+use crate::graph::{FlowGraph, NodeId};
+use flowcube_hier::ConceptId;
+use flowcube_pathdb::AggStage;
+
+/// Probability that a random path of the graph is exactly `path`
+/// (locations and — when the graph stores them — durations).
+///
+/// Durations in `path` with `None` skip the duration factor.
+pub fn path_probability(graph: &FlowGraph, path: &[AggStage]) -> f64 {
+    let mut p = 1.0;
+    let mut cur = NodeId::ROOT;
+    for stage in path {
+        let trans = graph.transitions(cur);
+        p *= trans.probability(Some(stage.loc));
+        if p == 0.0 {
+            return 0.0;
+        }
+        cur = graph
+            .child_at(cur, stage.loc)
+            .expect("transition probability was nonzero");
+        if stage.dur.is_some() {
+            p *= graph.durations(cur).probability(stage.dur);
+        }
+        if p == 0.0 {
+            return 0.0;
+        }
+    }
+    // Terminate here.
+    p * graph.transitions(cur).probability(None)
+}
+
+/// A complete location path with its probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoredPath {
+    pub locations: Vec<ConceptId>,
+    pub probability: f64,
+}
+
+/// The `k` most probable complete paths (marginalizing durations).
+///
+/// Exact: enumerates root-to-termination routes of the prefix tree and
+/// keeps the top `k` by probability mass (`terminate_count / total`).
+pub fn top_k_paths(graph: &FlowGraph, k: usize) -> Vec<ScoredPath> {
+    let total = graph.total_paths();
+    if total == 0 || k == 0 {
+        return Vec::new();
+    }
+    let mut out: Vec<ScoredPath> = Vec::new();
+    for n in graph.node_ids() {
+        let t = graph.terminate_count(n);
+        if t > 0 && n != NodeId::ROOT {
+            out.push(ScoredPath {
+                locations: graph.prefix_of(n),
+                probability: t as f64 / total as f64,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.probability
+            .total_cmp(&a.probability)
+            .then_with(|| a.locations.cmp(&b.locations))
+    });
+    out.truncate(k);
+    out
+}
+
+/// Next-hop prediction for an observed partial path, overlaying any
+/// matching exceptions.
+///
+/// `observed` is the `(location, duration)` prefix seen so far; the
+/// returned distribution is over the next location (`None` =
+/// terminates). When one or more exceptions' conditions are satisfied by
+/// the prefix and target the current node, the most specific (longest
+/// condition, then highest deviation) one's observed distribution
+/// replaces the unconditional one.
+pub fn predict_next(
+    graph: &FlowGraph,
+    exceptions: &[Exception],
+    observed: &[AggStage],
+) -> Option<CountDist<Option<ConceptId>>> {
+    // Walk to the current node, tracking the node chain for condition
+    // matching.
+    let mut chain: Vec<(NodeId, Option<u32>)> = Vec::with_capacity(observed.len());
+    let mut cur = NodeId::ROOT;
+    for s in observed {
+        cur = graph.child_at(cur, s.loc)?;
+        chain.push((cur, s.dur));
+    }
+    let mut best: Option<&Exception> = None;
+    for e in exceptions {
+        if e.node != cur {
+            continue;
+        }
+        let ExceptionDetail::Transition { .. } = e.detail else {
+            continue;
+        };
+        let satisfied = e.condition.iter().all(|&(n, d)| {
+            chain
+                .iter()
+                .any(|&(cn, cd)| cn == n && cd == Some(d))
+        });
+        if !satisfied {
+            continue;
+        }
+        best = match best {
+            None => Some(e),
+            Some(prev)
+                if (e.condition.len(), e.deviation)
+                    > (prev.condition.len(), prev.deviation) =>
+            {
+                Some(e)
+            }
+            keep => keep,
+        };
+    }
+    match best {
+        Some(e) => {
+            let ExceptionDetail::Transition { observed } = &e.detail else {
+                unreachable!("filtered to transition exceptions")
+            };
+            Some(observed.clone())
+        }
+        None => Some(graph.transitions(cur)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exception::{mine_exceptions, ExceptionParams};
+
+    fn stage(l: u32, d: u32) -> AggStage {
+        AggStage {
+            loc: ConceptId(l),
+            dur: Some(d),
+        }
+    }
+
+    /// 4 paths a(1)→b, 4 paths a(9)→c.
+    fn biased() -> (FlowGraph, Vec<Vec<AggStage>>) {
+        let mut paths = Vec::new();
+        for _ in 0..4 {
+            paths.push(vec![stage(1, 1), stage(2, 1)]);
+        }
+        for _ in 0..4 {
+            paths.push(vec![stage(1, 9), stage(3, 1)]);
+        }
+        let g = FlowGraph::build(paths.iter().map(|p| p.as_slice()));
+        (g, paths)
+    }
+
+    #[test]
+    fn path_probability_factorizes() {
+        let (g, _) = biased();
+        // P(a→b with durations 1,1) = P(a)·P(dur 1|a)·P(b|a)·P(dur 1|b)·P(term|b)
+        //                           = 1 · 0.5 · 0.5 · 1 · 1 = 0.25
+        let p = path_probability(&g, &[stage(1, 1), stage(2, 1)]);
+        assert!((p - 0.25).abs() < 1e-9, "{p}");
+        // Unknown location → 0.
+        assert_eq!(path_probability(&g, &[stage(7, 1)]), 0.0);
+        // Wrong duration → 0.
+        assert_eq!(path_probability(&g, &[stage(1, 5)]), 0.0);
+        // Duration-agnostic query: marginalize durations out.
+        let p = path_probability(
+            &g,
+            &[
+                AggStage {
+                    loc: ConceptId(1),
+                    dur: None,
+                },
+                AggStage {
+                    loc: ConceptId(2),
+                    dur: None,
+                },
+            ],
+        );
+        assert!((p - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_orders_by_mass() {
+        let mut paths = vec![vec![stage(1, 1)]; 3];
+        paths.push(vec![stage(1, 1), stage(2, 1)]);
+        let g = FlowGraph::build(paths.iter().map(|p| p.as_slice()));
+        let top = top_k_paths(&g, 5);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].locations, vec![ConceptId(1)]);
+        assert!((top[0].probability - 0.75).abs() < 1e-9);
+        assert_eq!(top[1].locations, vec![ConceptId(1), ConceptId(2)]);
+        // truncation
+        assert_eq!(top_k_paths(&g, 1).len(), 1);
+        assert!(top_k_paths(&FlowGraph::new(), 3).is_empty());
+    }
+
+    #[test]
+    fn predict_uses_exception_when_condition_matches() {
+        let (g, paths) = biased();
+        let exceptions = mine_exceptions(
+            &g,
+            &paths,
+            &ExceptionParams {
+                min_support: 3,
+                min_deviation: 0.3,
+            },
+        );
+        assert!(!exceptions.is_empty());
+        // Unconditional: after a, next is b or c 50/50.
+        let base = predict_next(&g, &[], &[stage(1, 9)]).unwrap();
+        assert!((base.probability(Some(ConceptId(2))) - 0.5).abs() < 1e-9);
+        // With exceptions: duration 9 at a ⇒ c with certainty.
+        let cond = predict_next(&g, &exceptions, &[stage(1, 9)]).unwrap();
+        assert_eq!(cond.probability(Some(ConceptId(3))), 1.0);
+        // Duration 1 at a ⇒ b with certainty.
+        let cond = predict_next(&g, &exceptions, &[stage(1, 1)]).unwrap();
+        assert_eq!(cond.probability(Some(ConceptId(2))), 1.0);
+        // Unknown prefix → None.
+        assert!(predict_next(&g, &exceptions, &[stage(9, 1)]).is_none());
+    }
+}

@@ -1,0 +1,381 @@
+//! Concept hierarchies: trees of *is-a* relationships over dimension values.
+//!
+//! A concept hierarchy (paper §4.1) is a tree whose leaves are the most
+//! specific concepts ("jacket", a particular store shelf) and whose apex is
+//! the any-value concept `*`. The *level* of a concept is its depth in the
+//! tree; the apex is level 0.
+//!
+//! Hierarchies are append-only arenas: concepts are interned once and
+//! referred to by dense [`ConceptId`]s, so the hot aggregation paths are a
+//! couple of array lookups.
+
+use crate::fx::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of a concept within one [`ConceptHierarchy`].
+///
+/// Ids are only meaningful relative to the hierarchy that produced them.
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize, Default,
+)]
+pub struct ConceptId(pub u32);
+
+impl ConceptId {
+    /// The apex concept `*` of every hierarchy.
+    pub const ROOT: ConceptId = ConceptId(0);
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Errors raised while building or querying a hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// The referenced parent id does not exist.
+    NoSuchConcept(ConceptId),
+    /// A concept with this name already exists in the hierarchy.
+    DuplicateName(String),
+    /// The name is not registered.
+    UnknownName(String),
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::NoSuchConcept(c) => write!(f, "no such concept: {c}"),
+            HierarchyError::DuplicateName(n) => write!(f, "duplicate concept name: {n:?}"),
+            HierarchyError::UnknownName(n) => write!(f, "unknown concept name: {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+/// A tree of concepts with an interned name table.
+///
+/// Invariants maintained by construction:
+/// * node 0 is the apex `*` and is its own parent;
+/// * `level_of(child) == level_of(parent) + 1`;
+/// * names are unique within the hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConceptHierarchy {
+    name: String,
+    names: Vec<String>,
+    parent: Vec<ConceptId>,
+    level: Vec<u8>,
+    children: Vec<Vec<ConceptId>>,
+    #[serde(skip)]
+    by_name: FxHashMap<String, ConceptId>,
+    max_level: u8,
+}
+
+impl ConceptHierarchy {
+    /// Create a hierarchy containing only the apex concept `*`.
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut by_name = FxHashMap::default();
+        by_name.insert("*".to_string(), ConceptId::ROOT);
+        ConceptHierarchy {
+            name: name.into(),
+            names: vec!["*".to_string()],
+            parent: vec![ConceptId::ROOT],
+            level: vec![0],
+            children: vec![Vec::new()],
+            by_name,
+            max_level: 0,
+        }
+    }
+
+    /// The dimension name this hierarchy describes (e.g. `"product"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of concepts, including the apex.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when only the apex exists.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() == 1
+    }
+
+    /// Deepest level present in the hierarchy (apex = 0).
+    pub fn max_level(&self) -> u8 {
+        self.max_level
+    }
+
+    /// Add `name` as a child of `parent`, returning its id.
+    pub fn add(
+        &mut self,
+        parent: ConceptId,
+        name: impl Into<String>,
+    ) -> Result<ConceptId, HierarchyError> {
+        let name = name.into();
+        if parent.index() >= self.names.len() {
+            return Err(HierarchyError::NoSuchConcept(parent));
+        }
+        if self.by_name.contains_key(&name) {
+            return Err(HierarchyError::DuplicateName(name));
+        }
+        let id = ConceptId(self.names.len() as u32);
+        let level = self.level[parent.index()] + 1;
+        self.names.push(name.clone());
+        self.parent.push(parent);
+        self.level.push(level);
+        self.children.push(Vec::new());
+        self.children[parent.index()].push(id);
+        self.by_name.insert(name, id);
+        self.max_level = self.max_level.max(level);
+        Ok(id)
+    }
+
+    /// Convenience: add a whole chain of children under the apex, returning
+    /// the id of the last (deepest) one. Intermediate names that already
+    /// exist are reused, so `add_path(["clothing","outerwear","jacket"])`
+    /// then `add_path(["clothing","outerwear","shirt"])` share the prefix.
+    pub fn add_path<I, S>(&mut self, path: I) -> Result<ConceptId, HierarchyError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut cur = ConceptId::ROOT;
+        for seg in path {
+            let seg = seg.into();
+            cur = match self.by_name.get(&seg) {
+                Some(&existing) => {
+                    if self.parent[existing.index()] != cur {
+                        return Err(HierarchyError::DuplicateName(seg));
+                    }
+                    existing
+                }
+                None => self.add(cur, seg)?,
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Look a concept up by name.
+    pub fn id_of(&self, name: &str) -> Result<ConceptId, HierarchyError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| HierarchyError::UnknownName(name.to_string()))
+    }
+
+    /// The concept's display name.
+    pub fn name_of(&self, c: ConceptId) -> &str {
+        &self.names[c.index()]
+    }
+
+    /// Depth of `c` (apex = 0).
+    #[inline]
+    pub fn level_of(&self, c: ConceptId) -> u8 {
+        self.level[c.index()]
+    }
+
+    /// Immediate parent (the apex is its own parent).
+    #[inline]
+    pub fn parent_of(&self, c: ConceptId) -> ConceptId {
+        self.parent[c.index()]
+    }
+
+    /// Immediate children.
+    pub fn children_of(&self, c: ConceptId) -> &[ConceptId] {
+        &self.children[c.index()]
+    }
+
+    /// The ancestor of `c` located at `level`. If `c` is already at or
+    /// above `level`, `c` itself is returned (aggregation never refines).
+    #[inline]
+    pub fn ancestor_at_level(&self, c: ConceptId, level: u8) -> ConceptId {
+        let mut cur = c;
+        while self.level[cur.index()] > level {
+            cur = self.parent[cur.index()];
+        }
+        cur
+    }
+
+    /// True iff `a` is an ancestor of `b` (strictly; a concept is not its
+    /// own ancestor).
+    pub fn is_ancestor(&self, a: ConceptId, b: ConceptId) -> bool {
+        if self.level[a.index()] >= self.level[b.index()] {
+            return false;
+        }
+        self.ancestor_at_level(b, self.level[a.index()]) == a
+    }
+
+    /// `a` equals `b` or is an ancestor of `b`.
+    pub fn is_ancestor_or_self(&self, a: ConceptId, b: ConceptId) -> bool {
+        a == b || self.is_ancestor(a, b)
+    }
+
+    /// All concepts at exactly `level`.
+    pub fn concepts_at_level(&self, level: u8) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.names.len() as u32)
+            .map(ConceptId)
+            .filter(move |c| self.level[c.index()] == level)
+    }
+
+    /// All leaf concepts (no children).
+    pub fn leaves(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.names.len() as u32)
+            .map(ConceptId)
+            .filter(move |c| self.children[c.index()].is_empty() && *c != ConceptId::ROOT)
+    }
+
+    /// All concepts, apex first, in insertion (topological) order.
+    pub fn iter(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.names.len() as u32).map(ConceptId)
+    }
+
+    /// Chain of ancestors of `c` from level 1 down to `c` itself
+    /// (the apex is omitted: its support always equals the database size,
+    /// pruning rule 3 of §5).
+    pub fn ancestry(&self, c: ConceptId) -> Vec<ConceptId> {
+        let mut chain = Vec::with_capacity(self.level[c.index()] as usize);
+        let mut cur = c;
+        while cur != ConceptId::ROOT {
+            chain.push(cur);
+            cur = self.parent[cur.index()];
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Hierarchy-digit code in the style of the paper's `"112"` encoding:
+    /// the 1-based index of each ancestor among its siblings, concatenated
+    /// from level 1 down to `c`.
+    pub fn digit_code(&self, c: ConceptId) -> String {
+        let mut code = String::new();
+        for node in self.ancestry(c) {
+            let parent = self.parent[node.index()];
+            let pos = self.children[parent.index()]
+                .iter()
+                .position(|&x| x == node)
+                .expect("child must be registered under its parent")
+                + 1;
+            code.push_str(&pos.to_string());
+        }
+        code
+    }
+
+    /// Rebuild the name index after deserialization (serde skips it).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), ConceptId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product_hierarchy() -> ConceptHierarchy {
+        // clothing -> {outerwear -> {shirt, jacket}, shoes -> {tennis, sandals}}
+        let mut h = ConceptHierarchy::new("product");
+        h.add_path(["clothing", "outerwear", "shirt"]).unwrap();
+        h.add_path(["clothing", "outerwear", "jacket"]).unwrap();
+        h.add_path(["clothing", "shoes", "tennis"]).unwrap();
+        h.add_path(["clothing", "shoes", "sandals"]).unwrap();
+        h
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let h = product_hierarchy();
+        assert_eq!(h.len(), 8); // * + clothing + 2 types + 4 items
+        assert_eq!(h.max_level(), 3);
+        let jacket = h.id_of("jacket").unwrap();
+        assert_eq!(h.name_of(jacket), "jacket");
+        assert_eq!(h.level_of(jacket), 3);
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let h = product_hierarchy();
+        let jacket = h.id_of("jacket").unwrap();
+        let outerwear = h.id_of("outerwear").unwrap();
+        let shoes = h.id_of("shoes").unwrap();
+        assert_eq!(h.ancestor_at_level(jacket, 2), outerwear);
+        assert_eq!(h.ancestor_at_level(jacket, 0), ConceptId::ROOT);
+        assert!(h.is_ancestor(outerwear, jacket));
+        assert!(!h.is_ancestor(shoes, jacket));
+        assert!(!h.is_ancestor(jacket, jacket));
+        assert!(h.is_ancestor_or_self(jacket, jacket));
+        // Aggregating above a node's own level keeps the node.
+        assert_eq!(h.ancestor_at_level(outerwear, 3), outerwear);
+    }
+
+    #[test]
+    fn digit_codes_match_paper_style() {
+        // Paper: "jacket" encoded as 112 (dimension digit omitted here):
+        // first child of clothing's children is outerwear? order of insert:
+        // clothing(1) -> outerwear(1) -> shirt(1), jacket(2)
+        let h = product_hierarchy();
+        assert_eq!(h.digit_code(h.id_of("shirt").unwrap()), "111");
+        assert_eq!(h.digit_code(h.id_of("jacket").unwrap()), "112");
+        assert_eq!(h.digit_code(h.id_of("tennis").unwrap()), "121");
+        assert_eq!(h.digit_code(h.id_of("sandals").unwrap()), "122");
+        assert_eq!(h.digit_code(ConceptId::ROOT), "");
+    }
+
+    #[test]
+    fn ancestry_excludes_root() {
+        let h = product_hierarchy();
+        let jacket = h.id_of("jacket").unwrap();
+        let chain: Vec<&str> = h.ancestry(jacket).iter().map(|&c| h.name_of(c)).collect();
+        assert_eq!(chain, ["clothing", "outerwear", "jacket"]);
+    }
+
+    #[test]
+    fn leaves_and_levels() {
+        let h = product_hierarchy();
+        let mut leaves: Vec<&str> = h.leaves().map(|c| h.name_of(c)).collect();
+        leaves.sort_unstable();
+        assert_eq!(leaves, ["jacket", "sandals", "shirt", "tennis"]);
+        assert_eq!(h.concepts_at_level(2).count(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut h = product_hierarchy();
+        let shoes = h.id_of("shoes").unwrap();
+        assert!(matches!(
+            h.add(shoes, "jacket"),
+            Err(HierarchyError::DuplicateName(_))
+        ));
+        // add_path reusing an existing name under a different parent fails
+        assert!(h.add_path(["clothing", "shoes", "outerwear"]).is_err());
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut h = ConceptHierarchy::new("x");
+        assert!(matches!(
+            h.add(ConceptId(99), "y"),
+            Err(HierarchyError::NoSuchConcept(_))
+        ));
+    }
+
+    #[test]
+    fn rebuild_index_restores_name_lookup() {
+        let mut h = product_hierarchy();
+        h.by_name.clear(); // simulate a fresh deserialization
+        h.rebuild_index();
+        assert_eq!(h.name_of(h.id_of("jacket").unwrap()), "jacket");
+    }
+}

@@ -1,0 +1,261 @@
+//! Location cuts: the spatial half of a path abstraction level.
+//!
+//! The paper defines a path abstraction level as a tuple
+//! `(<v1, …, vk>, tl)` where each `vi` is a node in the location concept
+//! hierarchy and every concrete location aggregates to exactly one `vi`
+//! (Figure 5: a transportation manager keeps `dist. center`, `truck`,
+//! `warehouse` at full detail while collapsing everything under `store` and
+//! `factory`). Such a set of nodes is an *antichain that covers every
+//! leaf* — we call it a [`LocationCut`].
+
+use crate::concept::{ConceptHierarchy, ConceptId};
+use crate::fx::FxHashMap;
+use crate::level::DurationLevel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised while building a cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CutError {
+    /// A leaf has no ancestor-or-self in the cut.
+    UncoveredLeaf(ConceptId),
+    /// A leaf is covered by two different cut nodes (the nodes are not an
+    /// antichain).
+    DoublyCovered {
+        leaf: ConceptId,
+        first: ConceptId,
+        second: ConceptId,
+    },
+    /// The apex `*` may not participate in a cut.
+    ContainsRoot,
+}
+
+impl fmt::Display for CutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CutError::UncoveredLeaf(l) => write!(f, "leaf {l} not covered by the cut"),
+            CutError::DoublyCovered {
+                leaf,
+                first,
+                second,
+            } => write!(f, "leaf {leaf} covered by both {first} and {second}"),
+            CutError::ContainsRoot => write!(f, "a cut may not contain the apex '*'"),
+        }
+    }
+}
+
+impl std::error::Error for CutError {}
+
+/// An antichain of location concepts covering every leaf, with a
+/// precomputed leaf → representative map for O(1) aggregation.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct LocationCut {
+    nodes: Vec<ConceptId>,
+    /// representative\[c\] for every concept at or below the cut.
+    repr: FxHashMap<ConceptId, ConceptId>,
+}
+
+impl LocationCut {
+    /// Build a cut from an explicit node set, validating coverage.
+    pub fn new(h: &ConceptHierarchy, mut nodes: Vec<ConceptId>) -> Result<Self, CutError> {
+        if nodes.contains(&ConceptId::ROOT) {
+            return Err(CutError::ContainsRoot);
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut repr: FxHashMap<ConceptId, ConceptId> = FxHashMap::default();
+        // Mark each cut node and everything below it.
+        for &n in &nodes {
+            let mut stack = vec![n];
+            while let Some(c) = stack.pop() {
+                if let Some(&prev) = repr.get(&c) {
+                    if prev != n {
+                        return Err(CutError::DoublyCovered {
+                            leaf: c,
+                            first: prev,
+                            second: n,
+                        });
+                    }
+                }
+                repr.insert(c, n);
+                stack.extend_from_slice(h.children_of(c));
+            }
+        }
+        for leaf in h.leaves() {
+            if !repr.contains_key(&leaf) {
+                return Err(CutError::UncoveredLeaf(leaf));
+            }
+        }
+        Ok(LocationCut { nodes, repr })
+    }
+
+    /// The cut in which every leaf aggregates to its ancestor at `level`
+    /// (clamped to the leaf itself for shallow leaves). `uniform_level(h,
+    /// max_level)` is the identity cut.
+    pub fn uniform_level(h: &ConceptHierarchy, level: u8) -> Self {
+        let mut nodes: Vec<ConceptId> = h
+            .leaves()
+            .map(|l| h.ancestor_at_level(l, level.max(1)))
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        LocationCut::new(h, nodes).expect("uniform cuts are always valid")
+    }
+
+    /// Build a cut from node names; convenience for tests and examples.
+    pub fn from_names<'a>(
+        h: &ConceptHierarchy,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Self, CutError> {
+        let nodes: Vec<ConceptId> = names
+            .into_iter()
+            .map(|n| h.id_of(n).expect("unknown location name"))
+            .collect();
+        LocationCut::new(h, nodes)
+    }
+
+    /// The nodes forming the cut, sorted by id.
+    pub fn nodes(&self) -> &[ConceptId] {
+        &self.nodes
+    }
+
+    /// Map a concept at or below the cut to its representative; `None` for
+    /// concepts strictly above the cut.
+    #[inline]
+    pub fn representative(&self, c: ConceptId) -> Option<ConceptId> {
+        self.repr.get(&c).copied()
+    }
+
+    /// `self` is coarser than or equal to `other`: every node of `other`
+    /// aggregates to a node of `self`.
+    pub fn is_coarser_or_equal(&self, other: &LocationCut) -> bool {
+        other
+            .nodes
+            .iter()
+            .all(|&n| self.repr.contains_key(&n) || self.nodes.binary_search(&n).is_ok())
+    }
+}
+
+/// A full path abstraction level: a location cut plus a duration level
+/// (paper §4.1, "Path Lattice").
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PathLevel {
+    /// Human-readable label used in cuboid listings (e.g. `"store view"`).
+    pub name: String,
+    pub cut: LocationCut,
+    pub duration: DurationLevel,
+}
+
+impl PathLevel {
+    pub fn new(name: impl Into<String>, cut: LocationCut, duration: DurationLevel) -> Self {
+        PathLevel {
+            name: name.into(),
+            cut,
+            duration,
+        }
+    }
+
+    /// `self ⪯ other` in the path lattice.
+    pub fn is_coarser_or_equal(&self, other: &PathLevel) -> bool {
+        self.cut.is_coarser_or_equal(&other.cut)
+            && self.duration.is_coarser_or_equal(other.duration)
+    }
+}
+
+impl fmt::Display for PathLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[dur={}]", self.name, self.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 5 hierarchy:
+    /// * -> transportation -> {dist. center, truck}
+    /// * -> factory
+    /// * -> store -> {warehouse, backroom, shelf, checkout}
+    pub(crate) fn location_hierarchy() -> ConceptHierarchy {
+        let mut h = ConceptHierarchy::new("location");
+        h.add_path(["transportation", "dist_center"]).unwrap();
+        h.add_path(["transportation", "truck"]).unwrap();
+        h.add_path(["factory_area", "factory"]).unwrap();
+        h.add_path(["store", "warehouse"]).unwrap();
+        h.add_path(["store", "backroom"]).unwrap();
+        h.add_path(["store", "shelf"]).unwrap();
+        h.add_path(["store", "checkout"]).unwrap();
+        h
+    }
+
+    #[test]
+    fn uniform_cuts() {
+        let h = location_hierarchy();
+        let detailed = LocationCut::uniform_level(&h, 2);
+        assert_eq!(detailed.nodes().len(), 7); // all leaves
+        let coarse = LocationCut::uniform_level(&h, 1);
+        assert_eq!(coarse.nodes().len(), 3); // transportation, factory_area, store
+        assert!(coarse.is_coarser_or_equal(&detailed));
+        assert!(!detailed.is_coarser_or_equal(&coarse));
+        assert!(coarse.is_coarser_or_equal(&coarse));
+    }
+
+    #[test]
+    fn transportation_view_cut() {
+        // Figure 1 bottom: keep dist center / truck detailed, collapse store.
+        let h = location_hierarchy();
+        let cut =
+            LocationCut::from_names(&h, ["dist_center", "truck", "factory_area", "store"])
+                .unwrap();
+        let shelf = h.id_of("shelf").unwrap();
+        let store = h.id_of("store").unwrap();
+        let truck = h.id_of("truck").unwrap();
+        assert_eq!(cut.representative(shelf), Some(store));
+        assert_eq!(cut.representative(truck), Some(truck));
+        // transportation is above the cut
+        let transp = h.id_of("transportation").unwrap();
+        assert_eq!(cut.representative(transp), None);
+    }
+
+    #[test]
+    fn invalid_cuts_rejected() {
+        let h = location_hierarchy();
+        // Missing coverage of store leaves.
+        let err = LocationCut::from_names(&h, ["transportation", "factory_area"]).unwrap_err();
+        assert!(matches!(err, CutError::UncoveredLeaf(_)));
+        // Overlapping nodes: transportation + truck double-covers truck.
+        let err = LocationCut::from_names(
+            &h,
+            ["transportation", "truck", "factory_area", "store"],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CutError::DoublyCovered { .. }));
+        // Root is forbidden.
+        let err = LocationCut::new(&h, vec![ConceptId::ROOT]).unwrap_err();
+        assert_eq!(err, CutError::ContainsRoot);
+    }
+
+    #[test]
+    fn path_level_order() {
+        let h = location_hierarchy();
+        let fine = PathLevel::new(
+            "base",
+            LocationCut::uniform_level(&h, 2),
+            DurationLevel::Raw,
+        );
+        let coarse = PathLevel::new(
+            "agg",
+            LocationCut::uniform_level(&h, 1),
+            DurationLevel::Any,
+        );
+        let mixed = PathLevel::new(
+            "mixed",
+            LocationCut::uniform_level(&h, 1),
+            DurationLevel::Raw,
+        );
+        assert!(coarse.is_coarser_or_equal(&fine));
+        assert!(coarse.is_coarser_or_equal(&mixed));
+        assert!(mixed.is_coarser_or_equal(&fine));
+        assert!(!fine.is_coarser_or_equal(&coarse));
+    }
+}

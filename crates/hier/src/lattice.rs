@@ -1,0 +1,211 @@
+//! The two abstraction lattices a flowcube ranges over.
+//!
+//! * The **item lattice** is the cartesian product of the per-dimension
+//!   hierarchy levels — identical in shape to a classic data-cube cuboid
+//!   lattice.
+//! * The **path lattice** is a user-configured set of [`PathLevel`]s
+//!   (full enumeration is astronomically large: any antichain of the
+//!   location hierarchy × any duration level), ordered by the coarser-than
+//!   relation. This mirrors the paper's *partial materialization plan*,
+//!   where the cuboids to compute are "determined based on … application
+//!   and cardinality analysis".
+
+use crate::cut::PathLevel;
+use crate::level::ItemLevel;
+use serde::{Deserialize, Serialize};
+
+/// The full item lattice for a schema with the given per-dimension maximum
+/// levels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ItemLattice {
+    max_levels: Vec<u8>,
+}
+
+impl ItemLattice {
+    pub fn new(max_levels: Vec<u8>) -> Self {
+        ItemLattice { max_levels }
+    }
+
+    pub fn dims(&self) -> usize {
+        self.max_levels.len()
+    }
+
+    pub fn max_levels(&self) -> &[u8] {
+        &self.max_levels
+    }
+
+    /// The apex level `(0,…,0)`.
+    pub fn top(&self) -> ItemLevel {
+        ItemLevel::top(self.max_levels.len())
+    }
+
+    /// The most detailed level.
+    pub fn bottom(&self) -> ItemLevel {
+        ItemLevel(self.max_levels.clone())
+    }
+
+    /// Number of levels in the lattice: `∏ (max_i + 1)`.
+    pub fn len(&self) -> usize {
+        self.max_levels
+            .iter()
+            .map(|&m| m as usize + 1)
+            .product::<usize>()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.max_levels.is_empty()
+    }
+
+    /// Enumerate every level, coarsest first (sorted by total depth so a
+    /// high-to-low traversal sees parents before children).
+    pub fn iter_top_down(&self) -> Vec<ItemLevel> {
+        let mut all = Vec::with_capacity(self.len());
+        let mut cur = vec![0u8; self.max_levels.len()];
+        loop {
+            all.push(ItemLevel(cur.clone()));
+            // odometer increment
+            let mut i = 0;
+            loop {
+                if i == cur.len() {
+                    all.sort_by_key(|l| l.0.iter().map(|&x| x as usize).sum::<usize>());
+                    return all;
+                }
+                if cur[i] < self.max_levels[i] {
+                    cur[i] += 1;
+                    break;
+                }
+                cur[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Immediate children of `level`, respecting per-dimension bounds.
+    pub fn children(&self, level: &ItemLevel) -> Vec<ItemLevel> {
+        level.children(&self.max_levels)
+    }
+
+    /// Immediate parents of `level`.
+    pub fn parents(&self, level: &ItemLevel) -> Vec<ItemLevel> {
+        level.parents()
+    }
+}
+
+/// The set of path abstraction levels selected for materialization,
+/// ordered by the coarser-than relation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathLatticeSpec {
+    levels: Vec<PathLevel>,
+}
+
+/// Index of a [`PathLevel`] within a [`PathLatticeSpec`].
+pub type PathLevelId = u16;
+
+impl PathLatticeSpec {
+    /// Build a spec from the levels of interest. Order is preserved; the
+    /// conventional layout puts the most detailed level first.
+    pub fn new(levels: Vec<PathLevel>) -> Self {
+        assert!(!levels.is_empty(), "at least one path level is required");
+        assert!(levels.len() <= PathLevelId::MAX as usize);
+        PathLatticeSpec { levels }
+    }
+
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    pub fn level(&self, id: PathLevelId) -> &PathLevel {
+        &self.levels[id as usize]
+    }
+
+    pub fn levels(&self) -> &[PathLevel] {
+        &self.levels
+    }
+
+    pub fn ids(&self) -> impl Iterator<Item = PathLevelId> {
+        (0..self.levels.len() as PathLevelId).collect::<Vec<_>>().into_iter()
+    }
+
+    /// Ids of all levels strictly coarser than `id` within the spec.
+    pub fn coarser_than(&self, id: PathLevelId) -> Vec<PathLevelId> {
+        let target = &self.levels[id as usize];
+        self.ids()
+            .filter(|&other| {
+                other != id && self.levels[other as usize].is_coarser_or_equal(target)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::ConceptHierarchy;
+    use crate::cut::LocationCut;
+    use crate::level::DurationLevel;
+
+    #[test]
+    fn item_lattice_enumeration() {
+        let lat = ItemLattice::new(vec![2, 1]);
+        assert_eq!(lat.len(), 6);
+        let all = lat.iter_top_down();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], ItemLevel(vec![0, 0]));
+        assert_eq!(*all.last().unwrap(), ItemLevel(vec![2, 1]));
+        // top-down: total depth is non-decreasing
+        let depths: Vec<usize> = all
+            .iter()
+            .map(|l| l.0.iter().map(|&x| x as usize).sum())
+            .collect();
+        assert!(depths.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn item_lattice_bounds() {
+        let lat = ItemLattice::new(vec![1, 1]);
+        assert_eq!(lat.top(), ItemLevel(vec![0, 0]));
+        assert_eq!(lat.bottom(), ItemLevel(vec![1, 1]));
+        assert_eq!(lat.children(&lat.bottom()), Vec::<ItemLevel>::new());
+        assert_eq!(lat.parents(&lat.top()), Vec::<ItemLevel>::new());
+    }
+
+    #[test]
+    fn path_spec_ordering() {
+        let mut h = ConceptHierarchy::new("location");
+        h.add_path(["transportation", "truck"]).unwrap();
+        h.add_path(["store", "shelf"]).unwrap();
+        let fine = PathLevel::new(
+            "fine",
+            LocationCut::uniform_level(&h, 2),
+            DurationLevel::Raw,
+        );
+        let fine_star = PathLevel::new(
+            "fine/*",
+            LocationCut::uniform_level(&h, 2),
+            DurationLevel::Any,
+        );
+        let coarse = PathLevel::new(
+            "coarse",
+            LocationCut::uniform_level(&h, 1),
+            DurationLevel::Raw,
+        );
+        let coarse_star = PathLevel::new(
+            "coarse/*",
+            LocationCut::uniform_level(&h, 1),
+            DurationLevel::Any,
+        );
+        let spec = PathLatticeSpec::new(vec![fine, fine_star, coarse, coarse_star]);
+        assert_eq!(spec.len(), 4);
+        // coarser-than the fine/raw level: all three others
+        assert_eq!(spec.coarser_than(0).len(), 3);
+        // nothing is coarser than coarse/*
+        assert!(spec.coarser_than(3).is_empty());
+        // fine/* and coarse/raw are incomparable
+        assert_eq!(spec.coarser_than(1), vec![3]);
+        assert_eq!(spec.coarser_than(2), vec![3]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Abstraction levels for the item view and the duration dimension.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The abstraction level of the item view: one hierarchy level per
+/// path-independent dimension (paper §4.1, "Item Lattice").
+///
+/// Level 0 is the apex `*` (dimension fully aggregated away); larger
+/// numbers are more specific. A level `a` is *coarser* than `b` when every
+/// coordinate of `a` is ≤ the corresponding coordinate of `b` — this is the
+/// paper's `a ⪯ b` ("higher in the lattice").
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct ItemLevel(pub Vec<u8>);
+
+impl ItemLevel {
+    /// The fully aggregated level `(0, …, 0)` — the apex cuboid.
+    pub fn top(dims: usize) -> Self {
+        ItemLevel(vec![0; dims])
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `self ⪯ other`: true when `self` is at or above `other` in the item
+    /// lattice (every coordinate coarser or equal).
+    pub fn is_coarser_or_equal(&self, other: &ItemLevel) -> bool {
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// Strictly coarser: `self ⪯ other` and `self != other`.
+    pub fn is_coarser(&self, other: &ItemLevel) -> bool {
+        self.is_coarser_or_equal(other) && self != other
+    }
+
+    /// Immediate parents in the lattice: decrement one nonzero coordinate.
+    pub fn parents(&self) -> Vec<ItemLevel> {
+        let mut out = Vec::new();
+        for (i, &l) in self.0.iter().enumerate() {
+            if l > 0 {
+                let mut p = self.0.clone();
+                p[i] = l - 1;
+                out.push(ItemLevel(p));
+            }
+        }
+        out
+    }
+
+    /// Immediate children bounded by `max` per dimension.
+    pub fn children(&self, max: &[u8]) -> Vec<ItemLevel> {
+        debug_assert_eq!(self.0.len(), max.len());
+        let mut out = Vec::new();
+        for (i, &l) in self.0.iter().enumerate() {
+            if l < max[i] {
+                let mut c = self.0.clone();
+                c[i] = l + 1;
+                out.push(ItemLevel(c));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ItemLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Abstraction level of stage durations (the time part of the path view).
+///
+/// The paper discretizes durations ("duration may not need to be at the
+/// precision of seconds") and, in the experiments, mines each stage both at
+/// the level present in the database and aggregated to `*`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum DurationLevel {
+    /// Keep the raw (already discretized at load time) duration value.
+    Raw,
+    /// Bucket durations into fixed-width bins; the value becomes the bin's
+    /// lower bound. `Bucket(1)` is equivalent to `Raw`.
+    Bucket(u32),
+    /// Aggregate to `*`: the duration carries no information.
+    Any,
+}
+
+/// A duration after aggregation: `None` encodes the `*` level.
+pub type DurValue = Option<u32>;
+
+impl DurationLevel {
+    /// Aggregate a raw duration to this level.
+    #[inline]
+    pub fn aggregate(self, d: u32) -> DurValue {
+        match self {
+            DurationLevel::Raw => Some(d),
+            DurationLevel::Bucket(w) => {
+                debug_assert!(w > 0, "bucket width must be positive");
+                Some((d / w) * w)
+            }
+            DurationLevel::Any => None,
+        }
+    }
+
+    /// `self` is coarser than or equal to `other` (aggregating with `self`
+    /// loses at least as much information).
+    pub fn is_coarser_or_equal(self, other: DurationLevel) -> bool {
+        use DurationLevel::*;
+        match (self, other) {
+            (Any, _) => true,
+            (_, Any) => false,
+            (Raw, Raw) => true,
+            (Raw, Bucket(w)) => w == 1,
+            (Bucket(w), Raw) => w >= 1,
+            (Bucket(a), Bucket(b)) => a >= b && a % b == 0,
+        }
+    }
+}
+
+impl fmt::Display for DurationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurationLevel::Raw => write!(f, "raw"),
+            DurationLevel::Bucket(w) => write!(f, "bucket({w})"),
+            DurationLevel::Any => write!(f, "*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_level_order() {
+        let a = ItemLevel(vec![0, 1]);
+        let b = ItemLevel(vec![1, 1]);
+        let c = ItemLevel(vec![1, 0]);
+        assert!(a.is_coarser_or_equal(&b));
+        assert!(a.is_coarser(&b));
+        assert!(!b.is_coarser_or_equal(&a));
+        // a and c are incomparable
+        assert!(!a.is_coarser_or_equal(&c));
+        assert!(!c.is_coarser_or_equal(&a));
+        assert!(b.is_coarser_or_equal(&b));
+        assert!(!b.is_coarser(&b));
+    }
+
+    #[test]
+    fn item_level_parents_children() {
+        let l = ItemLevel(vec![1, 0, 2]);
+        let parents = l.parents();
+        assert_eq!(parents.len(), 2);
+        assert!(parents.contains(&ItemLevel(vec![0, 0, 2])));
+        assert!(parents.contains(&ItemLevel(vec![1, 0, 1])));
+        let children = l.children(&[2, 2, 2]);
+        assert_eq!(children.len(), 2);
+        assert!(children.contains(&ItemLevel(vec![2, 0, 2])));
+        assert!(children.contains(&ItemLevel(vec![1, 1, 2])));
+        assert_eq!(ItemLevel::top(3).parents(), Vec::<ItemLevel>::new());
+    }
+
+    #[test]
+    fn duration_aggregation() {
+        assert_eq!(DurationLevel::Raw.aggregate(7), Some(7));
+        assert_eq!(DurationLevel::Bucket(5).aggregate(7), Some(5));
+        assert_eq!(DurationLevel::Bucket(5).aggregate(5), Some(5));
+        assert_eq!(DurationLevel::Bucket(5).aggregate(4), Some(0));
+        assert_eq!(DurationLevel::Any.aggregate(7), None);
+    }
+
+    #[test]
+    fn duration_order() {
+        use DurationLevel::*;
+        assert!(Any.is_coarser_or_equal(Raw));
+        assert!(Any.is_coarser_or_equal(Bucket(10)));
+        assert!(!Raw.is_coarser_or_equal(Any));
+        assert!(Bucket(10).is_coarser_or_equal(Bucket(5)));
+        assert!(!Bucket(10).is_coarser_or_equal(Bucket(3))); // not divisible
+        assert!(Bucket(3).is_coarser_or_equal(Raw));
+        assert!(Raw.is_coarser_or_equal(Bucket(1)));
+    }
+}

@@ -1,0 +1,107 @@
+//! The dimensional schema of a path database: the path-independent item
+//! dimensions (each with a concept hierarchy) plus the location hierarchy.
+
+use crate::concept::{ConceptHierarchy, ConceptId, HierarchyError};
+use serde::{Deserialize, Serialize};
+
+/// Index of a path-independent dimension within a schema.
+pub type DimId = u8;
+
+/// Schema shared by every record of a path database.
+///
+/// A record carries one leaf-or-inner concept per item dimension plus a path
+/// whose stage locations are leaves of the location hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    dims: Vec<ConceptHierarchy>,
+    locations: ConceptHierarchy,
+}
+
+impl Schema {
+    pub fn new(dims: Vec<ConceptHierarchy>, locations: ConceptHierarchy) -> Self {
+        assert!(
+            dims.len() <= u8::MAX as usize,
+            "at most 255 item dimensions"
+        );
+        Schema { dims, locations }
+    }
+
+    /// Number of path-independent dimensions.
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Hierarchy of dimension `d`.
+    pub fn dim(&self, d: DimId) -> &ConceptHierarchy {
+        &self.dims[d as usize]
+    }
+
+    /// All item-dimension hierarchies, in dimension order.
+    pub fn dims(&self) -> &[ConceptHierarchy] {
+        &self.dims
+    }
+
+    /// The location hierarchy.
+    pub fn locations(&self) -> &ConceptHierarchy {
+        &self.locations
+    }
+
+    /// Maximum hierarchy level per dimension — the bottom of the item
+    /// lattice.
+    pub fn max_item_levels(&self) -> Vec<u8> {
+        self.dims.iter().map(|h| h.max_level()).collect()
+    }
+
+    /// Resolve `(dimension name, value name)`; convenience for loaders.
+    pub fn resolve(&self, dim: &str, value: &str) -> Result<(DimId, ConceptId), HierarchyError> {
+        for (i, h) in self.dims.iter().enumerate() {
+            if h.name() == dim {
+                return Ok((i as DimId, h.id_of(value)?));
+            }
+        }
+        Err(HierarchyError::UnknownName(format!("dimension {dim:?}")))
+    }
+
+    /// Rebuild all name indexes after deserialization.
+    pub fn rebuild_indexes(&mut self) {
+        for d in &mut self.dims {
+            d.rebuild_index();
+        }
+        self.locations.rebuild_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        let mut product = ConceptHierarchy::new("product");
+        product.add_path(["clothing", "shoes", "tennis"]).unwrap();
+        let mut brand = ConceptHierarchy::new("brand");
+        brand.add_path(["athletic", "nike"]).unwrap();
+        let mut loc = ConceptHierarchy::new("location");
+        loc.add_path(["factory"]).unwrap();
+        loc.add_path(["store", "shelf"]).unwrap();
+        Schema::new(vec![product, brand], loc)
+    }
+
+    #[test]
+    fn dims_and_levels() {
+        let s = schema();
+        assert_eq!(s.num_dims(), 2);
+        assert_eq!(s.max_item_levels(), vec![3, 2]);
+        assert_eq!(s.dim(0).name(), "product");
+        assert_eq!(s.locations().name(), "location");
+    }
+
+    #[test]
+    fn resolve_names() {
+        let s = schema();
+        let (d, c) = s.resolve("brand", "nike").unwrap();
+        assert_eq!(d, 1);
+        assert_eq!(s.dim(1).name_of(c), "nike");
+        assert!(s.resolve("color", "red").is_err());
+        assert!(s.resolve("brand", "reebok").is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests over concept hierarchies, cuts, and lattices.
+
+use flowcube_hier::{ConceptHierarchy, ConceptId, ItemLattice, ItemLevel, LocationCut};
+use proptest::prelude::*;
+
+/// Build a random hierarchy from a fanout spec (values 1..=4 per level).
+fn hierarchy_from(fanout: Vec<u8>) -> ConceptHierarchy {
+    let mut h = ConceptHierarchy::new("t");
+    fn grow(h: &mut ConceptHierarchy, parent: ConceptId, fanout: &[u8], tag: String) {
+        let Some((&n, rest)) = fanout.split_first() else {
+            return;
+        };
+        for i in 0..n {
+            let child = h.add(parent, format!("{tag}.{i}")).unwrap();
+            grow(h, child, rest, format!("{tag}.{i}"));
+        }
+    }
+    grow(&mut h, ConceptId::ROOT, &fanout, "n".to_string());
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ancestor_at_level returns a node at exactly the requested level
+    /// (clamped) that is an ancestor-or-self, and is idempotent.
+    #[test]
+    fn ancestor_at_level_properties(
+        fanout in prop::collection::vec(1u8..4, 1..4),
+        level in 0u8..6,
+    ) {
+        let h = hierarchy_from(fanout);
+        for c in h.iter() {
+            let a = h.ancestor_at_level(c, level);
+            prop_assert_eq!(h.level_of(a), level.min(h.level_of(c)));
+            prop_assert!(h.is_ancestor_or_self(a, c));
+            prop_assert_eq!(h.ancestor_at_level(a, level), a);
+        }
+    }
+
+    /// Digit codes are unique and their length equals the node's level.
+    #[test]
+    fn digit_codes_unique(fanout in prop::collection::vec(1u8..4, 1..4)) {
+        let h = hierarchy_from(fanout);
+        let mut seen = std::collections::HashSet::new();
+        for c in h.iter() {
+            let code = h.digit_code(c);
+            prop_assert_eq!(code.len() as u8, h.level_of(c));
+            prop_assert!(seen.insert(code), "duplicate digit code");
+        }
+    }
+
+    /// Ancestry chains walk root-exclusive from level 1 to the node.
+    #[test]
+    fn ancestry_chain_levels(fanout in prop::collection::vec(1u8..4, 1..4)) {
+        let h = hierarchy_from(fanout);
+        for c in h.iter() {
+            let chain = h.ancestry(c);
+            prop_assert_eq!(chain.len() as u8, h.level_of(c));
+            for (i, &n) in chain.iter().enumerate() {
+                prop_assert_eq!(h.level_of(n) as usize, i + 1);
+            }
+            if let Some(&last) = chain.last() {
+                prop_assert_eq!(last, c);
+            }
+        }
+    }
+
+    /// Uniform cuts cover every leaf exactly once at every level.
+    #[test]
+    fn uniform_cuts_are_valid(
+        fanout in prop::collection::vec(1u8..4, 1..4),
+        level in 1u8..5,
+    ) {
+        let h = hierarchy_from(fanout);
+        let cut = LocationCut::uniform_level(&h, level);
+        for leaf in h.leaves() {
+            let rep = cut.representative(leaf);
+            prop_assert!(rep.is_some());
+            let rep = rep.unwrap();
+            prop_assert!(h.is_ancestor_or_self(rep, leaf));
+        }
+        // Coarser uniform cuts are coarser-or-equal than finer ones.
+        if level > 1 {
+            let coarser = LocationCut::uniform_level(&h, level - 1);
+            prop_assert!(coarser.is_coarser_or_equal(&cut));
+        }
+    }
+
+    /// The item lattice enumerates exactly ∏(max+1) levels, topologically.
+    #[test]
+    fn item_lattice_enumeration(maxes in prop::collection::vec(0u8..3, 1..4)) {
+        let lat = ItemLattice::new(maxes.clone());
+        let all = lat.iter_top_down();
+        let expected: usize = maxes.iter().map(|&m| m as usize + 1).product();
+        prop_assert_eq!(all.len(), expected);
+        prop_assert_eq!(lat.len(), expected);
+        // no duplicates
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        prop_assert_eq!(set.len(), expected);
+        // parents precede children in the ordering
+        for (i, level) in all.iter().enumerate() {
+            for p in level.parents() {
+                let pos = all.iter().position(|x| *x == p).unwrap();
+                prop_assert!(pos < i, "parent after child");
+            }
+        }
+    }
+
+    /// Lattice order is a partial order: reflexive, antisymmetric,
+    /// transitive on sampled triples.
+    #[test]
+    fn item_level_partial_order(
+        a in prop::collection::vec(0u8..4, 3),
+        b in prop::collection::vec(0u8..4, 3),
+        c in prop::collection::vec(0u8..4, 3),
+    ) {
+        let (a, b, c) = (ItemLevel(a), ItemLevel(b), ItemLevel(c));
+        prop_assert!(a.is_coarser_or_equal(&a));
+        if a.is_coarser_or_equal(&b) && b.is_coarser_or_equal(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        if a.is_coarser_or_equal(&b) && b.is_coarser_or_equal(&c) {
+            prop_assert!(a.is_coarser_or_equal(&c));
+        }
+    }
+}

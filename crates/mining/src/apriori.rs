@@ -1,0 +1,413 @@
+//! Core Apriori machinery shared by the `Shared`, `Basic`, and `Cubing`
+//! algorithms: candidate generation with pluggable pruning, a candidate
+//! prefix-trie, and subset counting.
+
+use crate::item::ItemId;
+use flowcube_hier::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// An itemset: item ids sorted ascending.
+pub type Itemset = Box<[ItemId]>;
+
+/// Counters describing one mining run; the source of Figure 11.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MiningStats {
+    /// Candidates whose support was actually counted, per pattern length
+    /// (index 0 = length 1).
+    pub counted_by_length: Vec<u64>,
+    /// Frequent patterns found, per pattern length.
+    pub frequent_by_length: Vec<u64>,
+    /// Candidates discarded by the classic all-subsets-frequent check.
+    pub pruned_subset: u64,
+    /// Candidates discarded because they contain an item and one of its
+    /// ancestors.
+    pub pruned_ancestor: u64,
+    /// Candidates discarded because two members can provably not co-occur
+    /// (unrelated stages / two values of one dimension).
+    pub pruned_unlinkable: u64,
+    /// Candidates discarded thanks to pre-counted high-level patterns.
+    pub pruned_precount: u64,
+    /// Number of full passes over the transaction data.
+    pub scans: u64,
+    /// Cells mined (Cubing only).
+    pub cells_mined: u64,
+    /// Transaction-id-list items materialized as cell measures (Cubing
+    /// only) — the paper's I/O-cost proxy.
+    pub tidlist_items: u64,
+    /// Bytes re-read from the spilled transaction store (Cubing's
+    /// per-cell measure reads).
+    pub io_bytes_read: u64,
+    /// High-level look-ahead patterns counted (generalized pre-counting).
+    pub precounted_patterns: u64,
+}
+
+impl MiningStats {
+    pub(crate) fn bump(vec: &mut Vec<u64>, len: usize, by: u64) {
+        if vec.len() < len {
+            vec.resize(len, 0);
+        }
+        vec[len - 1] += by;
+    }
+
+    /// Total counted candidates across lengths.
+    pub fn total_counted(&self) -> u64 {
+        self.counted_by_length.iter().sum()
+    }
+
+    /// Total frequent patterns across lengths.
+    pub fn total_frequent(&self) -> u64 {
+        self.frequent_by_length.iter().sum()
+    }
+
+    /// Longest counted candidate length.
+    pub fn max_length(&self) -> usize {
+        self.counted_by_length.len()
+    }
+
+    /// Fold another run's counters into this one.
+    pub fn absorb(&mut self, other: &MiningStats) {
+        for (i, &v) in other.counted_by_length.iter().enumerate() {
+            Self::bump(&mut self.counted_by_length, i + 1, v);
+        }
+        for (i, &v) in other.frequent_by_length.iter().enumerate() {
+            Self::bump(&mut self.frequent_by_length, i + 1, v);
+        }
+        self.pruned_subset += other.pruned_subset;
+        self.pruned_ancestor += other.pruned_ancestor;
+        self.pruned_unlinkable += other.pruned_unlinkable;
+        self.pruned_precount += other.pruned_precount;
+        self.scans += other.scans;
+        self.cells_mined += other.cells_mined;
+        self.tidlist_items += other.tidlist_items;
+        self.io_bytes_read += other.io_bytes_read;
+        self.precounted_patterns += other.precounted_patterns;
+    }
+}
+
+/// Prefix trie over a fixed set of same-length candidates, used to count
+/// candidate support in one pass per transaction.
+pub struct CandidateTrie {
+    /// Flattened nodes; children are (item, node index) sorted by item.
+    children: Vec<Vec<(ItemId, u32)>>,
+    /// Candidate index at leaf depth (`u32::MAX` = none).
+    leaf: Vec<u32>,
+    k: usize,
+}
+
+impl CandidateTrie {
+    /// Build a trie over `candidates` (each sorted, all of length `k`).
+    pub fn build(candidates: &[Itemset], k: usize) -> Self {
+        let mut trie = CandidateTrie {
+            children: vec![Vec::new()],
+            leaf: vec![u32::MAX],
+            k,
+        };
+        for (ci, cand) in candidates.iter().enumerate() {
+            debug_assert_eq!(cand.len(), k);
+            let mut cur = 0u32;
+            for &item in cand.iter() {
+                let node = &mut trie.children[cur as usize];
+                cur = match node.binary_search_by_key(&item, |&(it, _)| it) {
+                    Ok(i) => node[i].1,
+                    Err(i) => {
+                        let new = trie.leaf.len() as u32;
+                        trie.children[cur as usize].insert(i, (item, new));
+                        trie.children.push(Vec::new());
+                        trie.leaf.push(u32::MAX);
+                        new
+                    }
+                };
+            }
+            trie.leaf[cur as usize] = ci as u32;
+        }
+        trie
+    }
+
+    /// Add every candidate contained in `transaction` to `counts`.
+    pub fn count_transaction(&self, transaction: &[ItemId], counts: &mut [u64]) {
+        self.walk(0, transaction, 1, counts);
+    }
+
+    fn walk(&self, node: u32, tail: &[ItemId], depth: usize, counts: &mut [u64]) {
+        // Two-pointer intersection of the node's children with the
+        // remaining transaction suffix (both sorted ascending).
+        let children = &self.children[node as usize];
+        if children.is_empty() {
+            return;
+        }
+        let mut ci = 0;
+        let mut ti = 0;
+        while ci < children.len() && ti < tail.len() {
+            let (item, child) = children[ci];
+            match item.cmp(&tail[ti]) {
+                std::cmp::Ordering::Less => ci += 1,
+                std::cmp::Ordering::Greater => ti += 1,
+                std::cmp::Ordering::Equal => {
+                    if depth == self.k {
+                        let leaf = self.leaf[child as usize];
+                        debug_assert_ne!(leaf, u32::MAX);
+                        counts[leaf as usize] += 1;
+                    } else {
+                        self.walk(child, &tail[ti + 1..], depth + 1, counts);
+                    }
+                    ci += 1;
+                    ti += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Pairwise pruning predicate: checks the two items that differ between
+/// the joined parents.
+pub type PairHook<'a> = &'a dyn Fn(ItemId, ItemId) -> (bool, PruneReason);
+/// Whole-candidate pruning predicate, applied after the subset check.
+pub type CandidateHook<'a> = &'a dyn Fn(&[ItemId]) -> (bool, PruneReason);
+
+/// Hooks applied while generating `C_k` from `L_{k-1}`.
+pub struct PruneHooks<'a> {
+    /// Pairwise test on the two items that differ between the joined
+    /// parents; return `false` to discard the candidate.
+    pub pair_ok: Option<PairHook<'a>>,
+    /// Whole-candidate test applied after the subset check.
+    pub candidate_ok: Option<CandidateHook<'a>>,
+    /// Classic all-(k-1)-subsets-frequent check.
+    pub subsets: bool,
+}
+
+/// Which rule discarded a candidate (for stats attribution).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PruneReason {
+    None,
+    Ancestor,
+    Unlinkable,
+    Precount,
+}
+
+impl Default for PruneHooks<'_> {
+    fn default() -> Self {
+        PruneHooks {
+            pair_ok: None,
+            candidate_ok: None,
+            subsets: true,
+        }
+    }
+}
+
+/// Generate length-`k` candidates by self-joining the sorted frequent
+/// (`k-1`)-itemsets, applying the hooks. `prev` must be sorted
+/// lexicographically.
+pub fn generate_candidates(
+    prev: &[Itemset],
+    k: usize,
+    hooks: &PruneHooks<'_>,
+    stats: &mut MiningStats,
+) -> Vec<Itemset> {
+    debug_assert!(k >= 2);
+    let prev_set: FxHashSet<&[ItemId]> = prev.iter().map(|s| &**s).collect();
+    let mut out: Vec<Itemset> = Vec::new();
+    let mut start = 0;
+    while start < prev.len() {
+        // Group of itemsets sharing the first k-2 items.
+        let head = &prev[start][..k - 2];
+        let mut end = start + 1;
+        while end < prev.len() && &prev[end][..k - 2] == head {
+            end += 1;
+        }
+        for i in start..end {
+            for j in i + 1..end {
+                let a = prev[i][k - 2];
+                let b = prev[j][k - 2];
+                debug_assert!(a < b);
+                if let Some(pair_ok) = hooks.pair_ok {
+                    let (ok, reason) = pair_ok(a, b);
+                    if !ok {
+                        match reason {
+                            PruneReason::Ancestor => stats.pruned_ancestor += 1,
+                            PruneReason::Unlinkable => stats.pruned_unlinkable += 1,
+                            PruneReason::Precount => stats.pruned_precount += 1,
+                            PruneReason::None => {}
+                        }
+                        continue;
+                    }
+                }
+                let mut cand: Vec<ItemId> = Vec::with_capacity(k);
+                cand.extend_from_slice(&prev[i]);
+                cand.push(b);
+                if hooks.subsets && k > 2 {
+                    // All (k-1)-subsets must be frequent. The two parents
+                    // are, so test the others.
+                    let mut pruned = false;
+                    let mut sub: Vec<ItemId> = Vec::with_capacity(k - 1);
+                    for skip in 0..k - 2 {
+                        sub.clear();
+                        sub.extend(
+                            cand.iter()
+                                .enumerate()
+                                .filter(|&(x, _)| x != skip)
+                                .map(|(_, &it)| it),
+                        );
+                        if !prev_set.contains(&sub[..]) {
+                            pruned = true;
+                            break;
+                        }
+                    }
+                    if pruned {
+                        stats.pruned_subset += 1;
+                        continue;
+                    }
+                }
+                if let Some(candidate_ok) = hooks.candidate_ok {
+                    let (ok, reason) = candidate_ok(&cand);
+                    if !ok {
+                        match reason {
+                            PruneReason::Ancestor => stats.pruned_ancestor += 1,
+                            PruneReason::Unlinkable => stats.pruned_unlinkable += 1,
+                            PruneReason::Precount => stats.pruned_precount += 1,
+                            PruneReason::None => {}
+                        }
+                        continue;
+                    }
+                }
+                out.push(cand.into_boxed_slice());
+            }
+        }
+        start = end;
+    }
+    out
+}
+
+/// Count `candidates` (all length `k`) over `transactions`, returning the
+/// support of each.
+pub fn count_candidates<'a>(
+    candidates: &[Itemset],
+    k: usize,
+    transactions: impl Iterator<Item = &'a [ItemId]>,
+    stats: &mut MiningStats,
+) -> Vec<u64> {
+    let trie = CandidateTrie::build(candidates, k);
+    let mut counts = vec![0u64; candidates.len()];
+    for t in transactions {
+        if t.len() >= k {
+            trie.count_transaction(t, &mut counts);
+        }
+    }
+    stats.scans += 1;
+    MiningStats::bump(
+        &mut stats.counted_by_length,
+        k,
+        candidates.len() as u64,
+    );
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Itemset {
+        v.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    #[test]
+    fn trie_counts_subsets() {
+        let candidates = vec![ids(&[1, 2]), ids(&[1, 3]), ids(&[2, 4])];
+        let trie = CandidateTrie::build(&candidates, 2);
+        let mut counts = vec![0u64; 3];
+        let t: Vec<ItemId> = [1u32, 2, 3].iter().map(|&x| ItemId(x)).collect();
+        trie.count_transaction(&t, &mut counts);
+        assert_eq!(counts, vec![1, 1, 0]);
+        let t2: Vec<ItemId> = [2u32, 4].iter().map(|&x| ItemId(x)).collect();
+        trie.count_transaction(&t2, &mut counts);
+        assert_eq!(counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn trie_counts_triples() {
+        let candidates = vec![ids(&[1, 2, 3]), ids(&[1, 2, 4])];
+        let trie = CandidateTrie::build(&candidates, 3);
+        let mut counts = vec![0u64; 2];
+        let t: Vec<ItemId> = [1u32, 2, 3, 4].iter().map(|&x| ItemId(x)).collect();
+        trie.count_transaction(&t, &mut counts);
+        assert_eq!(counts, vec![1, 1]);
+        let t: Vec<ItemId> = [1u32, 2].iter().map(|&x| ItemId(x)).collect();
+        trie.count_transaction(&t, &mut counts);
+        assert_eq!(counts, vec![1, 1]); // too short, unchanged
+    }
+
+    #[test]
+    fn join_generates_sorted_candidates() {
+        let prev = vec![ids(&[1, 2]), ids(&[1, 3]), ids(&[2, 3])];
+        let mut stats = MiningStats::default();
+        let cands = generate_candidates(&prev, 3, &PruneHooks::default(), &mut stats);
+        // {1,2}+{1,3} → {1,2,3}: subsets {2,3} frequent → kept.
+        assert_eq!(cands, vec![ids(&[1, 2, 3])]);
+        assert_eq!(stats.pruned_subset, 0);
+    }
+
+    #[test]
+    fn subset_pruning_fires() {
+        let prev = vec![ids(&[1, 2]), ids(&[1, 3])];
+        let mut stats = MiningStats::default();
+        let cands = generate_candidates(&prev, 3, &PruneHooks::default(), &mut stats);
+        // {1,2,3} requires {2,3} which is absent.
+        assert!(cands.is_empty());
+        assert_eq!(stats.pruned_subset, 1);
+    }
+
+    #[test]
+    fn pair_hook_prunes() {
+        let prev = vec![ids(&[1]), ids(&[2]), ids(&[3])];
+        let mut stats = MiningStats::default();
+        let pair_ok = |a: ItemId, b: ItemId| {
+            if a == ItemId(1) && b == ItemId(2) {
+                (false, PruneReason::Unlinkable)
+            } else {
+                (true, PruneReason::None)
+            }
+        };
+        let hooks = PruneHooks {
+            pair_ok: Some(&pair_ok),
+            candidate_ok: None,
+            subsets: true,
+        };
+        let cands = generate_candidates(&prev, 2, &hooks, &mut stats);
+        assert_eq!(cands, vec![ids(&[1, 3]), ids(&[2, 3])]);
+        assert_eq!(stats.pruned_unlinkable, 1);
+    }
+
+    #[test]
+    fn count_candidates_end_to_end() {
+        let transactions: Vec<Vec<ItemId>> = vec![
+            [1u32, 2, 3].iter().map(|&x| ItemId(x)).collect(),
+            [1u32, 2].iter().map(|&x| ItemId(x)).collect(),
+            [2u32, 3].iter().map(|&x| ItemId(x)).collect(),
+        ];
+        let candidates = vec![ids(&[1, 2]), ids(&[2, 3]), ids(&[1, 3])];
+        let mut stats = MiningStats::default();
+        let counts = count_candidates(
+            &candidates,
+            2,
+            transactions.iter().map(|t| t.as_slice()),
+            &mut stats,
+        );
+        assert_eq!(counts, vec![2, 2, 1]);
+        assert_eq!(stats.scans, 1);
+        assert_eq!(stats.counted_by_length, vec![0, 3]);
+    }
+
+    #[test]
+    fn stats_absorb() {
+        let mut a = MiningStats::default();
+        MiningStats::bump(&mut a.counted_by_length, 2, 5);
+        let mut b = MiningStats::default();
+        MiningStats::bump(&mut b.counted_by_length, 1, 2);
+        MiningStats::bump(&mut b.counted_by_length, 2, 1);
+        b.pruned_subset = 3;
+        a.absorb(&b);
+        assert_eq!(a.counted_by_length, vec![2, 6]);
+        assert_eq!(a.pruned_subset, 3);
+        assert_eq!(a.total_counted(), 8);
+        assert_eq!(a.max_length(), 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! BUC-style bottom-up computation of the iceberg cube on the
+//! path-independent dimensions (the first half of the paper's Cubing
+//! baseline, Algorithm 2).
+//!
+//! The cube is walked from high abstraction levels to low ones — both
+//! across dimensions and *within* each dimension's concept hierarchy — so
+//! that Apriori-style pruning applies: an infrequent cell has no frequent
+//! specialization. The measure of each cell is its transaction-id list,
+//! exactly as Algorithm 2 prescribes (and exactly the I/O weakness the
+//! paper attributes to this baseline).
+
+use crate::item::{DictContext, ItemDictionary, ItemId};
+use flowcube_hier::{ConceptId, FxHashMap};
+use flowcube_pathdb::PathDatabase;
+use serde::{Deserialize, Serialize};
+
+/// One cell of the iceberg cube: a concept (at any hierarchy level) per
+/// dimension, `None` meaning `*`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IcebergCell {
+    pub values: Vec<Option<ConceptId>>,
+    /// Transaction indexes (positions in the path database) aggregated in
+    /// this cell.
+    pub tids: Vec<u32>,
+}
+
+impl IcebergCell {
+    pub fn count(&self) -> u64 {
+        self.tids.len() as u64
+    }
+
+    /// The cell's dimension items in the mining dictionary (sorted); the
+    /// apex cell maps to the empty set.
+    pub fn dim_items(&self, dict: &ItemDictionary, ctx: DictContext<'_>) -> Option<Vec<ItemId>> {
+        let mut items = Vec::new();
+        for (d, v) in self.values.iter().enumerate() {
+            if let Some(c) = v {
+                items.push(dict.lookup(crate::item::ItemKind::Dim {
+                    dim: d as u8,
+                    concept: *c,
+                })?);
+            }
+        }
+        let _ = ctx;
+        items.sort_unstable();
+        Some(items)
+    }
+}
+
+/// Counters for the BUC pass.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BucStats {
+    /// Cells that met the iceberg condition.
+    pub cells: u64,
+    /// Candidate partitions examined (including infrequent ones).
+    pub partitions_examined: u64,
+    /// Total tid-list entries materialized across all output cells — the
+    /// paper's I/O-cost proxy ("these lists were much larger than the
+    /// path database itself").
+    pub tidlist_items: u64,
+}
+
+/// Compute all iceberg cells of `db`'s item dimensions with at least
+/// `min_support` paths. Every combination of hierarchy levels is covered;
+/// the apex (all-`*`) cell is included first.
+pub fn buc_iceberg(db: &PathDatabase, min_support: u64) -> (Vec<IcebergCell>, BucStats) {
+    let schema = db.schema();
+    let n = db.len();
+    let mut stats = BucStats::default();
+    let mut out: Vec<IcebergCell> = Vec::new();
+    let all: Vec<u32> = (0..n as u32).collect();
+    let mut values: Vec<Option<ConceptId>> = vec![None; schema.num_dims()];
+    if (n as u64) < min_support {
+        return (out, stats);
+    }
+    out.push(IcebergCell {
+        values: values.clone(),
+        tids: all.clone(),
+    });
+    stats.cells += 1;
+    stats.tidlist_items += n as u64;
+
+    // Recursive expansion, dimensions left to right, levels top-down.
+    #[allow(clippy::too_many_arguments)] // recursion carries the full build state
+    fn expand(
+        db: &PathDatabase,
+        dim: usize,
+        level: u8,
+        tids: &[u32],
+        values: &mut Vec<Option<ConceptId>>,
+        min_support: u64,
+        out: &mut Vec<IcebergCell>,
+        stats: &mut BucStats,
+    ) {
+        let schema = db.schema();
+        let h = schema.dim(dim as u8);
+        if level > h.max_level() {
+            return;
+        }
+        let mut groups: FxHashMap<ConceptId, Vec<u32>> = FxHashMap::default();
+        for &t in tids {
+            let v = db.records()[t as usize].dims[dim];
+            let anc = h.ancestor_at_level(v, level);
+            groups.entry(anc).or_default().push(t);
+        }
+        let mut keys: Vec<ConceptId> = groups.keys().copied().collect();
+        keys.sort_unstable();
+        let saved = values[dim];
+        for key in keys {
+            stats.partitions_examined += 1;
+            // Skip clamped values (hierarchies may be ragged): a value
+            // shallower than `level` was already emitted at its own depth.
+            if h.level_of(key) < level {
+                continue;
+            }
+            let group = &groups[&key];
+            if (group.len() as u64) < min_support {
+                continue;
+            }
+            values[dim] = Some(key);
+            out.push(IcebergCell {
+                values: values.clone(),
+                tids: group.clone(),
+            });
+            stats.cells += 1;
+            stats.tidlist_items += group.len() as u64;
+            // Deeper level of the same dimension.
+            expand(db, dim, level + 1, group, values, min_support, out, stats);
+            // Remaining dimensions.
+            for d2 in dim + 1..schema.num_dims() {
+                expand(db, d2, 1, group, values, min_support, out, stats);
+            }
+        }
+        values[dim] = saved;
+    }
+
+    for d in 0..schema.num_dims() {
+        expand(db, d, 1, &all, &mut values, min_support, &mut out, &mut stats);
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcube_pathdb::samples;
+
+    #[test]
+    fn apex_always_first() {
+        let db = samples::paper_table1();
+        let (cells, _) = buc_iceberg(&db, 1);
+        assert_eq!(cells[0].values, vec![None, None]);
+        assert_eq!(cells[0].count(), 8);
+    }
+
+    #[test]
+    fn paper_table2_cells_present() {
+        // Table 2: (shoes, nike) = {1,2,3}, (shoes, adidas) = {7,8},
+        // (outerwear, nike) = {4,5,6}.
+        let db = samples::paper_table1();
+        let schema = db.schema();
+        let (cells, _) = buc_iceberg(&db, 2);
+        let shoes = schema.dim(0).id_of("shoes").unwrap();
+        let outer = schema.dim(0).id_of("outerwear").unwrap();
+        let nike = schema.dim(1).id_of("nike").unwrap();
+        let adidas = schema.dim(1).id_of("adidas").unwrap();
+        let find = |v: Vec<Option<ConceptId>>| cells.iter().find(|c| c.values == v);
+        let c = find(vec![Some(shoes), Some(nike)]).expect("shoes/nike cell");
+        assert_eq!(c.tids, vec![0, 1, 2]); // records 1,2,3 (0-based)
+        let c = find(vec![Some(shoes), Some(adidas)]).expect("shoes/adidas cell");
+        assert_eq!(c.tids, vec![6, 7]);
+        let c = find(vec![Some(outer), Some(nike)]).expect("outerwear/nike cell");
+        assert_eq!(c.tids, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn iceberg_condition_prunes() {
+        let db = samples::paper_table1();
+        let schema = db.schema();
+        let shirt = schema.dim(0).id_of("shirt").unwrap();
+        // (shirt, *) has a single path: pruned at min_support 2.
+        let (cells, _) = buc_iceberg(&db, 2);
+        assert!(!cells
+            .iter()
+            .any(|c| c.values[0] == Some(shirt)));
+        let (cells, _) = buc_iceberg(&db, 1);
+        assert!(cells.iter().any(|c| c.values[0] == Some(shirt)));
+    }
+
+    #[test]
+    fn no_duplicate_cells() {
+        let db = samples::paper_table1();
+        let (cells, _) = buc_iceberg(&db, 1);
+        let mut seen = std::collections::HashSet::new();
+        for c in &cells {
+            assert!(seen.insert(c.values.clone()), "duplicate {:?}", c.values);
+        }
+    }
+
+    #[test]
+    fn counts_match_manual_grouping() {
+        let db = samples::paper_table1();
+        let schema = db.schema();
+        let (cells, stats) = buc_iceberg(&db, 1);
+        // (clothing, *) covers everything.
+        let clothing = schema.dim(0).id_of("clothing").unwrap();
+        let c = cells
+            .iter()
+            .find(|c| c.values == vec![Some(clothing), None])
+            .unwrap();
+        assert_eq!(c.count(), 8);
+        // (*, athletic) covers everything too.
+        let athletic = schema.dim(1).id_of("athletic").unwrap();
+        let c = cells
+            .iter()
+            .find(|c| c.values == vec![None, Some(athletic)])
+            .unwrap();
+        assert_eq!(c.count(), 8);
+        assert!(stats.tidlist_items >= 8 * 2);
+        assert_eq!(stats.cells, cells.len() as u64);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = samples::paper_table1();
+        let (schema, _) = db.into_parts();
+        let db = flowcube_pathdb::PathDatabase::new(schema);
+        let (cells, _) = buc_iceberg(&db, 1);
+        assert!(cells.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Interning of path prefixes (location sequences).
+//!
+//! The paper encodes a stage as its *path prefix* plus duration — `(fdt,1)`
+//! means "the third stage of a factory → dist. center → truck path, with
+//! duration 1". We intern each location sequence once and refer to it by a
+//! dense [`PrefixId`]; the interner is a trie, so a prefix's parent
+//! (`fdt` → `fd`) is one lookup and the prefix-chain test used by the
+//! "unrelated stages" pruning is a short parent walk.
+
+use flowcube_hier::{ConceptId, FxHashMap};
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of an interned location sequence.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct PrefixId(pub u32);
+
+impl PrefixId {
+    /// The empty sequence.
+    pub const EMPTY: PrefixId = PrefixId(0);
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Trie-backed interner for location sequences.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PrefixInterner {
+    /// Parent prefix of each entry (EMPTY's parent is itself).
+    parent: Vec<PrefixId>,
+    /// Last location of each entry (unused for EMPTY).
+    last: Vec<ConceptId>,
+    /// Sequence length.
+    len: Vec<u32>,
+    /// Child lookup: (prefix, next location) → extended prefix.
+    #[serde(skip)]
+    children: FxHashMap<(PrefixId, ConceptId), PrefixId>,
+}
+
+impl PrefixInterner {
+    pub fn new() -> Self {
+        PrefixInterner {
+            parent: vec![PrefixId::EMPTY],
+            last: vec![ConceptId::ROOT],
+            len: vec![0],
+            children: FxHashMap::default(),
+        }
+    }
+
+    /// Number of interned prefixes, including the empty one.
+    pub fn size(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Extend `base` with `loc`, interning the result.
+    pub fn extend(&mut self, base: PrefixId, loc: ConceptId) -> PrefixId {
+        if let Some(&id) = self.children.get(&(base, loc)) {
+            return id;
+        }
+        let id = PrefixId(self.parent.len() as u32);
+        self.parent.push(base);
+        self.last.push(loc);
+        self.len.push(self.len[base.index()] + 1);
+        self.children.insert((base, loc), id);
+        id
+    }
+
+    /// Intern a whole sequence.
+    pub fn intern(&mut self, seq: &[ConceptId]) -> PrefixId {
+        let mut cur = PrefixId::EMPTY;
+        for &loc in seq {
+            cur = self.extend(cur, loc);
+        }
+        cur
+    }
+
+    /// Look up a sequence without interning.
+    pub fn get(&self, seq: &[ConceptId]) -> Option<PrefixId> {
+        let mut cur = PrefixId::EMPTY;
+        for &loc in seq {
+            cur = *self.children.get(&(cur, loc))?;
+        }
+        Some(cur)
+    }
+
+    #[inline]
+    pub fn len_of(&self, p: PrefixId) -> u32 {
+        self.len[p.index()]
+    }
+
+    #[inline]
+    pub fn parent_of(&self, p: PrefixId) -> PrefixId {
+        self.parent[p.index()]
+    }
+
+    /// Last location of a non-empty prefix.
+    #[inline]
+    pub fn last_of(&self, p: PrefixId) -> ConceptId {
+        self.last[p.index()]
+    }
+
+    /// Materialize the location sequence.
+    pub fn sequence(&self, p: PrefixId) -> Vec<ConceptId> {
+        let mut out = Vec::with_capacity(self.len[p.index()] as usize);
+        let mut cur = p;
+        while cur != PrefixId::EMPTY {
+            out.push(self.last[cur.index()]);
+            cur = self.parent[cur.index()];
+        }
+        out.reverse();
+        out
+    }
+
+    /// The ancestor of `p` with length `target_len` (walks parents).
+    pub fn truncate(&self, p: PrefixId, target_len: u32) -> PrefixId {
+        let mut cur = p;
+        while self.len[cur.index()] > target_len {
+            cur = self.parent[cur.index()];
+        }
+        cur
+    }
+
+    /// True iff `a` is a (non-strict) prefix of `b`.
+    pub fn is_prefix_of(&self, a: PrefixId, b: PrefixId) -> bool {
+        self.truncate(b, self.len[a.index()]) == a
+    }
+
+    /// True iff one of `a`, `b` is a prefix of the other — the condition
+    /// for two same-level stages to lie on one path.
+    pub fn on_one_chain(&self, a: PrefixId, b: PrefixId) -> bool {
+        if self.len[a.index()] <= self.len[b.index()] {
+            self.is_prefix_of(a, b)
+        } else {
+            self.is_prefix_of(b, a)
+        }
+    }
+
+    /// Rebuild the child map after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.children = (1..self.parent.len())
+            .map(|i| {
+                (
+                    (self.parent[i], self.last[i]),
+                    PrefixId(i as u32),
+                )
+            })
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ConceptId = ConceptId(1);
+    const B: ConceptId = ConceptId(2);
+    const C: ConceptId = ConceptId(3);
+
+    #[test]
+    fn intern_and_lookup() {
+        let mut p = PrefixInterner::new();
+        let ab = p.intern(&[A, B]);
+        let ab2 = p.intern(&[A, B]);
+        assert_eq!(ab, ab2);
+        assert_eq!(p.get(&[A, B]), Some(ab));
+        assert_eq!(p.get(&[B]), None);
+        assert_eq!(p.len_of(ab), 2);
+        assert_eq!(p.sequence(ab), vec![A, B]);
+        assert_eq!(p.size(), 3); // empty, a, ab
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let mut p = PrefixInterner::new();
+        let a = p.intern(&[A]);
+        let ab = p.intern(&[A, B]);
+        let abc = p.intern(&[A, B, C]);
+        let ac = p.intern(&[A, C]);
+        assert!(p.is_prefix_of(a, abc));
+        assert!(p.is_prefix_of(ab, abc));
+        assert!(p.is_prefix_of(abc, abc));
+        assert!(!p.is_prefix_of(ac, abc));
+        assert!(p.on_one_chain(abc, a));
+        assert!(!p.on_one_chain(ac, ab));
+        assert!(p.is_prefix_of(PrefixId::EMPTY, ac));
+    }
+
+    #[test]
+    fn truncate_walks_to_length() {
+        let mut p = PrefixInterner::new();
+        let abc = p.intern(&[A, B, C]);
+        let ab = p.get(&[A, B]).unwrap();
+        assert_eq!(p.truncate(abc, 2), ab);
+        assert_eq!(p.truncate(abc, 0), PrefixId::EMPTY);
+        assert_eq!(p.truncate(abc, 3), abc);
+    }
+
+    #[test]
+    fn rebuild_index_preserves_structure() {
+        let mut p = PrefixInterner::new();
+        let abc = p.intern(&[A, B, C]);
+        p.children.clear();
+        p.rebuild_index();
+        assert_eq!(p.get(&[A, B, C]), Some(abc));
+        // extending still works and reuses entries
+        assert_eq!(p.intern(&[A, B]), p.get(&[A, B]).unwrap());
+    }
+}

@@ -1,0 +1,161 @@
+//! A small line-oriented text format for path databases, used by examples
+//! and test fixtures.
+//!
+//! One record per line:
+//!
+//! ```text
+//! tennis, nike : (factory,10)(dist_center,2)(truck,1)(shelf,5)(checkout,0)
+//! ```
+//!
+//! Dimension values appear in schema order; stage locations are leaf names
+//! of the location hierarchy. Blank lines and `#` comments are skipped.
+
+use crate::path::{PathDatabase, PathRecord, Stage};
+use flowcube_hier::Schema;
+use std::fmt;
+
+/// Parse failures with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a whole text document into a [`PathDatabase`] over `schema`.
+pub fn parse_text(schema: Schema, text: &str) -> Result<PathDatabase, ParseError> {
+    let mut db = PathDatabase::new(schema);
+    let mut next_id: u64 = 1;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let record = parse_line(db.schema(), next_id, line, lineno)?;
+        db.push(record)
+            .map_err(|e| err(lineno, e.to_string()))?;
+        next_id += 1;
+    }
+    Ok(db)
+}
+
+fn parse_line(
+    schema: &Schema,
+    id: u64,
+    line: &str,
+    lineno: usize,
+) -> Result<PathRecord, ParseError> {
+    let (dims_part, path_part) = line
+        .split_once(':')
+        .ok_or_else(|| err(lineno, "missing ':' separating dimensions from path"))?;
+    let dim_names: Vec<&str> = dims_part.split(',').map(str::trim).collect();
+    if dim_names.len() != schema.num_dims() {
+        return Err(err(
+            lineno,
+            format!(
+                "expected {} dimension values, found {}",
+                schema.num_dims(),
+                dim_names.len()
+            ),
+        ));
+    }
+    let mut dims = Vec::with_capacity(dim_names.len());
+    for (i, name) in dim_names.iter().enumerate() {
+        let c = schema
+            .dim(i as u8)
+            .id_of(name)
+            .map_err(|e| err(lineno, e.to_string()))?;
+        dims.push(c);
+    }
+    let mut stages = Vec::new();
+    let mut rest = path_part.trim();
+    while !rest.is_empty() {
+        if !rest.starts_with('(') {
+            return Err(err(lineno, format!("expected '(' at {rest:?}")));
+        }
+        let close = rest
+            .find(')')
+            .ok_or_else(|| err(lineno, "unterminated stage"))?;
+        let inner = &rest[1..close];
+        let (loc_name, dur_str) = inner
+            .split_once(',')
+            .ok_or_else(|| err(lineno, format!("stage {inner:?} missing ','")))?;
+        let loc = schema
+            .locations()
+            .id_of(loc_name.trim())
+            .map_err(|e| err(lineno, e.to_string()))?;
+        let dur: u32 = dur_str
+            .trim()
+            .parse()
+            .map_err(|_| err(lineno, format!("bad duration {dur_str:?}")))?;
+        stages.push(Stage::new(loc, dur));
+        rest = rest[close + 1..].trim_start();
+    }
+    Ok(PathRecord::new(id, dims, stages))
+}
+
+/// Render a database back into the text format; inverse of [`parse_text`].
+pub fn to_text(db: &PathDatabase) -> String {
+    let mut out = String::new();
+    for r in db.records() {
+        out.push_str(&db.display_record(r));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    #[test]
+    fn roundtrip_paper_table1() {
+        let db = samples::paper_table1();
+        let text = to_text(&db);
+        let db2 = parse_text(samples::paper_schema(), &text).unwrap();
+        assert_eq!(db.len(), db2.len());
+        for (a, b) in db.records().iter().zip(db2.records()) {
+            assert_eq!(a.dims, b.dims);
+            assert_eq!(a.stages, b.stages);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n  tennis, nike : (factory,1)\n";
+        let db = parse_text(samples::paper_schema(), text).unwrap();
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let schema = samples::paper_schema();
+        let e = parse_text(schema.clone(), "tennis nike (factory,1)").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_text(schema.clone(), "\ntennis : (factory,1)").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected 2 dimension"));
+        let e = parse_text(schema.clone(), "tennis, nike : (factory,x)").unwrap_err();
+        assert!(e.message.contains("bad duration"));
+        let e = parse_text(schema.clone(), "tennis, nike : (mars,3)").unwrap_err();
+        assert!(e.message.contains("mars"));
+        let e = parse_text(schema, "tennis, nike : (factory,3").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Path databases for RFID commodity-flow analysis (paper §2).
+//!
+//! Pipeline: raw `(EPC, location, time)` readings → [`reading`] cleaning →
+//! [`PathRecord`]s in a [`PathDatabase`] → [`aggregate`] to any item /
+//! path abstraction level. The paper's running example (Table 1, Figures
+//! 2 & 5) lives in [`samples`] and is reused throughout the workspace.
+
+pub mod aggregate;
+pub mod io;
+pub mod path;
+pub mod reading;
+pub mod samples;
+
+pub use aggregate::{aggregate_dims, aggregate_stages, AggStage, MergePolicy};
+pub use path::{PathDatabase, PathDbError, PathRecord, Stage};
+pub use reading::{clean_readings, stays_to_record, CleanerConfig, RawReading, Stay};

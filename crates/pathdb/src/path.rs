@@ -1,0 +1,243 @@
+//! The path database (paper §2): records of path-independent dimension
+//! values plus a path of `(location, duration)` stages.
+
+use flowcube_hier::{ConceptId, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One stage of a path: the item sat at `loc` for `dur` time units.
+///
+/// `loc` is a concept of the schema's location hierarchy — a leaf in a raw
+/// database, possibly an inner node after aggregation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Stage {
+    pub loc: ConceptId,
+    pub dur: u32,
+}
+
+impl Stage {
+    pub fn new(loc: ConceptId, dur: u32) -> Self {
+        Stage { loc, dur }
+    }
+}
+
+/// One tuple of the path database:
+/// `<d1, …, dm : (l1,t1) … (lk,tk)>`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PathRecord {
+    /// Stable record identifier (EPC-derived or assigned at load).
+    pub id: u64,
+    /// One concept per path-independent dimension, in schema order.
+    pub dims: Vec<ConceptId>,
+    /// The path, in traversal order.
+    pub stages: Vec<Stage>,
+}
+
+impl PathRecord {
+    pub fn new(id: u64, dims: Vec<ConceptId>, stages: Vec<Stage>) -> Self {
+        PathRecord { id, dims, stages }
+    }
+}
+
+/// A collection of [`PathRecord`]s sharing a [`Schema`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PathDatabase {
+    schema: Schema,
+    records: Vec<PathRecord>,
+}
+
+/// Validation failures for a record against a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathDbError {
+    /// The record's dimension vector has the wrong arity.
+    WrongDimCount { record: u64, got: usize, want: usize },
+    /// A dimension value is out of range for its hierarchy.
+    BadDimValue { record: u64, dim: u8 },
+    /// A stage location is not a leaf of the location hierarchy.
+    NonLeafLocation { record: u64, stage: usize },
+    /// The record has an empty path.
+    EmptyPath { record: u64 },
+}
+
+impl fmt::Display for PathDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathDbError::WrongDimCount { record, got, want } => {
+                write!(f, "record {record}: {got} dimension values, schema has {want}")
+            }
+            PathDbError::BadDimValue { record, dim } => {
+                write!(f, "record {record}: invalid value for dimension {dim}")
+            }
+            PathDbError::NonLeafLocation { record, stage } => {
+                write!(f, "record {record}: stage {stage} is not a leaf location")
+            }
+            PathDbError::EmptyPath { record } => write!(f, "record {record}: empty path"),
+        }
+    }
+}
+
+impl std::error::Error for PathDbError {}
+
+impl PathDatabase {
+    /// Create an empty database over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        PathDatabase {
+            schema,
+            records: Vec::new(),
+        }
+    }
+
+    /// Create a database from pre-validated records.
+    pub fn from_records(schema: Schema, records: Vec<PathRecord>) -> Result<Self, PathDbError> {
+        let mut db = PathDatabase::new(schema);
+        for r in records {
+            db.push(r)?;
+        }
+        Ok(db)
+    }
+
+    /// Append a record after validating it against the schema.
+    pub fn push(&mut self, record: PathRecord) -> Result<(), PathDbError> {
+        if record.dims.len() != self.schema.num_dims() {
+            return Err(PathDbError::WrongDimCount {
+                record: record.id,
+                got: record.dims.len(),
+                want: self.schema.num_dims(),
+            });
+        }
+        for (i, &v) in record.dims.iter().enumerate() {
+            if v.index() >= self.schema.dim(i as u8).len() {
+                return Err(PathDbError::BadDimValue {
+                    record: record.id,
+                    dim: i as u8,
+                });
+            }
+        }
+        if record.stages.is_empty() {
+            return Err(PathDbError::EmptyPath { record: record.id });
+        }
+        let locs = self.schema.locations();
+        for (i, s) in record.stages.iter().enumerate() {
+            let valid = s.loc.index() < locs.len()
+                && locs.children_of(s.loc).is_empty()
+                && s.loc != ConceptId::ROOT;
+            if !valid {
+                return Err(PathDbError::NonLeafLocation {
+                    record: record.id,
+                    stage: i,
+                });
+            }
+        }
+        self.records.push(record);
+        Ok(())
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn records(&self) -> &[PathRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Consume the database, returning its parts.
+    pub fn into_parts(self) -> (Schema, Vec<PathRecord>) {
+        (self.schema, self.records)
+    }
+
+    /// Render a record in the paper's notation, e.g.
+    /// `tennis, nike: (factory,10)(dist_center,2)…`.
+    pub fn display_record(&self, r: &PathRecord) -> String {
+        let mut s = String::new();
+        for (i, &d) in r.dims.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(self.schema.dim(i as u8).name_of(d));
+        }
+        s.push_str(": ");
+        for st in &r.stages {
+            s.push_str(&format!(
+                "({},{})",
+                self.schema.locations().name_of(st.loc),
+                st.dur
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    #[test]
+    fn paper_table1_loads() {
+        let db = samples::paper_table1();
+        assert_eq!(db.len(), 8);
+        // Record 1: tennis nike (f,10)(d,2)(t,1)(s,5)(c,0)
+        let r = &db.records()[0];
+        assert_eq!(r.stages.len(), 5);
+        assert_eq!(
+            db.display_record(r),
+            "tennis, nike: (factory,10)(dist_center,2)(truck,1)(shelf,5)(checkout,0)"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_records() {
+        let db = samples::paper_table1();
+        let (schema, _) = db.into_parts();
+        let mut db = PathDatabase::new(schema);
+        // wrong dim count
+        let err = db
+            .push(PathRecord::new(1, vec![ConceptId(1)], vec![]))
+            .unwrap_err();
+        assert!(matches!(err, PathDbError::WrongDimCount { .. }));
+        // empty path
+        let tennis = db.schema().dim(0).id_of("tennis").unwrap();
+        let nike = db.schema().dim(1).id_of("nike").unwrap();
+        let err = db
+            .push(PathRecord::new(2, vec![tennis, nike], vec![]))
+            .unwrap_err();
+        assert!(matches!(err, PathDbError::EmptyPath { .. }));
+        // non-leaf stage location
+        let store = db.schema().locations().id_of("store").unwrap();
+        let err = db
+            .push(PathRecord::new(
+                3,
+                vec![tennis, nike],
+                vec![Stage::new(store, 1)],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, PathDbError::NonLeafLocation { .. }));
+        // root as location
+        let err = db
+            .push(PathRecord::new(
+                4,
+                vec![tennis, nike],
+                vec![Stage::new(ConceptId::ROOT, 1)],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, PathDbError::NonLeafLocation { .. }));
+        // dim value out of range
+        let err = db
+            .push(PathRecord::new(
+                5,
+                vec![ConceptId(10_000), nike],
+                vec![Stage::new(db.schema().locations().id_of("factory").unwrap(), 1)],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, PathDbError::BadDimValue { .. }));
+        assert!(db.is_empty());
+    }
+}

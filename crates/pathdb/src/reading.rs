@@ -1,0 +1,231 @@
+//! Cleaning raw RFID reading streams into paths (paper §2).
+//!
+//! An RFID deployment emits `(EPC, location, time)` tuples — one or more
+//! per location an item visits. Cleaning groups readings by EPC, orders
+//! them by time, collapses consecutive readings at one location into a
+//! *stay* `(location, time_in, time_out)`, and finally drops absolute time,
+//! keeping only relative durations.
+
+use crate::path::{PathRecord, Stage};
+use flowcube_hier::{ConceptId, FxHashMap};
+use serde::{Deserialize, Serialize};
+
+/// One raw reading from an RFID transponder.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RawReading {
+    /// Electronic Product Code — the unique item identifier.
+    pub epc: u64,
+    /// The reader's location (a leaf of the location hierarchy).
+    pub location: ConceptId,
+    /// Reading timestamp, in arbitrary fixed units.
+    pub time: u64,
+}
+
+impl RawReading {
+    pub fn new(epc: u64, location: ConceptId, time: u64) -> Self {
+        RawReading {
+            epc,
+            location,
+            time,
+        }
+    }
+}
+
+/// Options controlling stream cleaning.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct CleanerConfig {
+    /// Two readings of one item at the *same* location more than
+    /// `max_same_location_gap` units apart start a new stay (the item left
+    /// and came back without being read elsewhere). `u64::MAX` disables
+    /// the split.
+    pub max_same_location_gap: u64,
+    /// Divide durations by this factor when emitting stages — the paper's
+    /// numerosity reduction from, say, seconds to hours. Must be ≥ 1.
+    pub duration_unit: u32,
+}
+
+impl Default for CleanerConfig {
+    fn default() -> Self {
+        CleanerConfig {
+            max_same_location_gap: u64::MAX,
+            duration_unit: 1,
+        }
+    }
+}
+
+/// A stay: the cleaned, absolute-time form of a stage.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Stay {
+    pub location: ConceptId,
+    pub time_in: u64,
+    pub time_out: u64,
+}
+
+/// Group readings by EPC and collapse them into per-item stay sequences.
+///
+/// Readings need not arrive sorted. Returns `(epc, stays)` pairs sorted by
+/// EPC for determinism.
+///
+/// ```
+/// use flowcube_pathdb::{clean_readings, CleanerConfig, RawReading};
+/// use flowcube_hier::ConceptId;
+/// let loc = ConceptId(1);
+/// let readings = vec![
+///     RawReading::new(7, loc, 5), // out of order on purpose
+///     RawReading::new(7, loc, 0),
+/// ];
+/// let cleaned = clean_readings(readings, &CleanerConfig::default());
+/// assert_eq!(cleaned[0].1.len(), 1); // one stay, 0..5
+/// assert_eq!(cleaned[0].1[0].time_out, 5);
+/// ```
+pub fn clean_readings(
+    readings: impl IntoIterator<Item = RawReading>,
+    config: &CleanerConfig,
+) -> Vec<(u64, Vec<Stay>)> {
+    let mut by_epc: FxHashMap<u64, Vec<RawReading>> = FxHashMap::default();
+    for r in readings {
+        by_epc.entry(r.epc).or_default().push(r);
+    }
+    let mut out: Vec<(u64, Vec<Stay>)> = by_epc
+        .into_iter()
+        .map(|(epc, mut rs)| {
+            rs.sort_by_key(|r| r.time);
+            let mut stays: Vec<Stay> = Vec::new();
+            for r in rs {
+                match stays.last_mut() {
+                    Some(last)
+                        if last.location == r.location
+                            && r.time.saturating_sub(last.time_out)
+                                <= config.max_same_location_gap =>
+                    {
+                        last.time_out = r.time;
+                    }
+                    _ => stays.push(Stay {
+                        location: r.location,
+                        time_in: r.time,
+                        time_out: r.time,
+                    }),
+                }
+            }
+            (epc, stays)
+        })
+        .collect();
+    out.sort_by_key(|(epc, _)| *epc);
+    out
+}
+
+/// Convert cleaned stays into a [`PathRecord`], attaching the item's
+/// dimension values. Durations are `(time_out - time_in) / duration_unit`.
+pub fn stays_to_record(
+    epc: u64,
+    dims: Vec<ConceptId>,
+    stays: &[Stay],
+    config: &CleanerConfig,
+) -> PathRecord {
+    let unit = config.duration_unit.max(1) as u64;
+    let stages = stays
+        .iter()
+        .map(|s| {
+            let dur = (s.time_out - s.time_in) / unit;
+            Stage::new(s.location, dur.min(u32::MAX as u64) as u32)
+        })
+        .collect();
+    PathRecord::new(epc, dims, stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcube_hier::ConceptId;
+
+    const LOC_A: ConceptId = ConceptId(1);
+    const LOC_B: ConceptId = ConceptId(2);
+
+    #[test]
+    fn readings_collapse_into_stays() {
+        let readings = vec![
+            RawReading::new(7, LOC_A, 0),
+            RawReading::new(7, LOC_A, 5),
+            RawReading::new(7, LOC_B, 9),
+            RawReading::new(7, LOC_B, 12),
+        ];
+        let cleaned = clean_readings(readings, &CleanerConfig::default());
+        assert_eq!(cleaned.len(), 1);
+        let (epc, stays) = &cleaned[0];
+        assert_eq!(*epc, 7);
+        assert_eq!(
+            stays,
+            &vec![
+                Stay {
+                    location: LOC_A,
+                    time_in: 0,
+                    time_out: 5
+                },
+                Stay {
+                    location: LOC_B,
+                    time_in: 9,
+                    time_out: 12
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn unsorted_input_and_multiple_items() {
+        let readings = vec![
+            RawReading::new(2, LOC_B, 10),
+            RawReading::new(1, LOC_A, 0),
+            RawReading::new(2, LOC_A, 3),
+            RawReading::new(1, LOC_A, 4),
+        ];
+        let cleaned = clean_readings(readings, &CleanerConfig::default());
+        assert_eq!(cleaned.len(), 2);
+        assert_eq!(cleaned[0].0, 1);
+        assert_eq!(cleaned[0].1.len(), 1);
+        // epc 2 visited A then B (after sorting by time)
+        assert_eq!(cleaned[1].0, 2);
+        assert_eq!(cleaned[1].1[0].location, LOC_A);
+        assert_eq!(cleaned[1].1[1].location, LOC_B);
+    }
+
+    #[test]
+    fn same_location_gap_splits_stays() {
+        let cfg = CleanerConfig {
+            max_same_location_gap: 3,
+            duration_unit: 1,
+        };
+        let readings = vec![
+            RawReading::new(1, LOC_A, 0),
+            RawReading::new(1, LOC_A, 2),  // gap 2 ≤ 3 → same stay
+            RawReading::new(1, LOC_A, 10), // gap 8 > 3 → new stay
+        ];
+        let cleaned = clean_readings(readings, &cfg);
+        assert_eq!(cleaned[0].1.len(), 2);
+    }
+
+    #[test]
+    fn stays_to_record_applies_duration_unit() {
+        let cfg = CleanerConfig {
+            max_same_location_gap: u64::MAX,
+            duration_unit: 60,
+        };
+        let stays = vec![Stay {
+            location: LOC_A,
+            time_in: 0,
+            time_out: 600,
+        }];
+        let rec = stays_to_record(9, vec![], &stays, &cfg);
+        assert_eq!(rec.id, 9);
+        assert_eq!(rec.stages[0].dur, 10);
+    }
+
+    #[test]
+    fn single_reading_yields_zero_duration() {
+        let cleaned = clean_readings(
+            vec![RawReading::new(1, LOC_A, 42)],
+            &CleanerConfig::default(),
+        );
+        let rec = stays_to_record(1, vec![], &cleaned[0].1, &CleanerConfig::default());
+        assert_eq!(rec.stages[0].dur, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! The paper's running example: the schema of Figures 2 & 5 and the path
+//! database of Table 1. Shared by tests, examples, and documentation.
+
+use crate::path::{PathDatabase, PathRecord, Stage};
+use flowcube_hier::{ConceptHierarchy, Schema};
+
+/// Product hierarchy of Figure 2:
+/// `clothing -> {outerwear -> {shirt, jacket}, shoes -> {tennis, sandals}}`.
+pub fn product_hierarchy() -> ConceptHierarchy {
+    let mut h = ConceptHierarchy::new("product");
+    h.add_path(["clothing", "outerwear", "shirt"]).unwrap();
+    h.add_path(["clothing", "outerwear", "jacket"]).unwrap();
+    h.add_path(["clothing", "shoes", "tennis"]).unwrap();
+    h.add_path(["clothing", "shoes", "sandals"]).unwrap();
+    h
+}
+
+/// Brand hierarchy: `athletic -> {nike, adidas}`.
+pub fn brand_hierarchy() -> ConceptHierarchy {
+    let mut h = ConceptHierarchy::new("brand");
+    h.add_path(["athletic", "nike"]).unwrap();
+    h.add_path(["athletic", "adidas"]).unwrap();
+    h
+}
+
+/// Location hierarchy of Figure 5:
+/// `* -> {transportation -> {dist_center, truck}, factory,
+///        store -> {warehouse, backroom, shelf, checkout}}`.
+///
+/// `factory` is a level-1 leaf — the hierarchy is deliberately ragged, as
+/// in the paper's figure.
+pub fn location_hierarchy() -> ConceptHierarchy {
+    let mut h = ConceptHierarchy::new("location");
+    h.add_path(["transportation", "dist_center"]).unwrap();
+    h.add_path(["transportation", "truck"]).unwrap();
+    h.add_path(["factory"]).unwrap();
+    h.add_path(["store", "warehouse"]).unwrap();
+    h.add_path(["store", "backroom"]).unwrap();
+    h.add_path(["store", "shelf"]).unwrap();
+    h.add_path(["store", "checkout"]).unwrap();
+    h
+}
+
+/// The running example's schema: dimensions (product, brand) and the
+/// Figure 5 location hierarchy.
+pub fn paper_schema() -> Schema {
+    Schema::new(
+        vec![product_hierarchy(), brand_hierarchy()],
+        location_hierarchy(),
+    )
+}
+
+/// The path database of Table 1 (8 records).
+pub fn paper_table1() -> PathDatabase {
+    let schema = paper_schema();
+    let p = |name: &str| schema.dim(0).id_of(name).unwrap();
+    let b = |name: &str| schema.dim(1).id_of(name).unwrap();
+    let l = |name: &str| schema.locations().id_of(name).unwrap();
+    let (f, d, t, s, c, w) = (
+        l("factory"),
+        l("dist_center"),
+        l("truck"),
+        l("shelf"),
+        l("checkout"),
+        l("warehouse"),
+    );
+    let st = |loc, dur| Stage::new(loc, dur);
+    let rows: Vec<PathRecord> = vec![
+        PathRecord::new(
+            1,
+            vec![p("tennis"), b("nike")],
+            vec![st(f, 10), st(d, 2), st(t, 1), st(s, 5), st(c, 0)],
+        ),
+        PathRecord::new(
+            2,
+            vec![p("tennis"), b("nike")],
+            vec![st(f, 5), st(d, 2), st(t, 1), st(s, 10), st(c, 0)],
+        ),
+        PathRecord::new(
+            3,
+            vec![p("sandals"), b("nike")],
+            vec![st(f, 10), st(d, 1), st(t, 2), st(s, 5), st(c, 0)],
+        ),
+        PathRecord::new(
+            4,
+            vec![p("shirt"), b("nike")],
+            vec![st(f, 10), st(t, 1), st(s, 5), st(c, 0)],
+        ),
+        PathRecord::new(
+            5,
+            vec![p("jacket"), b("nike")],
+            vec![st(f, 10), st(t, 2), st(s, 5), st(c, 1)],
+        ),
+        PathRecord::new(
+            6,
+            vec![p("jacket"), b("nike")],
+            vec![st(f, 10), st(t, 1), st(w, 5)],
+        ),
+        PathRecord::new(
+            7,
+            vec![p("tennis"), b("adidas")],
+            vec![st(f, 5), st(d, 2), st(t, 2), st(s, 20)],
+        ),
+        PathRecord::new(
+            8,
+            vec![p("tennis"), b("adidas")],
+            vec![st(f, 5), st(d, 2), st(t, 3), st(s, 10), st(d, 5)],
+        ),
+    ];
+    PathDatabase::from_records(schema, rows).expect("the paper's example is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let s = paper_schema();
+        assert_eq!(s.num_dims(), 2);
+        assert_eq!(s.max_item_levels(), vec![3, 2]);
+        assert_eq!(s.locations().max_level(), 2);
+        assert_eq!(s.locations().leaves().count(), 7);
+    }
+
+    #[test]
+    fn table1_dimension_values() {
+        let db = paper_table1();
+        let tennis = db.schema().dim(0).id_of("tennis").unwrap();
+        let count_tennis = db
+            .records()
+            .iter()
+            .filter(|r| r.dims[0] == tennis)
+            .count();
+        assert_eq!(count_tennis, 4); // records 1, 2, 7, 8
+    }
+}

@@ -1,0 +1,173 @@
+//! The introduction's analyst workflow on a synthetic retail operation:
+//!
+//! 1. "What are the most typical paths, with average duration at each
+//!    stage, that [a product line] takes …?"
+//! 2. "List the most notable deviations from the typical paths" —
+//!    flowgraph exceptions.
+//! 3. Compare the speed at which products from two manufacturers move
+//!    through the system (slice + duration comparison).
+//!
+//! ```sh
+//! cargo run --release --example retail_analysis
+//! ```
+
+use flowcube::core::{FlowCube, FlowCubeParams, ItemPlan};
+use flowcube::datagen::{generate, GeneratorConfig};
+use flowcube::hier::{DurationLevel, ItemLevel, LocationCut, PathLatticeSpec, PathLevel};
+
+fn main() {
+    // A 20k-path retail simulation: 2 item dimensions (think product,
+    // manufacturer), 4 supply-chain echelons.
+    let config = GeneratorConfig {
+        num_paths: 20_000,
+        dims: vec![flowcube::datagen::DimShape::new(vec![3, 3, 4], 1.0); 2],
+        num_sequences: 12,
+        // Product lines flow differently, and long first stays reroute —
+        // the structure a non-redundant flowcube and exception mining
+        // exist to surface.
+        flow_correlation: 0.6,
+        exception_bias: 0.7,
+        duration_skew: 0.2,
+        seed: 7,
+        ..Default::default()
+    };
+    let generated = generate(&config);
+    let db = &generated.db;
+    let loc = db.schema().locations();
+    let spec = PathLatticeSpec::new(vec![
+        PathLevel::new(
+            "detailed",
+            LocationCut::uniform_level(loc, 2),
+            DurationLevel::Bucket(2),
+        ),
+        PathLevel::new(
+            "echelon",
+            LocationCut::uniform_level(loc, 1),
+            DurationLevel::Any,
+        ),
+    ]);
+    let mut params = FlowCubeParams::new(200).parallel(true).with_redundancy(0.02);
+    params.exception_deviation = 0.12;
+    let cube = FlowCube::build(db, spec, params, ItemPlan::All);
+    println!(
+        "cube built: {} cuboids, {} cells [{}]",
+        cube.num_cuboids(),
+        cube.total_cells(),
+        cube.stats().summary()
+    );
+
+    let detailed = cube.path_level_id("detailed").unwrap();
+
+    // (1) Typical paths for one product line (dim0 level-1 concept).
+    let line = db.schema().dim(0).concepts_at_level(1).next().unwrap();
+    let key = vec![line, flowcube::hier::ConceptId::ROOT];
+    if let Some(lk) = cube.lookup(&key, detailed) {
+        let g = &lk.entry.graph;
+        println!(
+            "\nproduct line {:?}: {} paths, {} distinct prefixes",
+            db.schema().dim(0).name_of(line),
+            g.total_paths(),
+            g.len() - 1
+        );
+        // Most likely full path: greedy walk by transition probability.
+        let mut node = flowcube::flowgraph::NodeId::ROOT;
+        let mut path = Vec::new();
+        while let Some(&next) = g.children(node).iter().max_by_key(|&&c| g.count(c)) {
+            let avg: f64 = {
+                let d = g.durations(next);
+                let total: u64 = d.iter().map(|(_, c)| c).sum();
+                let weighted: f64 = d
+                    .iter()
+                    .map(|(k, c)| k.unwrap_or(0) as f64 * c as f64)
+                    .sum();
+                if total == 0 {
+                    0.0
+                } else {
+                    weighted / total as f64
+                }
+            };
+            path.push(format!("{}(avg {:.1})", loc.name_of(g.location(next)), avg));
+            node = next;
+        }
+        println!("  typical path: {}", path.join(" -> "));
+
+        // (2) Notable deviations: top exceptions by deviation.
+        let mut exceptions = lk.entry.exceptions.clone();
+        exceptions.sort_by(|a, b| b.deviation.total_cmp(&a.deviation));
+        println!("  top exceptions ({} total):", exceptions.len());
+        for e in exceptions.iter().take(3) {
+            let cond: Vec<String> = e
+                .condition
+                .iter()
+                .map(|&(n, d)| format!("{}={d}", loc.name_of(g.location(n))))
+                .collect();
+            println!(
+                "    given [{}], node {} deviates by {:.2} ({} paths)",
+                cond.join(","),
+                loc.name_of(g.location(e.node)),
+                e.deviation,
+                e.support
+            );
+        }
+    }
+
+    // (3) Product-line comparison: lines flow differently (correlated),
+    //     so their cells survive non-redundancy pruning with distinct
+    //     lead times.
+    let avg_lead = |g: &flowcube::FlowGraph| -> f64 {
+        let mut total = 0.0;
+        for n in g.node_ids().skip(1) {
+            let d = g.durations(n);
+            let cnt: u64 = d.iter().map(|(_, c)| c).sum();
+            if cnt > 0 {
+                let avg: f64 = d
+                    .iter()
+                    .map(|(k, c)| k.unwrap_or(0) as f64 * c as f64)
+                    .sum::<f64>()
+                    / cnt as f64;
+                total += avg * g.reach_probability(n);
+            }
+        }
+        total
+    };
+    println!("\nproduct-line comparison (avg total lead time):");
+    let line_level = ItemLevel(vec![1, 0]);
+    let mut rows: Vec<(String, f64, u64)> = cube
+        .cuboid(&line_level, detailed)
+        .map(|c| {
+            c.iter()
+                .map(|(key, entry)| {
+                    (
+                        db.schema().dim(0).name_of(key[0]).to_string(),
+                        avg_lead(&entry.graph),
+                        entry.support,
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (name, lead, support) in rows {
+        println!("  {name:<16} lead≈{lead:>6.2} time units over {support} paths");
+    }
+
+    // (4) Manufacturers do NOT influence flows in this simulation, so
+    //     their cells are redundant w.r.t. the apex and were pruned; the
+    //     cube still answers queries about them through their parents.
+    println!("\nmanufacturer cells (flows independent of manufacturer):");
+    for m in db.schema().dim(1).concepts_at_level(1) {
+        let key = vec![flowcube::hier::ConceptId::ROOT, m];
+        match cube.lookup(&key, detailed) {
+            Some(lk) if lk.exact => println!(
+                "  {:<16} materialized (diverged from parents)",
+                db.schema().dim(1).name_of(m)
+            ),
+            Some(lk) => println!(
+                "  {:<16} pruned as redundant; answered from {}",
+                db.schema().dim(1).name_of(m),
+                flowcube::core::display_key(lk.source_key, db.schema())
+            ),
+            None => println!("  {:<16} below iceberg threshold", db.schema().dim(1).name_of(m)),
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # flowcube
+//!
+//! A reproduction of *FlowCube: Constructing RFID FlowCubes for
+//! Multi-Dimensional Analysis of Commodity Flows* (Gonzalez, Han, Li;
+//! VLDB 2006) as a Rust workspace. This facade re-exports the public API
+//! of every workspace crate:
+//!
+//! * [`hier`] — concept hierarchies and abstraction lattices;
+//! * [`pathdb`] — RFID reading cleaning and path databases;
+//! * [`flowgraph`] — the probabilistic flowgraph measure;
+//! * [`mining`] — the Shared / Basic / Cubing mining algorithms;
+//! * [`core`] — the flowcube model with OLAP navigation;
+//! * [`datagen`] — the synthetic retail path generator.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use flowcube_core as core;
+pub use flowcube_datagen as datagen;
+pub use flowcube_flowgraph as flowgraph;
+pub use flowcube_hier as hier;
+pub use flowcube_mining as mining;
+pub use flowcube_pathdb as pathdb;
+
+pub use flowcube_core::{Algorithm, FlowCube, FlowCubeParams, ItemPlan};
+pub use flowcube_flowgraph::FlowGraph;
+pub use flowcube_hier::{
+    ConceptHierarchy, DurationLevel, ItemLevel, LocationCut, PathLatticeSpec, PathLevel, Schema,
+};
+pub use flowcube_pathdb::{PathDatabase, PathRecord, Stage};
