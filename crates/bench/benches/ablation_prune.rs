@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use flowcube_bench::experiments::{base_config, paper_path_spec};
 use flowcube_datagen::generate;
-use flowcube_mining::{
-    mine, mine_cubing, CubingConfig, CubingIo, SharedConfig, TransactionDb,
-};
+use flowcube_mining::{mine, mine_cubing, CubingConfig, CubingIo, SharedConfig, TransactionDb};
 use flowcube_pathdb::MergePolicy;
 
 fn bench(c: &mut Criterion) {

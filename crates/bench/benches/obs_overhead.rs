@@ -1,0 +1,57 @@
+//! Overhead of the observability layer on the Figure 7 mining workload.
+//!
+//! Three measurements:
+//!  * `span_disabled` — the raw cost of a `span!` site while recording is
+//!    off (one relaxed atomic load; arguments are never evaluated),
+//!  * `fig7_shared_disabled` — the instrumented Shared run with the
+//!    recorder off, which must sit within noise (≪ 2%) of an
+//!    uninstrumented build: a Shared run enters a few dozen span sites
+//!    total, at sub-nanosecond disabled cost each,
+//!  * `fig7_shared_enabled` — the same run with full recording, for
+//!    reference on what `--trace-out` costs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flowcube_bench::experiments::{base_config, paper_path_spec};
+use flowcube_datagen::generate;
+use flowcube_mining::{mine, SharedConfig, TransactionDb};
+use flowcube_pathdb::MergePolicy;
+
+fn bench(c: &mut Criterion) {
+    let n = 2_000usize;
+    let generated = generate(&base_config(n));
+    let spec = paper_path_spec(generated.db.schema());
+    let tx = TransactionDb::encode(&generated.db, spec, MergePolicy::Sum);
+    let delta = ((n as f64 * 0.01).ceil() as u64).max(2);
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+
+    flowcube_obs::disable();
+    group.bench_function("span_disabled_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                let _span = flowcube_obs::span!("bench.noop", i = black_box(i));
+            }
+        })
+    });
+
+    group.bench_function("fig7_shared_disabled", |b| {
+        b.iter(|| mine(&tx, &SharedConfig::shared(delta)))
+    });
+
+    flowcube_obs::enable();
+    group.bench_function("fig7_shared_enabled", |b| {
+        b.iter(|| {
+            // Reset per iteration so the trace buffer cost stays bounded.
+            flowcube_obs::reset();
+            mine(&tx, &SharedConfig::shared(delta))
+        })
+    });
+    flowcube_obs::disable();
+    flowcube_obs::reset();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

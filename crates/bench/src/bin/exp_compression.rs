@@ -38,7 +38,11 @@ fn main() {
         "regime", "δ", "full", "iceberg", "τ=0.1", "τ=0.5", "kept %"
     );
     for correlated in [false, true] {
-        let regime = if correlated { "correlated" } else { "independent" };
+        let regime = if correlated {
+            "correlated"
+        } else {
+            "independent"
+        };
         let out = generate(&config(n, correlated));
         let loc = out.db.schema().locations();
         let spec = PathLatticeSpec::new(vec![PathLevel::new(

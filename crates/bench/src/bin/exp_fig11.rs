@@ -22,10 +22,7 @@ fn main() {
     println!("== Figure 11: pruning power (N = {n}, δ = 1%) ==");
     let shared = mine(&tx, &SharedConfig::shared(delta));
     let basic = mine(&tx, &SharedConfig::basic(delta));
-    println!(
-        "{:<16} {:>14} {:>14}",
-        "length", "basic", "shared"
-    );
+    println!("{:<16} {:>14} {:>14}", "length", "basic", "shared");
     let max = shared
         .stats
         .counted_by_length

@@ -13,9 +13,7 @@ fn main() {
     let n = scale.apply(100_000);
     let config = base_config(n);
     let generated = generate(&config);
-    print_header(&format!(
-        "Figure 7: minimum support sweep (N = {n}, d = 5)"
-    ));
+    print_header(&format!("Figure 7: minimum support sweep (N = {n}, d = 5)"));
     for pct in fig7_supports() {
         let r = flowcube_bench::runner::run_all_on(
             &format!("δ={:.1}%", pct * 100.0),

@@ -13,9 +13,7 @@ use flowcube_bench::runner::{print_header, print_row, run_all};
 fn main() {
     let scale = ExperimentScale::from_args();
     let n = scale.apply(100_000);
-    print_header(&format!(
-        "Figure 9: item density (N = {n}, δ = 1%, d = 5)"
-    ));
+    print_header(&format!("Figure 9: item density (N = {n}, δ = 1%, d = 5)"));
     for variant in ['a', 'b', 'c'] {
         let config = fig9_config(n, variant);
         let run_basic = variant != 'a';

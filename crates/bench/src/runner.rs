@@ -2,12 +2,10 @@
 //! collects runtimes plus mining statistics.
 
 use flowcube_datagen::{generate, GeneratorConfig};
-use flowcube_mining::{
-    mine, mine_cubing, CubingConfig, MiningStats, SharedConfig, TransactionDb,
-};
+use flowcube_mining::{mine, mine_cubing, CubingConfig, MiningStats, SharedConfig, TransactionDb};
+use flowcube_obs::MetricsSnapshot;
 use flowcube_pathdb::{MergePolicy, PathDatabase};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 use crate::experiments::paper_path_spec;
 
@@ -33,12 +31,18 @@ pub struct RunResult {
     /// `None` when Basic was skipped (candidate explosion, as in the
     /// paper where Basic could not finish several configurations).
     pub basic: Option<AlgoResult>,
+    /// Frozen `flowcube-obs` metrics for the whole run (per-algorithm
+    /// counters under `mining.shared.*` / `mining.cubing.*` /
+    /// `mining.basic.*`); `None` when recording was disabled.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
-fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let t0 = Instant::now();
+/// Time a closure through the `flowcube-obs` span API: always measured,
+/// and visible as a named span in traces when recording is enabled.
+fn time_it<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let timer = flowcube_obs::Timer::start(name);
     let out = f();
-    (out, t0.elapsed().as_secs_f64())
+    (out, timer.stop().as_secs_f64())
 }
 
 /// Generate a dataset from `config`, encode it once, then run the
@@ -54,17 +58,16 @@ pub fn run_all(
 }
 
 /// Same as [`run_all`] over an existing database.
-pub fn run_all_on(
-    label: &str,
-    db: &PathDatabase,
-    support_pct: f64,
-    run_basic: bool,
-) -> RunResult {
+pub fn run_all_on(label: &str, db: &PathDatabase, support_pct: f64, run_basic: bool) -> RunResult {
     let delta = ((db.len() as f64 * support_pct).ceil() as u64).max(2);
     let spec = paper_path_spec(db.schema());
-    let (tx, encode_seconds) = time_it(|| TransactionDb::encode(db, spec, MergePolicy::Sum));
+    let (tx, encode_seconds) = time_it("bench.encode", || {
+        TransactionDb::encode(db, spec, MergePolicy::Sum)
+    });
 
-    let (shared_out, shared_secs) = time_it(|| mine(&tx, &SharedConfig::shared(delta)));
+    let (shared_out, shared_secs) =
+        time_it("bench.shared", || mine(&tx, &SharedConfig::shared(delta)));
+    shared_out.stats.publish("mining.shared");
     let shared = AlgoResult {
         algorithm: "shared".into(),
         seconds: shared_secs,
@@ -73,7 +76,10 @@ pub fn run_all_on(
         stats: shared_out.stats,
     };
 
-    let (cubing_out, cubing_secs) = time_it(|| mine_cubing(db, &tx, &CubingConfig::new(delta)));
+    let (cubing_out, cubing_secs) = time_it("bench.cubing", || {
+        mine_cubing(db, &tx, &CubingConfig::new(delta))
+    });
+    cubing_out.stats.publish("mining.cubing");
     let cubing = AlgoResult {
         algorithm: "cubing".into(),
         seconds: cubing_secs,
@@ -83,7 +89,9 @@ pub fn run_all_on(
     };
 
     let basic = run_basic.then(|| {
-        let (basic_out, basic_secs) = time_it(|| mine(&tx, &SharedConfig::basic(delta)));
+        let (basic_out, basic_secs) =
+            time_it("bench.basic", || mine(&tx, &SharedConfig::basic(delta)));
+        basic_out.stats.publish("mining.basic");
         AlgoResult {
             algorithm: "basic".into(),
             seconds: basic_secs,
@@ -101,6 +109,7 @@ pub fn run_all_on(
         shared,
         cubing,
         basic,
+        metrics: flowcube_obs::is_enabled().then(flowcube_obs::snapshot),
     }
 }
 

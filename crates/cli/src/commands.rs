@@ -16,6 +16,7 @@ USAGE:
   flowcube generate --paths N [--dims D] [--seqs S] [--seed K]
                     [--flow-correlation F] [--exception-bias B] --out db.json
   flowcube build    --db db.json --min-support N [--eps E] [--tau T]
+                    [--algorithm shared|basic|cubing]
                     [--no-exceptions] [--parallel] --out cube.json
   flowcube cells    --cube cube.json [--level NAME] [--limit N]
   flowcube query    --cube cube.json --cell v1,v2,… (use * for any)
@@ -25,12 +26,63 @@ USAGE:
   flowcube predict  --cube cube.json --cell v1,… --observed loc:dur,loc:dur
                     [--level NAME]
   flowcube tables   (reproduce the paper's Tables 1-4 examples)
+
+OBSERVABILITY (build and mine):
+  --trace-out FILE    write a Chrome trace-event JSON of the run
+                      (load it at https://ui.perfetto.dev)
+  --metrics-out FILE  write the metrics registry (counters per candidate
+                      length, prune rules, histograms, peak RSS) as JSON
+  --verbose           print the span tree with durations after the run
 ";
+
+/// Turn recording on when any observability flag is present.
+fn obs_setup(args: &Args) {
+    if args.get("trace-out").is_some() || args.get("metrics-out").is_some() || args.flag("verbose")
+    {
+        flowcube_obs::reset();
+        flowcube_obs::enable();
+    }
+}
+
+/// Write the requested exports and print the verbose span tree.
+fn obs_finish(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("trace-out") {
+        std::fs::write(path, flowcube_obs::export::chrome_trace_json())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote trace to {path} (load at https://ui.perfetto.dev)");
+    }
+    if let Some(path) = args.get("metrics-out") {
+        let snapshot = flowcube_obs::snapshot();
+        std::fs::write(path, flowcube_obs::export::metrics_json(&snapshot))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote metrics to {path}");
+    }
+    if args.flag("verbose") {
+        print!("{}", flowcube_obs::export::tree_summary());
+    }
+    Ok(())
+}
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    match name {
+        "shared" => Ok(Algorithm::Shared),
+        "basic" => Ok(Algorithm::Basic),
+        "cubing" => Ok(Algorithm::Cubing),
+        other => Err(format!("unknown algorithm {other:?}")),
+    }
+}
+
+fn algorithm_prefix(algo: Algorithm) -> &'static str {
+    match algo {
+        Algorithm::Shared => "mining.shared",
+        Algorithm::Basic => "mining.basic",
+        Algorithm::Cubing => "mining.cubing",
+    }
+}
 
 fn read_db(path: &str) -> Result<PathDatabase, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut db: PathDatabase =
-        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut db: PathDatabase = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
     // Rebuild the name indexes serde skips.
     let (mut schema, records) = db.into_parts();
     schema.rebuild_indexes();
@@ -56,10 +108,7 @@ pub fn generate(args: &Args) -> Result<(), String> {
     let out = args.require("out")?;
     let config = GeneratorConfig {
         num_paths: args.num("paths", 10_000usize)?,
-        dims: vec![
-            DimShape::new(vec![4, 4, 6], 0.8);
-            args.num("dims", 5usize)?
-        ],
+        dims: vec![DimShape::new(vec![4, 4, 6], 0.8); args.num("dims", 5usize)?],
         num_sequences: args.num("seqs", 30usize)?,
         seed: args.num("seed", 42u64)?,
         flow_correlation: args.num("flow-correlation", 0.0f64)?,
@@ -78,13 +127,17 @@ pub fn generate(args: &Args) -> Result<(), String> {
 }
 
 pub fn build(args: &Args) -> Result<(), String> {
+    obs_setup(args);
     let db = read_db(args.require("db")?)?;
     let out = args.require("out")?;
     let mut params = FlowCubeParams::new(args.num("min-support", 100u64)?);
     params.exception_deviation = args.num("eps", params.exception_deviation)?;
+    params.algorithm = parse_algorithm(args.get_or("algorithm", "shared"))?;
     if let Some(tau) = args.get("tau") {
-        params.redundancy_tau =
-            Some(tau.parse().map_err(|_| format!("--tau: bad value {tau:?}"))?);
+        params.redundancy_tau = Some(
+            tau.parse()
+                .map_err(|_| format!("--tau: bad value {tau:?}"))?,
+        );
     }
     if args.flag("no-exceptions") {
         params.mine_exceptions = false;
@@ -103,13 +156,12 @@ pub fn build(args: &Args) -> Result<(), String> {
     let json = serde_json::to_string(&cube).map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| e.to_string())?;
     println!("wrote {out}");
-    Ok(())
+    obs_finish(args)
 }
 
 fn read_cube(path: &str) -> Result<FlowCube, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut cube: FlowCube =
-        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut cube: FlowCube = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
     cube.rebuild_indexes();
     Ok(cube)
 }
@@ -147,7 +199,11 @@ pub fn cells(args: &Args) -> Result<(), String> {
             break;
         }
     }
-    println!("total: {} cells in {} cuboids", cube.total_cells(), cube.num_cuboids());
+    println!(
+        "total: {} cells in {} cuboids",
+        cube.total_cells(),
+        cube.num_cuboids()
+    );
     Ok(())
 }
 
@@ -181,10 +237,7 @@ pub fn query(args: &Args) -> Result<(), String> {
                 );
             }
             println!("{}", cube.describe_cell(lk.source_key, pl));
-            print!(
-                "{}",
-                lk.entry.graph.render(cube.schema().locations())
-            );
+            print!("{}", lk.entry.graph.render(cube.schema().locations()));
             if !lk.entry.exceptions.is_empty() {
                 println!("exceptions: {}", lk.entry.exceptions.len());
             }
@@ -195,25 +248,22 @@ pub fn query(args: &Args) -> Result<(), String> {
 }
 
 pub fn mine(args: &Args) -> Result<(), String> {
+    obs_setup(args);
     let db = read_db(args.require("db")?)?;
     let delta = args.num("min-support", 100u64)?;
     let spec = default_spec(db.schema());
-    let t0 = std::time::Instant::now();
+    let timer = flowcube_obs::Timer::start("mine.encode");
     let tx = TransactionDb::encode(&db, spec, MergePolicy::Sum);
-    let encode = t0.elapsed();
-    let algo = match args.get_or("algorithm", "shared") {
-        "shared" => Algorithm::Shared,
-        "basic" => Algorithm::Basic,
-        "cubing" => Algorithm::Cubing,
-        other => return Err(format!("unknown algorithm {other:?}")),
-    };
-    let t0 = std::time::Instant::now();
+    let encode = timer.stop();
+    let algo = parse_algorithm(args.get_or("algorithm", "shared"))?;
+    let timer = flowcube_obs::Timer::start("mine.run");
     let out = match algo {
         Algorithm::Shared => mine_itemsets(&tx, &SharedConfig::shared(delta)),
         Algorithm::Basic => mine_itemsets(&tx, &SharedConfig::basic(delta)),
         Algorithm::Cubing => mine_cubing(&db, &tx, &CubingConfig::new(delta)),
     };
-    let elapsed = t0.elapsed();
+    let elapsed = timer.stop();
+    out.stats.publish(algorithm_prefix(algo));
     println!(
         "{:?}: encode {:?}, mine {:?}; {} frequent patterns, {} candidates counted",
         algo,
@@ -224,7 +274,7 @@ pub fn mine(args: &Args) -> Result<(), String> {
     );
     println!("candidates per length: {:?}", out.stats.counted_by_length);
     println!("frequent per length:   {:?}", out.stats.frequent_by_length);
-    Ok(())
+    obs_finish(args)
 }
 
 /// Predict the next location for an observed partial path within a cell.

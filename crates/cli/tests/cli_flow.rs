@@ -60,8 +60,10 @@ fn build_with_redundancy_and_exceptions() {
         "build --db {db} --min-support 40 --tau 0.5 --eps 0.2 --parallel --out {cube}"
     )))
     .expect("build with exceptions");
-    commands::cells(&args(&format!("cells --cube {cube} --level loc0/dur0 --limit 2")))
-        .expect("cells filtered");
+    commands::cells(&args(&format!(
+        "cells --cube {cube} --level loc0/dur0 --limit 2"
+    )))
+    .expect("cells filtered");
     let _ = std::fs::remove_file(&db);
     let _ = std::fs::remove_file(&cube);
 }
@@ -72,14 +74,11 @@ fn errors_are_reported() {
     assert!(commands::query(&args("query --cube /nonexistent.json --cell a")).is_err());
     assert!(commands::mine(&args("mine --db /nonexistent.json")).is_err());
     assert!(commands::generate(&args("generate")).is_err()); // missing --out
-    // unknown algorithm
+                                                             // unknown algorithm
     let db = tmp("db3.json");
     commands::generate(&args(&format!("generate --paths 120 --dims 2 --out {db}")))
         .expect("generate");
-    assert!(commands::mine(&args(&format!(
-        "mine --db {db} --algorithm quantum"
-    )))
-    .is_err());
+    assert!(commands::mine(&args(&format!("mine --db {db} --algorithm quantum"))).is_err());
     let _ = std::fs::remove_file(&db);
 }
 
@@ -116,4 +115,44 @@ fn predict_flow() {
 #[test]
 fn tables_runs() {
     commands::tables(&args("tables")).expect("tables");
+}
+
+#[test]
+fn build_with_trace_and_metrics_out() {
+    let db = tmp("db5.json");
+    let cube = tmp("cube5.json");
+    let trace = tmp("trace5.json");
+    let metrics = tmp("metrics5.json");
+    commands::generate(&args(&format!(
+        "generate --paths 400 --dims 2 --seed 9 --out {db}"
+    )))
+    .expect("generate");
+    commands::build(&args(&format!(
+        "build --db {db} --min-support 30 --parallel --trace-out {trace} --metrics-out {metrics} --out {cube}"
+    )))
+    .expect("build with tracing");
+
+    // Other tests in this binary may run concurrently against the shared
+    // global recorder, so assert shape rather than exact contents.
+    let trace_text = std::fs::read_to_string(&trace).expect("trace file written");
+    let trace_json = serde_json::parse_value_str(&trace_text).expect("trace is valid JSON");
+    match trace_json {
+        serde_json::Value::Array(events) => {
+            assert!(!events.is_empty(), "trace should contain events");
+            assert!(events
+                .iter()
+                .all(|e| matches!(e, serde_json::Value::Object(_))));
+        }
+        other => panic!("trace must be a JSON array, got {other:?}"),
+    }
+    assert!(trace_text.contains("\"build\""), "root build span missing");
+
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    serde_json::parse_value_str(&metrics_text).expect("metrics is valid JSON");
+    assert!(metrics_text.contains("candidates.len1"));
+    assert!(metrics_text.contains("build.cell_materialize_us"));
+
+    for f in [&db, &cube, &trace, &metrics] {
+        let _ = std::fs::remove_file(f);
+    }
 }

@@ -6,18 +6,15 @@ use crate::cell::{aggregate_key, level_of_key, CellEntry, CellKey, Cuboid, Cuboi
 use crate::params::{Algorithm, FlowCubeParams, ItemPlan};
 use crate::stats::BuildStats;
 use flowcube_flowgraph::{
-    exceptions_from_segments, is_redundant, ExceptionParams, FlowGraph, KlSimilarity,
-    Segment,
+    exceptions_from_segments, is_redundant, ExceptionParams, FlowGraph, KlSimilarity, Segment,
 };
-use flowcube_hier::{
-    ConceptId, FxHashMap, ItemLevel, PathLatticeSpec, PathLevelId, Schema,
-};
+use flowcube_hier::{ConceptId, FxHashMap, ItemLevel, PathLatticeSpec, PathLevelId, Schema};
 use flowcube_mining::{
     mine, mine_cubing, CubingConfig, FrequentItemsets, ItemId, ItemKind, SharedConfig,
     TransactionDb,
 };
+use flowcube_obs::Timer;
 use flowcube_pathdb::{aggregate_stages, AggStage, PathDatabase};
-use std::time::Instant;
 
 /// Everything produced by the build, consumed by [`crate::FlowCube`].
 pub(crate) struct BuildOutput {
@@ -41,6 +38,12 @@ pub(crate) fn build(
     params: &FlowCubeParams,
     plan: &ItemPlan,
 ) -> BuildOutput {
+    let _build_span = flowcube_obs::span!(
+        "build",
+        paths = db.len(),
+        min_support = params.min_support,
+        parallel = params.parallel as u64,
+    );
     let mut stats = BuildStats::default();
     let schema = db.schema();
 
@@ -62,23 +65,33 @@ pub(crate) fn build(
         FxHashMap::default();
 
     let mined_ctx: Option<(TransactionDb, FrequentItemsets)> = if params.mine_exceptions {
-        let t0 = Instant::now();
+        let timer = Timer::start("build.encode");
         let tx = TransactionDb::encode(db, spec.clone(), params.merge);
-        stats.encode_time = t0.elapsed();
-        let t0 = Instant::now();
-        let mined: FrequentItemsets = match params.algorithm {
-            Algorithm::Shared => mine(&tx, &SharedConfig::shared(params.min_support)),
-            Algorithm::Basic => mine(&tx, &SharedConfig::basic(params.min_support)),
-            Algorithm::Cubing => mine_cubing(db, &tx, &CubingConfig::new(params.min_support)),
+        stats.encode_time = timer.stop();
+        let timer = Timer::start("build.mine");
+        let (mined, algo_prefix): (FrequentItemsets, &str) = match params.algorithm {
+            Algorithm::Shared => (
+                mine(&tx, &SharedConfig::shared(params.min_support)),
+                "mining.shared",
+            ),
+            Algorithm::Basic => (
+                mine(&tx, &SharedConfig::basic(params.min_support)),
+                "mining.basic",
+            ),
+            Algorithm::Cubing => (
+                mine_cubing(db, &tx, &CubingConfig::new(params.min_support)),
+                "mining.cubing",
+            ),
         };
         stats.mining = mined.stats.clone();
-        stats.mining_time = t0.elapsed();
+        stats.mining_time = timer.stop();
+        mined.stats.publish(algo_prefix);
         Some((tx, mined))
     } else {
         None
     };
 
-    let t0 = Instant::now();
+    let prepare_timer = Timer::start("build.prepare");
     match &mined_ctx {
         Some((tx, mined)) => {
             let dict = tx.dict();
@@ -195,10 +208,10 @@ pub(crate) fn build(
                 .collect()
         })
         .collect();
-    stats.prepare_time = t0.elapsed();
+    stats.prepare_time = prepare_timer.stop();
 
     // ---- Phase 6: materialize one flowgraph per (cell, path level).
-    let t0 = Instant::now();
+    let materialize_timer = Timer::start("build.materialize");
     let mut work: Vec<WorkItem> = Vec::with_capacity(cells.len() * num_levels);
     for (i, (level, key)) in cells.iter().enumerate() {
         if key.iter().all(|&c| c == ConceptId::ROOT) && !apex_included {
@@ -225,6 +238,7 @@ pub(crate) fn build(
     };
     let dict_opt = mined_ctx.as_ref().map(|(tx, _)| tx.dict());
     let materialize = |w: &WorkItem| -> (CuboidKey, CellKey, CellEntry) {
+        let cell_timer = Timer::start("build.cell");
         let paths: Vec<&[AggStage]> = w
             .tids
             .iter()
@@ -242,8 +256,7 @@ pub(crate) fn build(
                         .filter_map(|items| {
                             let mut seg: Segment = Vec::with_capacity(items.len());
                             for &it in items {
-                                let ItemKind::Stage { prefix, dur, .. } = dict.kind(it)
-                                else {
+                                let ItemKind::Stage { prefix, dur, .. } = dict.kind(it) else {
                                     return None;
                                 };
                                 let seq = dict.prefixes().sequence(prefix);
@@ -261,7 +274,7 @@ pub(crate) fn build(
         } else {
             Vec::new()
         };
-        (
+        let result = (
             CuboidKey {
                 item_level: w.item_level.clone(),
                 path_level: w.path_level,
@@ -273,7 +286,10 @@ pub(crate) fn build(
                 exceptions,
                 redundant: false,
             },
-        )
+        );
+        let elapsed = cell_timer.stop();
+        flowcube_obs::histogram_record("build.cell_materialize_us", elapsed.as_secs_f64() * 1e6);
+        result
     };
 
     let results: Vec<(CuboidKey, CellKey, CellEntry)> = if params.parallel && work.len() > 8 {
@@ -304,14 +320,23 @@ pub(crate) fn build(
         cuboids.entry(ck).or_default().cells.insert(key, entry);
     }
     stats.cells_materialized = cuboids.values().map(|c| c.len()).sum();
-    stats.materialize_time = t0.elapsed();
+    stats.materialize_time = materialize_timer.stop();
 
     // ---- Phase 7: non-redundancy pruning (Definition 4.4).
-    let t0 = Instant::now();
+    let redundancy_timer = Timer::start("build.redundancy");
     if let Some(tau) = params.redundancy_tau {
         prune_redundant(&mut cuboids, schema, tau, &mut stats);
     }
-    stats.redundancy_time = t0.elapsed();
+    stats.redundancy_time = redundancy_timer.stop();
+
+    if flowcube_obs::is_enabled() {
+        flowcube_obs::gauge_set("build.frequent_cells", stats.frequent_cells as f64);
+        flowcube_obs::gauge_set("build.cells_materialized", stats.cells_materialized as f64);
+        flowcube_obs::gauge_set(
+            "build.cells_pruned_redundant",
+            stats.cells_pruned_redundant as f64,
+        );
+    }
 
     BuildOutput { cuboids, stats }
 }

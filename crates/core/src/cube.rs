@@ -2,12 +2,12 @@
 //! (Definition 4.1) with OLAP-style navigation.
 
 use crate::build::{self, BuildOutput};
-use crate::cell::{aggregate_key, display_key, level_of_key, CellEntry, CellKey, Cuboid, CuboidKey};
+use crate::cell::{
+    aggregate_key, display_key, level_of_key, CellEntry, CellKey, Cuboid, CuboidKey,
+};
 use crate::params::{FlowCubeParams, ItemPlan};
 use crate::stats::BuildStats;
-use flowcube_hier::{
-    ConceptId, FxHashMap, ItemLevel, PathLatticeSpec, PathLevelId, Schema,
-};
+use flowcube_hier::{ConceptId, FxHashMap, ItemLevel, PathLatticeSpec, PathLevelId, Schema};
 use flowcube_pathdb::PathDatabase;
 use serde::{Deserialize, Serialize};
 
@@ -101,11 +101,7 @@ impl FlowCube {
 
     /// Convenience: cell lookup by `(dimension value name | None)` pairs
     /// and path level name.
-    pub fn cell_by_names(
-        &self,
-        names: &[Option<&str>],
-        path_level: &str,
-    ) -> Option<&CellEntry> {
+    pub fn cell_by_names(&self, names: &[Option<&str>], path_level: &str) -> Option<&CellEntry> {
         let key = self.key_from_names(names)?;
         let pl = self.path_level_id(path_level)?;
         self.cell(&key, pl)
@@ -146,8 +142,7 @@ impl FlowCube {
                     path_level,
                 };
                 if let Some((ck_ref, cuboid)) = self.cuboids.get_key_value(&ck) {
-                    if let Some((source_key, entry)) = cuboid.cells.get_key_value(k.as_slice())
-                    {
+                    if let Some((source_key, entry)) = cuboid.cells.get_key_value(k.as_slice()) {
                         return Some(Lookup {
                             entry,
                             exact,

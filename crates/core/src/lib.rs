@@ -27,10 +27,10 @@
 //! ```
 
 mod build;
-pub(crate) mod serde_map;
 pub mod cell;
 pub mod cube;
 pub mod params;
+pub(crate) mod serde_map;
 pub mod stats;
 
 pub use cell::{aggregate_key, display_key, level_of_key, CellEntry, CellKey, Cuboid, CuboidKey};

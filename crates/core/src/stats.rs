@@ -43,11 +43,17 @@ impl BuildStats {
     pub fn summary(&self) -> String {
         format!(
             "cells={} (pruned {} redundant), frequent patterns={}, \
-             candidates counted={}, total {:?}",
+             candidates counted={} in {} scans, candidates pruned \
+             [subset={} ancestor={} unlinkable={} precount={}], total {:?}",
             self.cells_materialized,
             self.cells_pruned_redundant,
             self.mining.total_frequent(),
             self.mining.total_counted(),
+            self.mining.scans,
+            self.mining.pruned_subset,
+            self.mining.pruned_ancestor,
+            self.mining.pruned_unlinkable,
+            self.mining.pruned_precount,
             self.total_time(),
         )
     }
@@ -59,13 +65,24 @@ mod tests {
 
     #[test]
     fn totals_and_summary() {
-        let s = BuildStats {
+        let mut s = BuildStats {
             encode_time: Duration::from_millis(5),
             mining_time: Duration::from_millis(10),
             cells_materialized: 3,
             ..Default::default()
         };
+        s.mining.scans = 4;
+        s.mining.pruned_subset = 2;
+        s.mining.pruned_ancestor = 7;
+        s.mining.pruned_unlinkable = 1;
+        s.mining.pruned_precount = 9;
         assert_eq!(s.total_time(), Duration::from_millis(15));
-        assert!(s.summary().contains("cells=3"));
+        let summary = s.summary();
+        assert!(summary.contains("cells=3"));
+        assert!(summary.contains("in 4 scans"));
+        assert!(summary.contains("subset=2"));
+        assert!(summary.contains("ancestor=7"));
+        assert!(summary.contains("unlinkable=1"));
+        assert!(summary.contains("precount=9"));
     }
 }

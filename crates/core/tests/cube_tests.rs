@@ -3,9 +3,7 @@
 
 use flowcube_core::{Algorithm, FlowCube, FlowCubeParams, ItemPlan};
 use flowcube_datagen::{generate, GeneratorConfig};
-use flowcube_hier::{
-    ConceptId, DurationLevel, ItemLevel, LocationCut, PathLatticeSpec, PathLevel,
-};
+use flowcube_hier::{ConceptId, DurationLevel, ItemLevel, LocationCut, PathLatticeSpec, PathLevel};
 use flowcube_pathdb::samples;
 
 fn paper_spec(db: &flowcube_pathdb::PathDatabase) -> PathLatticeSpec {
@@ -107,7 +105,7 @@ fn roll_up_and_drill_down_navigate_lattice() {
     let (parent_key, parent) = cube.roll_up(&key, 0, 0).expect("roll-up");
     assert_eq!(schema.dim(0).name_of(parent_key[0]), "shoes");
     assert_eq!(parent.support, 3); // shoes+nike = records 1,2,3
-    // drill shoes back down: tennis (support 2); sandals pruned (1 path)
+                                   // drill shoes back down: tennis (support 2); sandals pruned (1 path)
     let children = cube.drill_down(&parent_key, 0, 0);
     assert_eq!(children.len(), 1);
     assert_eq!(schema.dim(0).name_of(children[0].0[0]), "tennis");
@@ -328,9 +326,10 @@ fn exceptions_survive_cube_construction() {
         !entry.exceptions.is_empty(),
         "expected a transition exception given (factory,9)"
     );
-    let has_factory_condition = entry.exceptions.iter().any(|e| {
-        e.condition.len() == 1 && e.deviation >= 0.3 && e.support >= 4
-    });
+    let has_factory_condition = entry
+        .exceptions
+        .iter()
+        .any(|e| e.condition.len() == 1 && e.deviation >= 0.3 && e.support >= 4);
     assert!(has_factory_condition);
 }
 
@@ -345,9 +344,7 @@ fn describe_and_name_helpers() {
     let desc = cube.describe_cell(&key, 0);
     assert!(desc.contains("tennis"), "{desc}");
     assert!(desc.contains("paths"), "{desc}");
-    let missing = cube
-        .key_from_names(&[Some("shirt"), Some("nike")])
-        .unwrap();
+    let missing = cube.key_from_names(&[Some("shirt"), Some("nike")]).unwrap();
     assert!(cube.describe_cell(&missing, 0).contains("not materialized"));
     assert!(cube.key_from_names(&[Some("tennis")]).is_none());
     assert!(cube.key_from_names(&[Some("mars"), None]).is_none());

@@ -239,12 +239,12 @@ pub fn generate(config: &GeneratorConfig) -> Generated {
         }
         // Path: a pooled sequence, optionally pinned to the first
         // dimension's value so product lines flow differently.
-        let mut seq_idx =
-            if config.flow_correlation > 0.0 && rng.gen_bool(config.flow_correlation) {
-                dims[0].0 as usize % sequences.len()
-            } else {
-                seq_zipf.sample(&mut rng)
-            };
+        let mut seq_idx = if config.flow_correlation > 0.0 && rng.gen_bool(config.flow_correlation)
+        {
+            dims[0].0 as usize % sequences.len()
+        } else {
+            seq_zipf.sample(&mut rng)
+        };
         // Duration → transition dependency: a long first stay reroutes
         // the item onto a sibling sequence with the same first location.
         let first_dur = dur_zipf.sample(&mut rng) as u32 + 1;
@@ -355,10 +355,7 @@ mod tests {
             let locs: Vec<ConceptId> = r.stages.iter().map(|s| s.loc).collect();
             assert!(out.sequences.contains(&locs));
             assert!(r.stages.iter().all(|s| s.dur >= 1));
-            assert!(r
-                .stages
-                .iter()
-                .all(|s| s.dur <= config.max_duration));
+            assert!(r.stages.iter().all(|s| s.dur <= config.max_duration));
         }
     }
 
@@ -407,7 +404,9 @@ mod tests {
             exception_bias: 1.0,
             duration_skew: 0.0, // uniform durations: half are "long"
             location_skew: 0.0, // diversify second hops across sequences
-            seed: 5,
+            // The assertion needs ≥2 pooled sequences sharing a first
+            // location; this seed produces such a pool under StdRng.
+            seed: 7,
             ..Default::default()
         };
         let out = generate(&config);
@@ -453,13 +452,13 @@ mod tests {
         let cleaned = clean_readings(readings, &CleanerConfig::default());
         assert_eq!(cleaned.len(), 20);
         for (epc, stays) in &cleaned {
-            let original = out
-                .db
-                .records()
-                .iter()
-                .find(|r| r.id == *epc)
-                .unwrap();
-            let rec = stays_to_record(*epc, original.dims.clone(), stays, &CleanerConfig::default());
+            let original = out.db.records().iter().find(|r| r.id == *epc).unwrap();
+            let rec = stays_to_record(
+                *epc,
+                original.dims.clone(),
+                stays,
+                &CleanerConfig::default(),
+            );
             assert_eq!(rec.stages, original.stages, "epc {epc}");
         }
     }

@@ -93,7 +93,14 @@ impl FlowDiff {
 /// prefixes whose reach probability is below `min_reach` on both sides.
 pub fn diff(left: &FlowGraph, right: &FlowGraph, min_reach: f64) -> FlowDiff {
     let mut deltas = Vec::new();
-    walk(left, right, NodeId::ROOT, Some(NodeId::ROOT), min_reach, &mut deltas);
+    walk(
+        left,
+        right,
+        NodeId::ROOT,
+        Some(NodeId::ROOT),
+        min_reach,
+        &mut deltas,
+    );
     // Right-only branches: walk right, reporting prefixes absent in left.
     walk_right_only(left, right, NodeId::ROOT, min_reach, &mut deltas);
     deltas.sort_by(|a, b| b.severity().total_cmp(&a.severity()));
@@ -115,7 +122,9 @@ fn walk(
     }
     match rn {
         Some(rn_id) => {
-            let trans_dev = left.transitions(ln).max_deviation(&right.transitions(rn_id));
+            let trans_dev = left
+                .transitions(ln)
+                .max_deviation(&right.transitions(rn_id));
             let dur_dev = if ln == NodeId::ROOT {
                 0.0
             } else {

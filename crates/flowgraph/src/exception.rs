@@ -448,11 +448,7 @@ mod tests {
 
     #[test]
     fn combinations_enumeration() {
-        let items: Vec<Constraint> = vec![
-            (NodeId(1), 1),
-            (NodeId(2), 2),
-            (NodeId(3), 3),
-        ];
+        let items: Vec<Constraint> = vec![(NodeId(1), 1), (NodeId(2), 2), (NodeId(3), 3)];
         assert_eq!(combinations(&items, 2).len(), 3);
         assert_eq!(combinations(&items, 3).len(), 1);
         assert_eq!(combinations(&items, 4).len(), 0);
@@ -472,7 +468,10 @@ mod tests {
             .iter()
             .map(|p| {
                 p.iter()
-                    .map(|s| AggStage { loc: s.loc, dur: None })
+                    .map(|s| AggStage {
+                        loc: s.loc,
+                        dur: None,
+                    })
                     .collect()
             })
             .collect();

@@ -288,13 +288,7 @@ impl FlowGraph {
         out
     }
 
-    fn render_node(
-        &self,
-        hierarchy: &ConceptHierarchy,
-        n: NodeId,
-        depth: usize,
-        out: &mut String,
-    ) {
+    fn render_node(&self, hierarchy: &ConceptHierarchy, n: NodeId, depth: usize, out: &mut String) {
         let node = &self.nodes[n.index()];
         if n != NodeId::ROOT {
             let indent = "  ".repeat(depth);

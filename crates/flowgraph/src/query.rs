@@ -105,19 +105,17 @@ pub fn predict_next(
         let ExceptionDetail::Transition { .. } = e.detail else {
             continue;
         };
-        let satisfied = e.condition.iter().all(|&(n, d)| {
-            chain
-                .iter()
-                .any(|&(cn, cd)| cn == n && cd == Some(d))
-        });
+        let satisfied = e
+            .condition
+            .iter()
+            .all(|&(n, d)| chain.iter().any(|&(cn, cd)| cn == n && cd == Some(d)));
         if !satisfied {
             continue;
         }
         best = match best {
             None => Some(e),
             Some(prev)
-                if (e.condition.len(), e.deviation)
-                    > (prev.condition.len(), prev.deviation) =>
+                if (e.condition.len(), e.deviation) > (prev.condition.len(), prev.deviation) =>
             {
                 Some(e)
             }

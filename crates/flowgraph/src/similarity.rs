@@ -49,10 +49,13 @@ impl FlowSimilarity for KlSimilarity {
             let prefix = child.prefix_of(n);
             match parent.node_by_prefix(&prefix) {
                 Some(m) => {
-                    total += w * child.transitions(n).kl_divergence(&parent.transitions(m), self.alpha);
+                    total += w * child
+                        .transitions(n)
+                        .kl_divergence(&parent.transitions(m), self.alpha);
                     if n != NodeId::ROOT {
-                        total += w
-                            * child.durations(n).kl_divergence(parent.durations(m), self.alpha);
+                        total += w * child
+                            .durations(n)
+                            .kl_divergence(parent.durations(m), self.alpha);
                     }
                 }
                 None => {
@@ -110,10 +113,7 @@ pub fn is_redundant<M: FlowSimilarity + ?Sized>(
     metric: &M,
     tau: f64,
 ) -> bool {
-    !parents.is_empty()
-        && parents
-            .iter()
-            .all(|p| metric.divergence(child, p) <= tau)
+    !parents.is_empty() && parents.iter().all(|p| metric.divergence(child, p) <= tau)
 }
 
 #[cfg(test)]

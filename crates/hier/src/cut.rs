@@ -205,8 +205,7 @@ mod tests {
         // Figure 1 bottom: keep dist center / truck detailed, collapse store.
         let h = location_hierarchy();
         let cut =
-            LocationCut::from_names(&h, ["dist_center", "truck", "factory_area", "store"])
-                .unwrap();
+            LocationCut::from_names(&h, ["dist_center", "truck", "factory_area", "store"]).unwrap();
         let shelf = h.id_of("shelf").unwrap();
         let store = h.id_of("store").unwrap();
         let truck = h.id_of("truck").unwrap();
@@ -224,11 +223,8 @@ mod tests {
         let err = LocationCut::from_names(&h, ["transportation", "factory_area"]).unwrap_err();
         assert!(matches!(err, CutError::UncoveredLeaf(_)));
         // Overlapping nodes: transportation + truck double-covers truck.
-        let err = LocationCut::from_names(
-            &h,
-            ["transportation", "truck", "factory_area", "store"],
-        )
-        .unwrap_err();
+        let err = LocationCut::from_names(&h, ["transportation", "truck", "factory_area", "store"])
+            .unwrap_err();
         assert!(matches!(err, CutError::DoublyCovered { .. }));
         // Root is forbidden.
         let err = LocationCut::new(&h, vec![ConceptId::ROOT]).unwrap_err();
@@ -243,11 +239,7 @@ mod tests {
             LocationCut::uniform_level(&h, 2),
             DurationLevel::Raw,
         );
-        let coarse = PathLevel::new(
-            "agg",
-            LocationCut::uniform_level(&h, 1),
-            DurationLevel::Any,
-        );
+        let coarse = PathLevel::new("agg", LocationCut::uniform_level(&h, 1), DurationLevel::Any);
         let mixed = PathLevel::new(
             "mixed",
             LocationCut::uniform_level(&h, 1),

@@ -127,16 +127,16 @@ impl PathLatticeSpec {
     }
 
     pub fn ids(&self) -> impl Iterator<Item = PathLevelId> {
-        (0..self.levels.len() as PathLevelId).collect::<Vec<_>>().into_iter()
+        (0..self.levels.len() as PathLevelId)
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
     /// Ids of all levels strictly coarser than `id` within the spec.
     pub fn coarser_than(&self, id: PathLevelId) -> Vec<PathLevelId> {
         let target = &self.levels[id as usize];
         self.ids()
-            .filter(|&other| {
-                other != id && self.levels[other as usize].is_coarser_or_equal(target)
-            })
+            .filter(|&other| other != id && self.levels[other as usize].is_coarser_or_equal(target))
             .collect()
     }
 }

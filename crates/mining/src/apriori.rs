@@ -64,6 +64,38 @@ impl MiningStats {
         self.counted_by_length.len()
     }
 
+    /// Publish this run's counters into the `flowcube-obs` metrics
+    /// registry under `prefix` (e.g. `mining.shared`), one counter per
+    /// pattern length plus the prune-rule and I/O totals. Callers pick the
+    /// prefix because only they know which algorithm ran. No-op while
+    /// recording is disabled.
+    pub fn publish(&self, prefix: &str) {
+        if !flowcube_obs::is_enabled() {
+            return;
+        }
+        for (i, &n) in self.counted_by_length.iter().enumerate() {
+            flowcube_obs::counter_add(&format!("{prefix}.candidates.len{}", i + 1), n);
+        }
+        for (i, &n) in self.frequent_by_length.iter().enumerate() {
+            flowcube_obs::counter_add(&format!("{prefix}.frequent.len{}", i + 1), n);
+        }
+        flowcube_obs::counter_add(&format!("{prefix}.pruned.subset"), self.pruned_subset);
+        flowcube_obs::counter_add(&format!("{prefix}.pruned.ancestor"), self.pruned_ancestor);
+        flowcube_obs::counter_add(
+            &format!("{prefix}.pruned.unlinkable"),
+            self.pruned_unlinkable,
+        );
+        flowcube_obs::counter_add(&format!("{prefix}.pruned.precount"), self.pruned_precount);
+        flowcube_obs::counter_add(&format!("{prefix}.scans"), self.scans);
+        flowcube_obs::counter_add(&format!("{prefix}.cells_mined"), self.cells_mined);
+        flowcube_obs::counter_add(&format!("{prefix}.tidlist_items"), self.tidlist_items);
+        flowcube_obs::counter_add(&format!("{prefix}.io_bytes_read"), self.io_bytes_read);
+        flowcube_obs::counter_add(
+            &format!("{prefix}.precounted_patterns"),
+            self.precounted_patterns,
+        );
+    }
+
     /// Fold another run's counters into this one.
     pub fn absorb(&mut self, other: &MiningStats) {
         for (i, &v) in other.counted_by_length.iter().enumerate() {
@@ -285,6 +317,7 @@ pub fn count_candidates<'a>(
     transactions: impl Iterator<Item = &'a [ItemId]>,
     stats: &mut MiningStats,
 ) -> Vec<u64> {
+    let _scan_span = flowcube_obs::span!("mining.scan", k = k, candidates = candidates.len());
     let trie = CandidateTrie::build(candidates, k);
     let mut counts = vec![0u64; candidates.len()];
     for t in transactions {
@@ -293,11 +326,7 @@ pub fn count_candidates<'a>(
         }
     }
     stats.scans += 1;
-    MiningStats::bump(
-        &mut stats.counted_by_length,
-        k,
-        candidates.len() as u64,
-    );
+    MiningStats::bump(&mut stats.counted_by_length, k, candidates.len() as u64);
     counts
 }
 

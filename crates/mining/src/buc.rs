@@ -135,7 +135,16 @@ pub fn buc_iceberg(db: &PathDatabase, min_support: u64) -> (Vec<IcebergCell>, Bu
     }
 
     for d in 0..schema.num_dims() {
-        expand(db, d, 1, &all, &mut values, min_support, &mut out, &mut stats);
+        expand(
+            db,
+            d,
+            1,
+            &all,
+            &mut values,
+            min_support,
+            &mut out,
+            &mut stats,
+        );
     }
     (out, stats)
 }
@@ -180,9 +189,7 @@ mod tests {
         let shirt = schema.dim(0).id_of("shirt").unwrap();
         // (shirt, *) has a single path: pruned at min_support 2.
         let (cells, _) = buc_iceberg(&db, 2);
-        assert!(!cells
-            .iter()
-            .any(|c| c.values[0] == Some(shirt)));
+        assert!(!cells.iter().any(|c| c.values[0] == Some(shirt)));
         let (cells, _) = buc_iceberg(&db, 1);
         assert!(cells.iter().any(|c| c.values[0] == Some(shirt)));
     }

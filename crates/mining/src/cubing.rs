@@ -154,6 +154,11 @@ pub fn mine_cubing(
     config: &CubingConfig,
 ) -> FrequentItemsets {
     assert_eq!(db.len(), tx.len(), "tx must encode db");
+    let _mine_span = flowcube_obs::span!(
+        "mining.cubing",
+        min_support = config.min_support,
+        transactions = tx.len(),
+    );
     let dict = tx.dict();
     let delta = config.min_support;
     let mut stats = MiningStats::default();
@@ -177,9 +182,9 @@ pub fn mine_cubing(
     // Faithful Algorithm 2 I/O: persist the (stage-only) transaction
     // database once; every cell re-reads its transactions from disk.
     let mut spill = match config.io {
-        CubingIo::Spill => Some(
-            SpillStore::create(&stage_only).expect("spill store for cubing tid lists"),
-        ),
+        CubingIo::Spill => {
+            Some(SpillStore::create(&stage_only).expect("spill store for cubing tid lists"))
+        }
         CubingIo::InMemory => None,
     };
 
@@ -257,8 +262,7 @@ pub fn mine_cubing(
             if candidates.is_empty() {
                 break;
             }
-            let supports =
-                count_candidates(&candidates, k, cell_tx.iter().copied(), &mut stats);
+            let supports = count_candidates(&candidates, k, cell_tx.iter().copied(), &mut stats);
             let mut next: Vec<Itemset> = Vec::new();
             for (cand, support) in candidates.into_iter().zip(supports) {
                 if support >= delta {
@@ -400,11 +404,8 @@ mod tests {
         );
         // raw finds a superset (item+ancestor combos); every pruned
         // pattern appears in raw with identical support.
-        let raw_map: FxHashMap<&[ItemId], u64> = raw
-            .itemsets
-            .iter()
-            .map(|(s, c)| (&**s, *c))
-            .collect();
+        let raw_map: FxHashMap<&[ItemId], u64> =
+            raw.itemsets.iter().map(|(s, c)| (&**s, *c)).collect();
         for (s, c) in &pruned.itemsets {
             assert_eq!(raw_map.get(&**s), Some(c));
         }

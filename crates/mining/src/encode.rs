@@ -233,10 +233,7 @@ mod tests {
         // fine/raw 5 + fine/* 5 + coarse/raw 3 + coarse/* 3 = 16 stage
         // items; plus dim items 3 (tennis chain) + 2 (nike chain).
         let t = tx.transaction(0);
-        let stages = t
-            .iter()
-            .filter(|&&i| tx.dict().kind(i).is_stage())
-            .count();
+        let stages = t.iter().filter(|&&i| tx.dict().kind(i).is_stage()).count();
         assert_eq!(stages, 16);
         let dims = t.iter().filter(|&&i| tx.dict().kind(i).is_dim()).count();
         assert_eq!(dims, 5);
@@ -268,10 +265,7 @@ mod tests {
                 dur: None,
             })
             .expect("(f,*) must be interned");
-        let support = tx
-            .iter()
-            .filter(|t| t.binary_search(&item).is_ok())
-            .count();
+        let support = tx.iter().filter(|t| t.binary_search(&item).is_ok()).count();
         assert_eq!(support, 8);
     }
 }

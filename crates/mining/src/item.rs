@@ -17,9 +17,7 @@
 //! candidate pruning, and the "unrelated stages" pruning.
 
 use crate::prefix::{PrefixId, PrefixInterner};
-use flowcube_hier::{
-    ConceptId, DimId, DurValue, FxHashMap, PathLatticeSpec, PathLevelId, Schema,
-};
+use flowcube_hier::{ConceptId, DimId, DurValue, FxHashMap, PathLatticeSpec, PathLevelId, Schema};
 use serde::{Deserialize, Serialize};
 
 /// Dense identifier of an encoded item.
@@ -227,8 +225,7 @@ impl ItemDictionary {
             // never repeat a location). Otherwise the coarse duration
             // depends on the rest of the path and only the `*`-duration
             // generalization is sound.
-            let tail_intact =
-                !tail_merged && agg_seq.last() == seq.last();
+            let tail_intact = !tail_merged && agg_seq.last() == seq.last();
             let dur2 = match dur {
                 None => None,
                 Some(d) if tail_intact => target.duration.aggregate(d),
@@ -285,14 +282,12 @@ impl ItemDictionary {
                 } else {
                     // Cross-level: compare through the aggregated prefix
                     // when the levels are comparable; otherwise permit.
-                    if let Some(&(_, ap)) = self.agg_prefixes[a.index()]
-                        .iter()
-                        .find(|&&(l, _)| l == lb)
+                    if let Some(&(_, ap)) =
+                        self.agg_prefixes[a.index()].iter().find(|&&(l, _)| l == lb)
                     {
                         self.prefixes.on_one_chain(ap, pb)
-                    } else if let Some(&(_, bp)) = self.agg_prefixes[b.index()]
-                        .iter()
-                        .find(|&&(l, _)| l == la)
+                    } else if let Some(&(_, bp)) =
+                        self.agg_prefixes[b.index()].iter().find(|&&(l, _)| l == la)
                     {
                         self.prefixes.on_one_chain(bp, pa)
                     } else {
@@ -436,9 +431,18 @@ mod tests {
             .map(|&a| dict.display(a, ctx))
             .collect();
         // fine/* ; transp/raw (f T s, 10) ; transp/* (f T s, *)
-        assert!(anc_display.contains(&"(fdts@1,*)".to_string()), "{anc_display:?}");
-        assert!(anc_display.contains(&"(fts@2,10)".to_string()), "{anc_display:?}");
-        assert!(anc_display.contains(&"(fts@3,*)".to_string()), "{anc_display:?}");
+        assert!(
+            anc_display.contains(&"(fdts@1,*)".to_string()),
+            "{anc_display:?}"
+        );
+        assert!(
+            anc_display.contains(&"(fts@2,10)".to_string()),
+            "{anc_display:?}"
+        );
+        assert!(
+            anc_display.contains(&"(fts@3,*)".to_string()),
+            "{anc_display:?}"
+        );
         assert_eq!(dict.ancestors(id).len(), 3);
     }
 
@@ -481,11 +485,7 @@ mod tests {
         let l = |n: &str| loc.id_of(n).unwrap();
         let seq = [l("factory"), l("dist_center"), l("truck")];
         let id = dict.intern_stage(0, &seq, Some(1), ctx);
-        let anc: Vec<ItemKind> = dict
-            .ancestors(id)
-            .iter()
-            .map(|&a| dict.kind(a))
-            .collect();
+        let anc: Vec<ItemKind> = dict.ancestors(id).iter().map(|&a| dict.kind(a)).collect();
         // No coarse-level ancestor with a concrete duration.
         for k in anc {
             if let ItemKind::Stage { level, dur, .. } = k {

@@ -139,12 +139,7 @@ impl PrefixInterner {
     /// Rebuild the child map after deserialization.
     pub fn rebuild_index(&mut self) {
         self.children = (1..self.parent.len())
-            .map(|i| {
-                (
-                    (self.parent[i], self.last[i]),
-                    PrefixId(i as u32),
-                )
-            })
+            .map(|i| ((self.parent[i], self.last[i]), PrefixId(i as u32)))
             .collect();
     }
 }

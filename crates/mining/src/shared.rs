@@ -8,9 +8,7 @@
 //! the cell's dimension items with stage items), at every item and path
 //! abstraction level at once.
 
-use crate::apriori::{
-    generate_candidates, Itemset, MiningStats, PruneHooks, PruneReason,
-};
+use crate::apriori::{generate_candidates, Itemset, MiningStats, PruneHooks, PruneReason};
 use crate::encode::TransactionDb;
 use crate::item::{ItemId, ItemKind};
 use flowcube_hier::{DimId, DurationLevel, FxHashMap, PathLevelId};
@@ -138,11 +136,7 @@ impl FrequentItemsets {
     /// Frequent path segments of one cell: for every frequent itemset of
     /// the form `cell ∪ S` with `S` a non-empty set of stage items, yields
     /// `(S, support)`. Pass the empty slice for the apex cell.
-    pub fn cell_segments(
-        &self,
-        cell: &[ItemId],
-        tx: &TransactionDb,
-    ) -> Vec<(Vec<ItemId>, u64)> {
+    pub fn cell_segments(&self, cell: &[ItemId], tx: &TransactionDb) -> Vec<(Vec<ItemId>, u64)> {
         let dict = tx.dict();
         let mut out = Vec::new();
         for (s, c) in &self.itemsets {
@@ -200,7 +194,8 @@ fn precount_projection(tx: &TransactionDb, dim_level: u8) -> Vec<ItemId> {
                         id
                     } else {
                         let anc = h.ancestor_at_level(concept, target);
-                        dict.lookup(ItemKind::Dim { dim, concept: anc }).unwrap_or(id)
+                        dict.lookup(ItemKind::Dim { dim, concept: anc })
+                            .unwrap_or(id)
                     }
                 }
                 ItemKind::Stage { level, prefix, dur } => {
@@ -225,6 +220,11 @@ fn precount_projection(tx: &TransactionDb, dim_level: u8) -> Vec<ItemId> {
 
 /// Run the Shared (or Basic, depending on `config`) algorithm.
 pub fn mine(tx: &TransactionDb, config: &SharedConfig) -> FrequentItemsets {
+    let _mine_span = flowcube_obs::span!(
+        "mining.apriori",
+        min_support = config.min_support,
+        transactions = tx.len(),
+    );
     let dict = tx.dict();
     let mut stats = MiningStats::default();
     let delta = config.min_support;
@@ -240,6 +240,7 @@ pub fn mine(tx: &TransactionDb, config: &SharedConfig) -> FrequentItemsets {
     let mut precounted: FxHashMap<(ItemId, ItemId), u64> = FxHashMap::default();
     let mut projected_tx: Vec<Vec<ItemId>> = Vec::new();
     let mut proj_scratch: Vec<ItemId> = Vec::new();
+    let scan1_span = flowcube_obs::span!("mining.scan", k = 1usize, candidates = dict.len());
     for t in tx.iter() {
         for &i in t {
             item_counts[i.index()] += 1;
@@ -259,6 +260,7 @@ pub fn mine(tx: &TransactionDb, config: &SharedConfig) -> FrequentItemsets {
             }
         }
     }
+    drop(scan1_span);
     stats.scans += 1;
     MiningStats::bump(&mut stats.counted_by_length, 1, dict.len() as u64);
 
@@ -270,7 +272,9 @@ pub fn mine(tx: &TransactionDb, config: &SharedConfig) -> FrequentItemsets {
     let mut high_frequent: flowcube_hier::FxHashSet<Itemset> = Default::default();
     let mut high_prev: Vec<Itemset> = Vec::new();
     if keep_projected {
-        let projection = projection.as_ref().expect("keep_projected implies projection");
+        let projection = projection
+            .as_ref()
+            .expect("keep_projected implies projection");
         let mut high_items: Vec<ItemId> = projection.to_vec();
         high_items.sort_unstable();
         high_items.dedup();
@@ -356,6 +360,12 @@ pub fn mine(tx: &TransactionDb, config: &SharedConfig) -> FrequentItemsets {
             Vec::new()
         };
 
+        let scan_span = flowcube_obs::span!(
+            "mining.scan",
+            k = k,
+            candidates = candidates.len(),
+            lookahead = high_candidates.len(),
+        );
         let trie = crate::apriori::CandidateTrie::build(&candidates, k);
         let mut counts = vec![0u64; candidates.len()];
         let high_trie = (!high_candidates.is_empty())
@@ -372,6 +382,7 @@ pub fn mine(tx: &TransactionDb, config: &SharedConfig) -> FrequentItemsets {
                 }
             }
         }
+        drop(scan_span);
         stats.scans += 1;
         MiningStats::bump(&mut stats.counted_by_length, k, candidates.len() as u64);
         stats.precounted_patterns += high_candidates.len() as u64;
@@ -562,9 +573,9 @@ mod tests {
         // (tennis) support 4, (nike) support 6, (tennis, nike) support 2,
         // (shoes, nike) support 3, ... all present; no stage items.
         let dict = tx.dict();
-        assert!(cells.iter().all(|(items, _)| items
+        assert!(cells
             .iter()
-            .all(|&i| dict.kind(i).is_dim())));
+            .all(|(items, _)| items.iter().all(|&i| dict.kind(i).is_dim())));
         let tennis_nike = cells.iter().find(|(items, _)| {
             items.len() == 2
                 && display_set(&tx, items).contains("1121")

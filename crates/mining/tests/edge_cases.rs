@@ -152,10 +152,8 @@ fn merge_policy_changes_coarse_supports_only_consistently() {
                     })
                 })
                 .map(|(s, c)| {
-                    let parts: Vec<String> = s
-                        .iter()
-                        .map(|&i| tx.dict().display(i, tx.ctx()))
-                        .collect();
+                    let parts: Vec<String> =
+                        s.iter().map(|&i| tx.dict().display(i, tx.ctx())).collect();
                     (parts.join(","), *c)
                 })
                 .collect();

@@ -1,0 +1,223 @@
+//! Exporters: Chrome trace-event JSON, metrics JSON, and a human tree.
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::{self, ArgValue, Event, Phase};
+use serde_json::{Number, Value};
+use std::collections::BTreeMap;
+
+fn arg_to_value(arg: &ArgValue) -> Value {
+    match arg {
+        ArgValue::U64(v) => Value::Number(Number::U(*v)),
+        ArgValue::I64(v) => Value::Number(Number::I(*v)),
+        ArgValue::F64(v) => Value::Number(Number::F(*v)),
+        ArgValue::Str(s) => Value::String(s.clone()),
+    }
+}
+
+/// Render the trace buffer as a Chrome trace-event JSON array
+/// (load it at <https://ui.perfetto.dev> or `chrome://tracing`).
+///
+/// Events are sorted by timestamp (stable, so begin/end pairs that share a
+/// timestamp keep their recorded order). Timestamps are microseconds as
+/// required by the trace-event format.
+pub fn chrome_trace_json() -> String {
+    let mut events = trace::events();
+    events.sort_by_key(|e| e.ts_ns);
+    let rows: Vec<Value> = events.iter().map(event_to_value).collect();
+    serde_json::to_string(&Value::Array(rows)).expect("value tree always serializes")
+}
+
+fn event_to_value(event: &Event) -> Value {
+    let ph = match event.phase {
+        Phase::Begin => "B",
+        Phase::End => "E",
+    };
+    let mut fields = vec![
+        ("name".to_string(), Value::String(event.name.to_string())),
+        ("ph".to_string(), Value::String(ph.to_string())),
+        (
+            "ts".to_string(),
+            Value::Number(Number::F(event.ts_ns as f64 / 1000.0)),
+        ),
+        ("pid".to_string(), Value::Number(Number::U(1))),
+        (
+            "tid".to_string(),
+            Value::Number(Number::U(event.tid as u64)),
+        ),
+    ];
+    if !event.args.is_empty() {
+        fields.push((
+            "args".to_string(),
+            Value::Object(
+                event
+                    .args
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), arg_to_value(v)))
+                    .collect(),
+            ),
+        ));
+    }
+    Value::Object(fields)
+}
+
+/// Render a metrics snapshot as pretty JSON.
+pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
+    serde_json::to_string_pretty(snapshot).expect("snapshot always serializes")
+}
+
+/// Render the trace buffer as an indented per-thread tree with durations —
+/// the `--verbose` console view.
+pub fn tree_summary() -> String {
+    let mut events = trace::events();
+    events.sort_by_key(|e| e.ts_ns);
+    let mut by_tid: BTreeMap<u32, Vec<&Event>> = BTreeMap::new();
+    for event in &events {
+        by_tid.entry(event.tid).or_default().push(event);
+    }
+    let mut out = String::new();
+    for (tid, lane) in by_tid {
+        out.push_str(&format!("thread {tid}\n"));
+        // (depth, name, start-or-duration ns); start is replaced by the
+        // duration when the matching end event arrives.
+        let mut rows: Vec<(usize, &'static str, Option<u64>)> = Vec::new();
+        let mut open: Vec<usize> = Vec::new();
+        for event in lane {
+            match event.phase {
+                Phase::Begin => {
+                    rows.push((open.len(), event.name, Some(event.ts_ns)));
+                    open.push(rows.len() - 1);
+                }
+                Phase::End => {
+                    if let Some(i) = open.pop() {
+                        let start = rows[i].2.take().unwrap_or(event.ts_ns);
+                        rows[i].2 = Some(event.ts_ns.saturating_sub(start));
+                    }
+                }
+            }
+        }
+        // Spans still open when the buffer was exported have no duration.
+        for i in open {
+            rows[i].2 = None;
+        }
+        for (depth, name, dur) in rows {
+            let indent = "  ".repeat(depth + 1);
+            match dur {
+                Some(ns) => out.push_str(&format!("{indent}{name}  {}\n", fmt_ns(ns))),
+                None => out.push_str(&format!("{indent}{name}  (open)\n")),
+            }
+        }
+    }
+    out
+}
+
+/// Format a nanosecond duration with a readable unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{disable, enable, reset, span};
+    use parking_lot::Mutex;
+
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn record_sample_trace() {
+        reset();
+        enable();
+        {
+            let _build = span!("build", cells = 3u64);
+            {
+                let _clean = span!("build.clean");
+            }
+            let _mine = span!("build.mine", algo = "shared");
+        }
+        disable();
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_json() {
+        let _guard = TEST_LOCK.lock();
+        record_sample_trace();
+        let json = chrome_trace_json();
+        let value = serde_json::parse_value_str(&json).expect("valid json");
+        let rows = match value {
+            Value::Array(rows) => rows,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(rows.len(), 6);
+        let mut depth = 0i64;
+        let mut last_ts = f64::NEG_INFINITY;
+        for row in &rows {
+            let obj = match row {
+                Value::Object(fields) => fields,
+                other => panic!("expected object, got {other:?}"),
+            };
+            let get = |key: &str| {
+                obj.iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .unwrap_or_else(|| panic!("missing field {key}"))
+            };
+            match get("ph") {
+                Value::String(ph) if ph == "B" => depth += 1,
+                Value::String(ph) if ph == "E" => depth -= 1,
+                other => panic!("bad ph {other:?}"),
+            }
+            assert!(depth >= 0);
+            let ts = match get("ts") {
+                Value::Number(Number::F(ts)) => *ts,
+                other => panic!("ts must be a float, got {other:?}"),
+            };
+            assert!(ts >= last_ts, "timestamps sorted");
+            last_ts = ts;
+            assert!(matches!(get("name"), Value::String(_)));
+            assert!(matches!(get("pid"), Value::Number(_)));
+            assert!(matches!(get("tid"), Value::Number(_)));
+        }
+        assert_eq!(depth, 0, "begin/end balanced");
+        // The first begin event carries its args object.
+        assert!(json.contains("\"args\""));
+        assert!(json.contains("\"cells\""));
+        reset();
+    }
+
+    #[test]
+    fn tree_summary_shows_nesting() {
+        let _guard = TEST_LOCK.lock();
+        record_sample_trace();
+        let tree = tree_summary();
+        assert!(tree.contains("thread 0") || tree.contains("thread"));
+        let build_line = tree
+            .lines()
+            .find(|l| l.trim_start().starts_with("build "))
+            .expect("root span listed");
+        let clean_line = tree
+            .lines()
+            .find(|l| l.trim_start().starts_with("build.clean"))
+            .expect("child span listed");
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(
+            indent(clean_line) > indent(build_line),
+            "children indent deeper than parents:\n{tree}"
+        );
+        reset();
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 us");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+}

@@ -1,0 +1,191 @@
+//! The metrics registry: named counters, gauges, and log₂-bucketed
+//! histograms, all global and thread-safe.
+//!
+//! Recording is gated on the global enabled flag (one atomic load when
+//! off). Names are dotted paths (`mining.shared.candidates.len2`);
+//! `snapshot()` freezes everything into a serializable structure.
+
+use crate::is_enabled;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Log₂-bucketed histogram over non-negative values.
+///
+/// Bucket `i` covers `[2^(i-1), 2^i)` (bucket 0 is `[0, 1)`), which gives
+/// ~2× relative error on percentile estimates at constant memory — plenty
+/// for duration profiling.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; 64],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; 64],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&mut self, value: f64) {
+        let value = value.max(0.0);
+        self.counts[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn bucket(value: f64) -> usize {
+        if value < 1.0 {
+            0
+        } else {
+            // floor(log2(v)) + 1, exact for the u64 range we care about.
+            (64 - (value as u64).leading_zeros() as usize).min(63)
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) as the geometric
+    /// midpoint of the bucket containing that rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let estimate = if i == 0 {
+                    0.5
+                } else {
+                    // midpoint of [2^(i-1), 2^i)
+                    1.5 * f64::powi(2.0, i as i32 - 1)
+                };
+                return estimate.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Frozen percentile summary of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+/// Frozen state of the whole registry; serializes to the metrics JSON
+/// exported by `--metrics-out` and embedded in bench result rows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry(f: impl FnOnce(&mut Registry)) {
+    let mut guard = REGISTRY.lock();
+    f(guard.get_or_insert_with(Registry::default));
+}
+
+/// Add to a named counter (no-op while disabled).
+pub fn counter_add(name: &str, delta: u64) {
+    if !is_enabled() || delta == 0 {
+        return;
+    }
+    with_registry(|r| *r.counters.entry(name.to_string()).or_insert(0) += delta);
+}
+
+/// Set a named gauge to the latest value (no-op while disabled).
+pub fn gauge_set(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Record one observation into a named histogram (no-op while disabled).
+pub fn histogram_record(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value)
+    });
+}
+
+/// Freeze the registry (plus the process peak-RSS gauge, if readable).
+pub fn snapshot() -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::default();
+    let guard = REGISTRY.lock();
+    if let Some(r) = guard.as_ref() {
+        out.counters = r.counters.clone();
+        out.gauges = r.gauges.clone();
+        out.histograms = r
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect();
+    }
+    drop(guard);
+    if let Some(bytes) = crate::rss::peak_rss_bytes() {
+        out.gauges
+            .insert("process.peak_rss_bytes".to_string(), bytes as f64);
+    }
+    out
+}
+
+pub(crate) fn clear() {
+    *REGISTRY.lock() = None;
+}

@@ -1,0 +1,33 @@
+//! Process peak-RSS lookup.
+//!
+//! On Linux this reads `VmHWM` (the high-water mark of resident set size)
+//! from `/proc/self/status`. Elsewhere there is no portable equivalent in
+//! std, so the lookup reports `None` and the snapshot simply omits the
+//! gauge.
+
+#[cfg(target_os = "linux")]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            // Format: "VmHWM:     12345 kB"
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn peak_rss_bytes() -> Option<u64> {
+    None
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = super::peak_rss_bytes().expect("VmHWM present in /proc/self/status");
+        assert!(rss > 0);
+    }
+}

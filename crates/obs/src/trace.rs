@@ -1,0 +1,125 @@
+//! The trace buffer: begin/end events with thread lanes.
+//!
+//! Recording is a single atomic load when tracing is disabled; when
+//! enabled, each span pushes two events (B and E) into a global
+//! mutex-protected buffer. Timestamps are nanoseconds since a process-wide
+//! epoch taken at first use, so events from concurrent threads share one
+//! clock and render as parallel lanes in a Chrome trace viewer.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One argument attached to a span (rendered into Chrome trace `args`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+}
+
+macro_rules! arg_from {
+    ($($t:ty => $variant:ident as $conv:ty),*) => {$(
+        impl From<$t> for ArgValue {
+            fn from(v: $t) -> Self {
+                ArgValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+arg_from!(
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64,
+    i64 => I64 as i64, isize => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64
+);
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// Begin/end phase, matching Chrome trace-event `ph` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Begin,
+    End,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub name: &'static str,
+    pub phase: Phase,
+    /// Nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// Small dense lane id (0 = first thread that ever recorded).
+    pub tid: u32,
+    /// Only begin events carry arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+static BUFFER: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static LANE: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Nanoseconds since the trace epoch (monotonic, shared by all threads).
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// The current thread's dense lane id.
+pub fn lane() -> u32 {
+    LANE.with(|l| *l)
+}
+
+pub(crate) fn push(event: Event) {
+    BUFFER.lock().push(event);
+}
+
+pub(crate) fn push_pair(
+    name: &'static str,
+    start_ns: u64,
+    end_ns: u64,
+    tid: u32,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    let mut buffer = BUFFER.lock();
+    buffer.push(Event {
+        name,
+        phase: Phase::Begin,
+        ts_ns: start_ns,
+        tid,
+        args,
+    });
+    buffer.push(Event {
+        name,
+        phase: Phase::End,
+        ts_ns: end_ns,
+        tid,
+        args: Vec::new(),
+    });
+}
+
+/// Snapshot the buffer (events are in push order, not time order).
+pub fn events() -> Vec<Event> {
+    BUFFER.lock().clone()
+}
+
+pub(crate) fn clear() {
+    BUFFER.lock().clear();
+}

@@ -111,7 +111,14 @@ mod tests {
             "store view",
             LocationCut::from_names(
                 loc,
-                ["transportation", "factory", "warehouse", "backroom", "shelf", "checkout"],
+                [
+                    "transportation",
+                    "factory",
+                    "warehouse",
+                    "backroom",
+                    "shelf",
+                    "checkout",
+                ],
             )
             .unwrap(),
             DurationLevel::Raw,
@@ -138,10 +145,7 @@ mod tests {
         let schema = samples::paper_schema();
         let loc = schema.locations();
         let l = |n: &str| loc.id_of(n).unwrap();
-        let path = vec![
-            Stage::new(l("dist_center"), 4),
-            Stage::new(l("truck"), 6),
-        ];
+        let path = vec![Stage::new(l("dist_center"), 4), Stage::new(l("truck"), 6)];
         let coarse = PathLevel::new(
             "coarse",
             LocationCut::uniform_level(loc, 1),

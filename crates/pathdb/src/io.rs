@@ -47,8 +47,7 @@ pub fn parse_text(schema: Schema, text: &str) -> Result<PathDatabase, ParseError
             continue;
         }
         let record = parse_line(db.schema(), next_id, line, lineno)?;
-        db.push(record)
-            .map_err(|e| err(lineno, e.to_string()))?;
+        db.push(record).map_err(|e| err(lineno, e.to_string()))?;
         next_id += 1;
     }
     Ok(db)

@@ -50,7 +50,11 @@ pub struct PathDatabase {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PathDbError {
     /// The record's dimension vector has the wrong arity.
-    WrongDimCount { record: u64, got: usize, want: usize },
+    WrongDimCount {
+        record: u64,
+        got: usize,
+        want: usize,
+    },
     /// A dimension value is out of range for its hierarchy.
     BadDimValue { record: u64, dim: u8 },
     /// A stage location is not a leaf of the location hierarchy.
@@ -63,7 +67,10 @@ impl fmt::Display for PathDbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PathDbError::WrongDimCount { record, got, want } => {
-                write!(f, "record {record}: {got} dimension values, schema has {want}")
+                write!(
+                    f,
+                    "record {record}: {got} dimension values, schema has {want}"
+                )
             }
             PathDbError::BadDimValue { record, dim } => {
                 write!(f, "record {record}: invalid value for dimension {dim}")
@@ -234,7 +241,10 @@ mod tests {
             .push(PathRecord::new(
                 5,
                 vec![ConceptId(10_000), nike],
-                vec![Stage::new(db.schema().locations().id_of("factory").unwrap(), 1)],
+                vec![Stage::new(
+                    db.schema().locations().id_of("factory").unwrap(),
+                    1,
+                )],
             ))
             .unwrap_err();
         assert!(matches!(err, PathDbError::BadDimValue { .. }));

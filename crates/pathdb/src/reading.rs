@@ -82,8 +82,11 @@ pub fn clean_readings(
     readings: impl IntoIterator<Item = RawReading>,
     config: &CleanerConfig,
 ) -> Vec<(u64, Vec<Stay>)> {
+    let _span = flowcube_obs::span!("pathdb.clean");
     let mut by_epc: FxHashMap<u64, Vec<RawReading>> = FxHashMap::default();
+    let mut num_readings = 0u64;
     for r in readings {
+        num_readings += 1;
         by_epc.entry(r.epc).or_default().push(r);
     }
     let mut out: Vec<(u64, Vec<Stay>)> = by_epc
@@ -111,6 +114,13 @@ pub fn clean_readings(
         })
         .collect();
     out.sort_by_key(|(epc, _)| *epc);
+    if flowcube_obs::is_enabled() {
+        flowcube_obs::counter_add("pathdb.clean.readings", num_readings);
+        flowcube_obs::counter_add(
+            "pathdb.clean.stays",
+            out.iter().map(|(_, s)| s.len() as u64).sum(),
+        );
+    }
     out
 }
 

@@ -127,11 +127,7 @@ mod tests {
     fn table1_dimension_values() {
         let db = paper_table1();
         let tennis = db.schema().dim(0).id_of("tennis").unwrap();
-        let count_tennis = db
-            .records()
-            .iter()
-            .filter(|r| r.dims[0] == tennis)
-            .count();
+        let count_tennis = db.records().iter().filter(|r| r.dims[0] == tennis).count();
         assert_eq!(count_tennis, 4); // records 1, 2, 7, 8
     }
 }

@@ -63,10 +63,7 @@ fn main() {
         }];
         let base = predict_next(&cell.graph, &[], &observed).unwrap();
         let with_exc = predict_next(&cell.graph, &cell.exceptions, &observed).unwrap();
-        println!(
-            "\nobserved ({}, dur bucket {dur}):",
-            loc.name_of(first_loc)
-        );
+        println!("\nobserved ({}, dur bucket {dur}):", loc.name_of(first_loc));
         let fmt = |d: &flowcube::flowgraph::CountDist<Option<ConceptId>>| -> String {
             let mut parts: Vec<(f64, String)> = d
                 .probabilities()

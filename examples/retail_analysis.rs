@@ -46,7 +46,9 @@ fn main() {
             DurationLevel::Any,
         ),
     ]);
-    let mut params = FlowCubeParams::new(200).parallel(true).with_redundancy(0.02);
+    let mut params = FlowCubeParams::new(200)
+        .parallel(true)
+        .with_redundancy(0.02);
     params.exception_deviation = 0.12;
     let cube = FlowCube::build(db, spec, params, ItemPlan::All);
     println!(
@@ -167,7 +169,10 @@ fn main() {
                 db.schema().dim(1).name_of(m),
                 flowcube::core::display_key(lk.source_key, db.schema())
             ),
-            None => println!("  {:<16} below iceberg threshold", db.schema().dim(1).name_of(m)),
+            None => println!(
+                "  {:<16} below iceberg threshold",
+                db.schema().dim(1).name_of(m)
+            ),
         }
     }
 }

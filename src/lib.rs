@@ -10,7 +10,8 @@
 //! * [`flowgraph`] — the probabilistic flowgraph measure;
 //! * [`mining`] — the Shared / Basic / Cubing mining algorithms;
 //! * [`core`] — the flowcube model with OLAP navigation;
-//! * [`datagen`] — the synthetic retail path generator.
+//! * [`datagen`] — the synthetic retail path generator;
+//! * [`obs`] — structured tracing, metrics, and profiling exporters.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -19,6 +20,7 @@ pub use flowcube_datagen as datagen;
 pub use flowcube_flowgraph as flowgraph;
 pub use flowcube_hier as hier;
 pub use flowcube_mining as mining;
+pub use flowcube_obs as obs;
 pub use flowcube_pathdb as pathdb;
 
 pub use flowcube_core::{Algorithm, FlowCube, FlowCubeParams, ItemPlan};

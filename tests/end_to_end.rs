@@ -28,8 +28,13 @@ fn pipeline_db(num_paths: usize, seed: u64) -> PathDatabase {
             .unwrap()
             .dims
             .clone();
-        db.push(stays_to_record(*epc, dims, stays, &CleanerConfig::default()))
-            .unwrap();
+        db.push(stays_to_record(
+            *epc,
+            dims,
+            stays,
+            &CleanerConfig::default(),
+        ))
+        .unwrap();
     }
     db
 }
@@ -97,11 +102,7 @@ fn flowgraph_conservation_invariants() {
                     assert_eq!(g.durations(n).total(), g.count(n));
                 }
                 if g.count(n) > 0 {
-                    let p: f64 = g
-                        .transitions(n)
-                        .probabilities()
-                        .map(|(_, p)| p)
-                        .sum();
+                    let p: f64 = g.transitions(n).probabilities().map(|(_, p)| p).sum();
                     assert!((p - 1.0).abs() < 1e-9);
                 }
                 checked += 1;
@@ -154,10 +155,7 @@ fn parent_graph_is_merge_of_children() {
         let m = merged.node_by_prefix(&prefix).expect("same shape");
         assert_eq!(merged.count(m), apex.graph.count(n));
         assert_eq!(merged.durations(m), apex.graph.durations(n));
-        assert_eq!(
-            merged.terminate_count(m),
-            apex.graph.terminate_count(n)
-        );
+        assert_eq!(merged.terminate_count(m), apex.graph.terminate_count(n));
     }
 }
 

@@ -6,9 +6,7 @@ use flowcube::hier::{
     ConceptHierarchy, ConceptId, DurationLevel, LocationCut, PathLatticeSpec, PathLevel, Schema,
 };
 use flowcube::mining::{mine_basic, mine_cubing, mine_shared, CubingConfig, TransactionDb};
-use flowcube::pathdb::{
-    aggregate_stages, AggStage, MergePolicy, PathDatabase, PathRecord, Stage,
-};
+use flowcube::pathdb::{aggregate_stages, AggStage, MergePolicy, PathDatabase, PathRecord, Stage};
 use proptest::prelude::*;
 
 /// A small fixed schema: 2 dims (2-level and 1-level), 2 location groups
@@ -26,7 +24,8 @@ fn small_schema() -> Schema {
     let mut loc = ConceptHierarchy::new("location");
     for g in 0..2 {
         for l in 0..3 {
-            loc.add_path([format!("g{g}"), format!("g{g}l{l}")]).unwrap();
+            loc.add_path([format!("g{g}"), format!("g{g}l{l}")])
+                .unwrap();
         }
     }
     Schema::new(vec![d0, d1], loc)

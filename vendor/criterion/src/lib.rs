@@ -1,0 +1,225 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! Wall-clock micro-benchmark harness exposing the criterion API surface
+//! this workspace uses: `Criterion`, `benchmark_group`/`BenchmarkGroup`
+//! (`sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: one calibration call picks an iteration count
+//! targeting ~10 ms per sample, then `sample_size` samples are timed and
+//! min/median/mean nanoseconds-per-iteration are printed. No statistical
+//! analysis, plots, or baseline storage.
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+const TARGET_SAMPLE_NANOS: u128 = 10_000_000; // ~10 ms per sample
+const MAX_ITERS_PER_SAMPLE: u128 = 1_000_000;
+
+/// Top-level benchmark driver; holds the default sample count.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.to_string(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A `function_name/parameter` benchmark label.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` measures the routine.
+pub struct Bencher {
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration run doubles as warm-up.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().as_nanos().max(1);
+        let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, MAX_ITERS_PER_SAMPLE);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64;
+            self.samples.push(nanos / iters as f64);
+        }
+    }
+}
+
+fn run_bench<F: FnOnce(&mut Bencher)>(name: &str, sample_size: usize, f: F) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<50} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean: f64 = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{name:<50} time: [min {} median {} mean {}] ({} samples)",
+        fmt_nanos(min),
+        fmt_nanos(median),
+        fmt_nanos(mean),
+        sorted.len()
+    );
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark targets into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group; ignores harness CLI arguments.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2);
+        let mut ran = 0u64;
+        group.bench_function("inc", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("param", 42), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("shared", 25).to_string(), "shared/25");
+    }
+
+    #[test]
+    fn nanos_formatting() {
+        assert_eq!(fmt_nanos(12.34), "12.3 ns");
+        assert_eq!(fmt_nanos(12_340.0), "12.34 µs");
+        assert_eq!(fmt_nanos(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_nanos(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -1,0 +1,88 @@
+//! In-tree stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::scope` for structured fork/join
+//! parallelism; since Rust 1.63 the standard library provides the same
+//! capability (`std::thread::scope`), so this shim adapts the crossbeam
+//! call shape (`scope(|s| …)` returning `Result`, spawn closures taking
+//! the scope as an argument) onto std.
+
+use std::any::Any;
+use std::thread;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a scoped thread, mirroring `crossbeam`'s.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish; `Err` carries the panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread scoped to `'env` borrows. The closure receives the
+    /// scope so it can spawn further threads, as in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns.
+///
+/// Unlike crossbeam, a panic in an unjoined child propagates out of
+/// `scope` directly (std semantics) rather than being returned in the
+/// `Err` variant; every caller in this workspace joins its handles, so
+/// the difference is unobservable here.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

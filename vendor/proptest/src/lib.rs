@@ -1,0 +1,380 @@
+//! In-tree stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the
+//! `proptest! { #![proptest_config(…)] #[test] fn case(x in strategy) { … } }`
+//! macro, range and tuple strategies, `prop::collection::vec`,
+//! `Strategy::prop_map`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: case generation is seeded
+//! deterministically from the test name (fully reproducible runs, no
+//! `PROPTEST_*` env handling), and failing cases are reported but not
+//! shrunk.
+
+pub mod test_runner {
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-test configuration; only `cases` is supported.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The RNG handed to strategies: a seeded `StdRng`.
+    pub struct TestRng(rand::rngs::StdRng);
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng(rand::rngs::StdRng::seed_from_u64(seed))
+        }
+
+        /// FNV-1a over the test name: a stable per-test seed.
+        pub fn for_test_name(name: &str) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self::from_seed(seed)
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values for one macro-level test argument.
+    pub trait Strategy {
+        type Value;
+
+        fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<F, U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F, U> Strategy for Map<S, F>
+    where
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn gen(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn gen(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+
+    /// A constant-value strategy (real proptest's `Just`).
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Inclusive bounds on generated collection lengths.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.end > r.start, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a random in-range length.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.lo..=self.size.hi);
+                (0..len).map(|_| self.element.gen(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Top-level entry point: expands each `#[test] fn name(args in strategies)`
+/// into a plain `#[test]` fn that runs `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test_name(stringify!($name));
+            $(let $arg = $strat;)+
+            for __case in 0..__config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::gen(&$arg, &mut __rng);)+
+                let __result: ::core::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__msg) = __result {
+                    ::core::panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+}
+
+/// Assert inside a proptest body; failure aborts the case with a message
+/// instead of panicking, so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(*__left == *__right, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test_name("ranges_stay_in_bounds");
+        for _ in 0..200 {
+            let v = (3u32..17).gen(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.5f64..2.0).gen(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_and_map() {
+        let mut rng = TestRng::for_test_name("vec_sizes_and_map");
+        let strat = prop::collection::vec(0u8..4, 1..5).prop_map(|v| v.len());
+        for _ in 0..100 {
+            let n = strat.gen(&mut rng);
+            assert!((1..=4).contains(&n));
+        }
+        let exact = prop::collection::vec(0u8..4, 3);
+        assert_eq!(exact.gen(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test_name("same");
+        let mut b = TestRng::for_test_name("same");
+        let s = (0u64..1000, 0u64..1000);
+        assert_eq!(s.gen(&mut a), s.gen(&mut b));
+    }
+
+    // The macro itself, driven end to end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_cases(x in 0u32..10, v in prop::collection::vec(0u8..3, 1..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(!v.is_empty() && v.len() <= 3);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(v.len(), 9usize);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Deserialization half of the value-model framework.
+
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Deserialization error: a message plus optional context pushed while
+/// unwinding (struct/field names).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+
+    pub fn missing_field(type_name: &str, field: &str) -> Self {
+        Error(format!("{type_name}: missing field `{field}`"))
+    }
+
+    pub fn mismatch(expected: &str, got: &Value) -> Self {
+        Error(format!("expected {expected}, got {}", got.kind()))
+    }
+
+    /// Prefix the message with location context (innermost first).
+    pub fn context(self, what: &str) -> Self {
+        Error(format!("{what}: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type constructible from the [`Value`] data model.
+///
+/// The lifetime parameter exists only for signature compatibility with
+/// real serde (custom impls in the workspace are written against
+/// `D: Deserializer<'de>`); this implementation always works from owned
+/// values.
+pub trait Deserialize<'de>: Sized {
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(D::Error::from)
+    }
+}
+
+/// Marker for types deserializable without borrowing, as in real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A source of the value model. The only required method surrenders the
+/// whole input as an owned [`Value`].
+pub trait Deserializer<'de>: Sized {
+    type Error: From<Error>;
+
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Extract a struct field from an object value; derive-generated code
+/// calls this so it never has to name field types.
+pub fn field_from_value<'de, T: Deserialize<'de>>(
+    field_value: Option<&Value>,
+    type_name: &str,
+    field: &str,
+) -> Result<T, Error> {
+    match field_value {
+        Some(v) => T::from_value(v).map_err(|e| e.context(&format!("{type_name}.{field}"))),
+        None => Err(Error::missing_field(type_name, field)),
+    }
+}
+
+/// Decode an externally-tagged enum value into `(variant_name, payload)`.
+/// A bare string is a unit variant (payload `None`); a single-key object
+/// is a data-carrying variant.
+pub fn variant_payload(value: &Value) -> Result<(&str, Option<&Value>), Error> {
+    match value {
+        Value::String(s) => Ok((s, None)),
+        Value::Object(pairs) if pairs.len() == 1 => Ok((&pairs[0].0, Some(&pairs[0].1))),
+        other => Err(Error::mismatch("enum variant", other)),
+    }
+}
+
+// ---- impls for std types ------------------------------------------------
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::mismatch("bool", value))
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::mismatch(stringify!($t), value))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::mismatch(stringify!($t), value))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::mismatch("f64", value))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::mismatch("f32", value))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::mismatch("char", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected one char, got {s:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::mismatch("string", value))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::mismatch("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<[T]> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(value).map(Vec::into_boxed_slice)
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:expr; $($name:ident : $idx:tt),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let arr = value
+                    .as_array()
+                    .ok_or_else(|| Error::mismatch("tuple (array)", value))?;
+                if arr.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected array of {}, got {}",
+                        $len,
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (1; A: 0)
+    (2; A: 0, B: 1)
+    (3; A: 0, B: 1, C: 2)
+    (4; A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let secs = field_from_value(value.get("secs"), "Duration", "secs")?;
+        let nanos: u32 = field_from_value(value.get("nanos"), "Duration", "nanos")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::mismatch("map (array of pairs)", value))?
+            .iter()
+            .map(<(K, V)>::from_value)
+            .collect()
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for std::collections::HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+    H: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::mismatch("set (array)", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::mismatch("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}

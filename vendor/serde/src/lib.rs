@@ -1,0 +1,34 @@
+//! In-tree stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a small serialization framework under serde's names. Unlike real
+//! serde's format-agnostic visitor model, this implementation is built
+//! around an owned JSON-like [`Value`] tree: `Serialize` produces a
+//! `Value`, `Deserialize` consumes one. The only format in the tree is
+//! `serde_json`, so nothing is lost, and the derive macros (see
+//! `serde_derive`) stay small enough to hand-roll without `syn`.
+//!
+//! Supported surface (everything this workspace uses):
+//! - `#[derive(Serialize, Deserialize)]` on structs (named, tuple, unit),
+//!   generic structs, and enums with unit/newtype/tuple/struct variants;
+//! - `#[serde(skip)]` and `#[serde(with = "module")]` field attributes;
+//! - custom impls via `Serializer::collect_seq` and `Vec::deserialize`
+//!   (see `flowcube-core`'s `serde_map`);
+//! - `serde_json::{to_string, to_string_pretty, from_str}`.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+/// Items the derive macros reference; not part of the public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::de::{field_from_value, variant_payload, Error as DeError};
+    pub use crate::ser::to_value;
+    pub use crate::value::{Number, Value, ValueDeserializer, ValueSerializer};
+}

@@ -1,0 +1,834 @@
+//! In-tree stand-in for `serde_derive`.
+//!
+//! Generates impls of the value-model `serde` shim's traits: `Serialize`
+//! (required method `to_value(&self) -> Value`) and `Deserialize`
+//! (required method `from_value(&Value) -> Result<Self, Error>`).
+//!
+//! There is no `syn`/`quote` in the build environment, so the input item
+//! is parsed with a small hand-rolled lexer over `proc_macro::TokenTree`
+//! and the impl is emitted as a string that is re-parsed into a
+//! `TokenStream`. Supported input shapes (everything this workspace
+//! derives on):
+//!
+//! - structs with named fields, tuple structs (incl. newtypes), unit
+//!   structs, and generic structs (`CountDist<K>`);
+//! - enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged: `"Variant"` or `{"Variant": payload}`);
+//! - field attributes `#[serde(skip)]`, `#[serde(default)]`, and
+//!   `#[serde(with = "module::path")]`;
+//! - non-serde attributes (doc comments, `#[default]`, …) are ignored.
+//!
+//! Generated code only names types via `Self` and infers field types
+//! through `::serde::__private` helper functions, so the parser never has
+//! to understand Rust type syntax beyond skipping it.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+// ---- lexer --------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    /// Punctuation char plus whether it is joint with the next token
+    /// (needed to re-render `::`, `->`, `'a` correctly).
+    Punct(char, bool),
+    Lit(String),
+    Group(Delimiter, Vec<Tok>),
+}
+
+fn lex(ts: TokenStream) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for tt in ts {
+        match tt {
+            TokenTree::Ident(i) => out.push(Tok::Ident(i.to_string())),
+            TokenTree::Punct(p) => out.push(Tok::Punct(p.as_char(), p.spacing() == Spacing::Joint)),
+            TokenTree::Literal(l) => out.push(Tok::Lit(l.to_string())),
+            TokenTree::Group(g) => {
+                if g.delimiter() == Delimiter::None {
+                    out.extend(lex(g.stream()));
+                } else {
+                    out.push(Tok::Group(g.delimiter(), lex(g.stream())));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn toks_to_string(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        match t {
+            Tok::Ident(i) => {
+                s.push_str(i);
+                s.push(' ');
+            }
+            Tok::Punct(c, joint) => {
+                s.push(*c);
+                if !*joint {
+                    s.push(' ');
+                }
+            }
+            Tok::Lit(l) => {
+                s.push_str(l);
+                s.push(' ');
+            }
+            Tok::Group(d, inner) => {
+                let (open, close) = match d {
+                    Delimiter::Parenthesis => ('(', ')'),
+                    Delimiter::Brace => ('{', '}'),
+                    Delimiter::Bracket => ('[', ']'),
+                    Delimiter::None => (' ', ' '),
+                };
+                s.push(open);
+                s.push_str(&toks_to_string(inner));
+                s.push(close);
+                s.push(' ');
+            }
+        }
+    }
+    s.trim_end().to_string()
+}
+
+// ---- parsed model -------------------------------------------------------
+
+#[derive(Default, Clone, Debug)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    /// Tuple variant; one attrs entry per field. Length 1 = newtype.
+    Tuple(Vec<FieldAttrs>),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Body {
+    Named(Vec<Field>),
+    Tuple(Vec<FieldAttrs>),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+enum GParam {
+    Lifetime { name: String },
+    Type { name: String, bounds: String },
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<GParam>,
+    where_raw: String,
+    body: Body,
+}
+
+// ---- parsing ------------------------------------------------------------
+
+fn is_punct(t: Option<&Tok>, c: char) -> bool {
+    matches!(t, Some(Tok::Punct(p, _)) if *p == c)
+}
+
+fn parse_serde_args(args: &[Tok], out: &mut FieldAttrs) {
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            Tok::Ident(word) => match word.as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => {
+                    out.skip = true;
+                    j += 1;
+                }
+                "default" => {
+                    out.default = true;
+                    j += 1;
+                }
+                "with" => {
+                    if is_punct(args.get(j + 1), '=') {
+                        if let Some(Tok::Lit(lit)) = args.get(j + 2) {
+                            out.with = Some(lit.trim_matches('"').to_string());
+                        }
+                        j += 3;
+                    } else {
+                        j += 1;
+                    }
+                }
+                _ => {
+                    // Unknown directive: skip an optional `= value`.
+                    j += if is_punct(args.get(j + 1), '=') { 3 } else { 1 };
+                }
+            },
+            _ => j += 1,
+        }
+    }
+}
+
+/// Consume any leading attributes; return merged serde field attrs.
+fn parse_attrs(toks: &[Tok], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while is_punct(toks.get(*i), '#') {
+        if let Some(Tok::Group(Delimiter::Bracket, inner)) = toks.get(*i + 1) {
+            if let (Some(Tok::Ident(name)), Some(Tok::Group(Delimiter::Parenthesis, args))) =
+                (inner.first(), inner.get(1))
+            {
+                if name == "serde" {
+                    parse_serde_args(args, &mut attrs);
+                }
+            }
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    attrs
+}
+
+fn skip_vis(toks: &[Tok], i: &mut usize) {
+    if matches!(toks.get(*i), Some(Tok::Ident(w)) if w == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(Tok::Group(Delimiter::Parenthesis, _))) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[Tok], i: &mut usize, what: &str) -> String {
+    match toks.get(*i) {
+        Some(Tok::Ident(w)) => {
+            *i += 1;
+            w.clone()
+        }
+        other => panic!("serde derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Skip a type expression: everything up to a `,` at angle-bracket depth 0.
+fn skip_type(toks: &[Tok], i: &mut usize) {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            Tok::Punct(',', _) if depth == 0 => return,
+            Tok::Punct('<', _) => depth += 1,
+            // Ignore the `>` of `->` (fn-pointer return types).
+            Tok::Punct('>', _) if !prev_dash => depth -= 1,
+            _ => {}
+        }
+        prev_dash = matches!(t, Tok::Punct('-', _));
+        *i += 1;
+    }
+}
+
+fn parse_generics(toks: &[Tok], i: &mut usize) -> Vec<GParam> {
+    if !is_punct(toks.get(*i), '<') {
+        return Vec::new();
+    }
+    *i += 1;
+    let mut depth = 1i32;
+    let mut seg: Vec<Tok> = Vec::new();
+    let mut params = Vec::new();
+    let flush = |seg: &mut Vec<Tok>, params: &mut Vec<GParam>| {
+        if seg.is_empty() {
+            return;
+        }
+        if matches!(seg.first(), Some(Tok::Punct('\'', _))) {
+            let name = match seg.get(1) {
+                Some(Tok::Ident(w)) => format!("'{w}"),
+                other => panic!("serde derive: bad lifetime param {other:?}"),
+            };
+            params.push(GParam::Lifetime { name });
+        } else {
+            let name = match seg.first() {
+                Some(Tok::Ident(w)) if w != "const" => w.clone(),
+                other => {
+                    panic!("serde derive: unsupported generic param {other:?}")
+                }
+            };
+            let bounds = seg
+                .iter()
+                .position(|t| matches!(t, Tok::Punct(':', _)))
+                .map(|p| toks_to_string(&seg[p + 1..]))
+                .unwrap_or_default();
+            params.push(GParam::Type { name, bounds });
+        }
+        seg.clear();
+    };
+    loop {
+        match toks.get(*i) {
+            Some(Tok::Punct('<', _)) => {
+                depth += 1;
+                seg.push(toks[*i].clone());
+            }
+            Some(Tok::Punct('>', _)) => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    flush(&mut seg, &mut params);
+                    break;
+                }
+                seg.push(toks[*i].clone());
+            }
+            Some(Tok::Punct(',', _)) if depth == 1 => {
+                flush(&mut seg, &mut params);
+            }
+            Some(t) => seg.push(t.clone()),
+            None => panic!("serde derive: unterminated generics"),
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_named_fields(toks: &[Tok]) -> Vec<Field> {
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = parse_attrs(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(toks, &mut i);
+        let name = expect_ident(toks, &mut i, "field name");
+        if !is_punct(toks.get(i), ':') {
+            panic!("serde derive: expected `:` after field `{name}`");
+        }
+        i += 1;
+        skip_type(toks, &mut i);
+        fields.push(Field { name, attrs });
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_tuple_fields(toks: &[Tok]) -> Vec<FieldAttrs> {
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = parse_attrs(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(toks, &mut i);
+        skip_type(toks, &mut i);
+        fields.push(attrs);
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(toks: &[Tok]) -> Vec<Variant> {
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let _attrs = parse_attrs(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(toks, &mut i, "variant name");
+        let kind = match toks.get(i) {
+            Some(Tok::Group(Delimiter::Parenthesis, inner)) => {
+                i += 1;
+                VariantKind::Tuple(parse_tuple_fields(inner))
+            }
+            Some(Tok::Group(Delimiter::Brace, inner)) => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        if is_punct(toks.get(i), '=') {
+            // Explicit discriminant: skip the expression.
+            i += 1;
+            skip_type(toks, &mut i);
+        }
+        variants.push(Variant { name, kind });
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_input(toks: &[Tok]) -> Input {
+    let mut i = 0;
+    parse_attrs(toks, &mut i); // container attrs: ignored
+    skip_vis(toks, &mut i);
+    let kw = expect_ident(toks, &mut i, "`struct` or `enum`");
+    let name = expect_ident(toks, &mut i, "item name");
+    let generics = parse_generics(toks, &mut i);
+
+    let mut where_raw = String::new();
+    let take_where = |toks: &[Tok], i: &mut usize| {
+        if matches!(toks.get(*i), Some(Tok::Ident(w)) if w == "where") {
+            *i += 1;
+            let start = *i;
+            while *i < toks.len()
+                && !matches!(toks.get(*i), Some(Tok::Group(Delimiter::Brace, _)))
+                && !is_punct(toks.get(*i), ';')
+            {
+                *i += 1;
+            }
+            toks_to_string(&toks[start..*i])
+        } else {
+            String::new()
+        }
+    };
+
+    let body = if kw == "enum" {
+        where_raw = take_where(toks, &mut i);
+        match toks.get(i) {
+            Some(Tok::Group(Delimiter::Brace, inner)) => Body::Enum(parse_variants(inner)),
+            other => panic!("serde derive: expected enum body, found {other:?}"),
+        }
+    } else if kw == "struct" {
+        match toks.get(i) {
+            Some(Tok::Group(Delimiter::Parenthesis, inner)) => {
+                let fields = parse_tuple_fields(inner);
+                i += 1;
+                where_raw = take_where(toks, &mut i);
+                Body::Tuple(fields)
+            }
+            Some(Tok::Ident(w)) if w == "where" => {
+                where_raw = take_where(toks, &mut i);
+                match toks.get(i) {
+                    Some(Tok::Group(Delimiter::Brace, inner)) => {
+                        Body::Named(parse_named_fields(inner))
+                    }
+                    other => {
+                        panic!("serde derive: expected struct body, found {other:?}")
+                    }
+                }
+            }
+            Some(Tok::Group(Delimiter::Brace, inner)) => Body::Named(parse_named_fields(inner)),
+            Some(Tok::Punct(';', _)) => Body::Unit,
+            other => panic!("serde derive: expected struct body, found {other:?}"),
+        }
+    } else {
+        panic!("serde derive: only structs and enums are supported, found `{kw}`");
+    };
+
+    Input {
+        name,
+        generics,
+        where_raw,
+        body,
+    }
+}
+
+// ---- codegen ------------------------------------------------------------
+
+/// Build `(impl-generics, type-args, where-clause)` strings.
+/// `de` adds the `'de` lifetime and swaps the injected trait bound.
+fn generics_strings(input: &Input, de: bool) -> (String, String, String) {
+    let bound = if de {
+        "::serde::Deserialize<'de>"
+    } else {
+        "::serde::Serialize"
+    };
+    let mut decl: Vec<String> = Vec::new();
+    let mut args: Vec<String> = Vec::new();
+    if de {
+        decl.push("'de".to_string());
+    }
+    for p in &input.generics {
+        match p {
+            GParam::Lifetime { name } => {
+                decl.push(name.clone());
+                args.push(name.clone());
+            }
+            GParam::Type { name, bounds } => {
+                if bounds.is_empty() {
+                    decl.push(format!("{name}: {bound}"));
+                } else {
+                    decl.push(format!("{name}: {bounds} + {bound}"));
+                }
+                args.push(name.clone());
+            }
+        }
+    }
+    let decl = if decl.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", decl.join(", "))
+    };
+    let args = if args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", args.join(", "))
+    };
+    let where_clause = if input.where_raw.is_empty() {
+        String::new()
+    } else {
+        format!("where {}", input.where_raw)
+    };
+    (decl, args, where_clause)
+}
+
+/// Expression serializing `place` (an expression of reference type).
+fn ser_expr(place: &str, attrs: &FieldAttrs) -> String {
+    match &attrs.with {
+        None => format!("::serde::__private::to_value({place})"),
+        Some(path) => format!(
+            "match {path}::serialize({place}, ::serde::__private::ValueSerializer) {{ \
+               ::core::result::Result::Ok(__v) => __v, \
+               ::core::result::Result::Err(__e) => {{ let _ = __e; \
+                 ::core::panic!(\"#[serde(with)] serialization failed\") }} }}"
+        ),
+    }
+}
+
+fn push_named_field(out: &mut String, name: &str, expr: &str) {
+    out.push_str(&format!(
+        "__fields.push((::std::string::String::from(\"{name}\"), {expr}));\n"
+    ));
+}
+
+fn ser_named_body(fields: &[Field]) -> String {
+    let mut s = String::from(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+         ::serde::__private::Value)> = ::std::vec::Vec::new();\n",
+    );
+    for f in fields.iter().filter(|f| !f.attrs.skip) {
+        let expr = ser_expr(&format!("&self.{}", f.name), &f.attrs);
+        push_named_field(&mut s, &f.name, &expr);
+    }
+    s.push_str("::serde::__private::Value::Object(__fields)\n");
+    s
+}
+
+fn ser_tuple_body(fields: &[FieldAttrs]) -> String {
+    let live: Vec<(usize, &FieldAttrs)> =
+        fields.iter().enumerate().filter(|(_, a)| !a.skip).collect();
+    if fields.len() == 1 && live.len() == 1 {
+        // Newtype: transparent over the inner value, like real serde.
+        return ser_expr("&self.0", live[0].1);
+    }
+    let items: Vec<String> = live
+        .iter()
+        .map(|(idx, a)| ser_expr(&format!("&self.{idx}"), a))
+        .collect();
+    format!(
+        "::serde::__private::Value::Array(::std::vec![{}])",
+        items.join(", ")
+    )
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut s = String::from("match self {\n");
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => s.push_str(&format!(
+                "Self::{vn} => ::serde::__private::Value::String(\
+                 ::std::string::String::from(\"{vn}\")),\n"
+            )),
+            VariantKind::Tuple(fields) => {
+                let binds: Vec<String> = fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| {
+                        if a.skip {
+                            "_".to_string()
+                        } else {
+                            format!("__f{i}")
+                        }
+                    })
+                    .collect();
+                let exprs: Vec<String> = fields
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| !a.skip)
+                    .map(|(i, a)| ser_expr(&format!("__f{i}"), a))
+                    .collect();
+                let payload = if exprs.len() == 1 && fields.len() == 1 {
+                    exprs[0].clone()
+                } else {
+                    format!(
+                        "::serde::__private::Value::Array(::std::vec![{}])",
+                        exprs.join(", ")
+                    )
+                };
+                s.push_str(&format!(
+                    "Self::{vn}({}) => ::serde::__private::Value::Object(\
+                     ::std::vec![(::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                    binds.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binds: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.attrs.skip)
+                    .map(|f| format!("{}: __b_{}", f.name, f.name))
+                    .collect();
+                let mut inner = String::from(
+                    "{ let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                     ::serde::__private::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.attrs.skip) {
+                    let expr = ser_expr(&format!("__b_{}", f.name), &f.attrs);
+                    push_named_field(&mut inner, &f.name, &expr);
+                }
+                inner.push_str("::serde::__private::Value::Object(__fields) }");
+                s.push_str(&format!(
+                    "Self::{vn} {{ {}, .. }} => ::serde::__private::Value::Object(\
+                     ::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                    binds.join(", ")
+                ));
+            }
+        }
+    }
+    let _ = name;
+    s.push_str("}\n");
+    s
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (decl, args, where_clause) = generics_strings(input, false);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Named(fields) => ser_named_body(fields),
+        Body::Tuple(fields) => ser_tuple_body(fields),
+        Body::Unit => "::serde::__private::Value::Null".to_string(),
+        Body::Enum(variants) => ser_enum_body(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{decl} ::serde::Serialize for {name}{args} {where_clause} {{\n\
+            fn to_value(&self) -> ::serde::__private::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Expression deserializing named field `fname` of `type_name` from the
+/// object value expression `obj` (of type `&Value`).
+fn de_field_expr(obj: &str, type_name: &str, f: &Field) -> String {
+    if f.attrs.skip {
+        return "::core::default::Default::default()".to_string();
+    }
+    let fname = &f.name;
+    if let Some(path) = &f.attrs.with {
+        return format!(
+            "match {obj}.get(\"{fname}\") {{ \
+               ::core::option::Option::Some(__v) => {path}::deserialize(\
+                 ::serde::__private::ValueDeserializer::new(__v.clone()))?, \
+               ::core::option::Option::None => return ::core::result::Result::Err(\
+                 ::serde::__private::DeError::missing_field(\"{type_name}\", \"{fname}\")) }}"
+        );
+    }
+    if f.attrs.default {
+        return format!(
+            "match {obj}.get(\"{fname}\") {{ \
+               ::core::option::Option::Some(__v) => ::serde::__private::field_from_value(\
+                 ::core::option::Option::Some(__v), \"{type_name}\", \"{fname}\")?, \
+               ::core::option::Option::None => ::core::default::Default::default() }}"
+        );
+    }
+    format!(
+        "::serde::__private::field_from_value({obj}.get(\"{fname}\"), \
+         \"{type_name}\", \"{fname}\")?"
+    )
+}
+
+fn de_named_body(name: &str, fields: &[Field]) -> String {
+    let mut s = format!(
+        "match __value {{ ::serde::__private::Value::Object(_) => {{}}, \
+         __other => return ::core::result::Result::Err(\
+           ::serde::__private::DeError::mismatch(\"struct {name}\", __other)) }}\n\
+         ::core::result::Result::Ok(Self {{\n"
+    );
+    for f in fields {
+        s.push_str(&format!(
+            "{}: {},\n",
+            f.name,
+            de_field_expr("__value", name, f)
+        ));
+    }
+    s.push_str("})\n");
+    s
+}
+
+fn de_tuple_elems(arr: &str, type_name: &str, fields: &[FieldAttrs]) -> Vec<String> {
+    // Skipped fields take `Default::default()` and do not consume an
+    // array slot; live fields index the payload array in order.
+    let mut slot = 0usize;
+    fields
+        .iter()
+        .enumerate()
+        .map(|(idx, a)| {
+            if a.skip {
+                "::core::default::Default::default()".to_string()
+            } else {
+                let e = format!(
+                    "::serde::__private::field_from_value(\
+                     ::core::option::Option::Some(&{arr}[{slot}usize]), \
+                     \"{type_name}\", \"{idx}\")?"
+                );
+                slot += 1;
+                e
+            }
+        })
+        .collect()
+}
+
+fn de_tuple_body(name: &str, fields: &[FieldAttrs]) -> String {
+    let live = fields.iter().filter(|a| !a.skip).count();
+    if fields.len() == 1 && live == 1 {
+        return format!(
+            "::core::result::Result::Ok(Self(::serde::__private::field_from_value(\
+             ::core::option::Option::Some(__value), \"{name}\", \"0\")?))\n"
+        );
+    }
+    let elems = de_tuple_elems("__arr", name, fields);
+    format!(
+        "let __arr = match __value {{ \
+           ::serde::__private::Value::Array(__a) if __a.len() == {live}usize => __a, \
+           __other => return ::core::result::Result::Err(\
+             ::serde::__private::DeError::mismatch(\
+               \"tuple struct {name} (array of {live})\", __other)) }};\n\
+         ::core::result::Result::Ok(Self({}))\n",
+        elems.join(", ")
+    )
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut s = String::from(
+        "let (__variant, __payload) = ::serde::__private::variant_payload(__value)?;\n\
+         match __variant {\n",
+    );
+    for v in variants {
+        let vn = &v.name;
+        let vpath = format!("{name}::{vn}");
+        match &v.kind {
+            VariantKind::Unit => {
+                s.push_str(&format!(
+                    "\"{vn}\" => ::core::result::Result::Ok(Self::{vn}),\n"
+                ));
+            }
+            VariantKind::Tuple(fields) => {
+                let live = fields.iter().filter(|a| !a.skip).count();
+                let take_payload = format!(
+                    "let __pv = match __payload {{ \
+                       ::core::option::Option::Some(__v) => __v, \
+                       ::core::option::Option::None => return ::core::result::Result::Err(\
+                         ::serde::__private::DeError::custom(\
+                           \"variant `{vpath}` expects a payload\")) }};\n"
+                );
+                if fields.len() == 1 && live == 1 {
+                    s.push_str(&format!(
+                        "\"{vn}\" => {{ {take_payload} \
+                         ::core::result::Result::Ok(Self::{vn}(\
+                           ::serde::__private::field_from_value(\
+                             ::core::option::Option::Some(__pv), \"{vpath}\", \"0\")?)) }}\n"
+                    ));
+                } else {
+                    let elems = de_tuple_elems("__arr", &vpath, fields);
+                    s.push_str(&format!(
+                        "\"{vn}\" => {{ {take_payload} \
+                         let __arr = match __pv {{ \
+                           ::serde::__private::Value::Array(__a) \
+                             if __a.len() == {live}usize => __a, \
+                           __other => return ::core::result::Result::Err(\
+                             ::serde::__private::DeError::mismatch(\
+                               \"variant {vpath} (array of {live})\", __other)) }};\n\
+                         ::core::result::Result::Ok(Self::{vn}({})) }}\n",
+                        elems.join(", ")
+                    ));
+                }
+            }
+            VariantKind::Struct(fields) => {
+                let mut ctor = String::new();
+                for f in fields {
+                    ctor.push_str(&format!(
+                        "{}: {},\n",
+                        f.name,
+                        de_field_expr("__pv", &vpath, f)
+                    ));
+                }
+                s.push_str(&format!(
+                    "\"{vn}\" => {{ \
+                       let __pv = match __payload {{ \
+                         ::core::option::Option::Some(__v) => __v, \
+                         ::core::option::Option::None => return ::core::result::Result::Err(\
+                           ::serde::__private::DeError::custom(\
+                             \"variant `{vpath}` expects a payload\")) }};\n\
+                       match __pv {{ ::serde::__private::Value::Object(_) => {{}}, \
+                         __other => return ::core::result::Result::Err(\
+                           ::serde::__private::DeError::mismatch(\
+                             \"variant {vpath} (object)\", __other)) }}\n\
+                       ::core::result::Result::Ok(Self::{vn} {{ {ctor} }}) }}\n"
+                ));
+            }
+        }
+    }
+    s.push_str(&format!(
+        "__other => ::core::result::Result::Err(::serde::__private::DeError::custom(\
+         ::std::format!(\"unknown variant `{{}}` of enum `{name}`\", __other))),\n"
+    ));
+    s.push_str("}\n");
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (decl, args, where_clause) = generics_strings(input, true);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Named(fields) => de_named_body(name, fields),
+        Body::Tuple(fields) => de_tuple_body(name, fields),
+        Body::Unit => format!(
+            "match __value {{ \
+               ::serde::__private::Value::Null => ::core::result::Result::Ok(Self), \
+               __other => ::core::result::Result::Err(\
+                 ::serde::__private::DeError::mismatch(\
+                   \"unit struct {name} (null)\", __other)) }}\n"
+        ),
+        Body::Enum(variants) => de_enum_body(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{decl} ::serde::Deserialize<'de> for {name}{args} {where_clause} {{\n\
+            fn from_value(__value: &::serde::__private::Value) \
+              -> ::core::result::Result<Self, ::serde::__private::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+// ---- entry points -------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let toks = lex(input);
+    let parsed = parse_input(&toks);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let toks = lex(input);
+    let parsed = parse_input(&toks);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}
