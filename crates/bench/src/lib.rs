@@ -7,6 +7,7 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod serving;
 
 pub use experiments::{paper_path_spec, ExperimentScale};
 pub use runner::{run_all, AlgoResult, RunResult};

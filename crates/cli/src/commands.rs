@@ -25,6 +25,11 @@ USAGE:
                     --min-support N
   flowcube predict  --cube cube.json --cell v1,… --observed loc:dur,loc:dur
                     [--level NAME]
+  flowcube snapshot --db db.json [build flags] --out cube.snap
+                    (or --cube cube.json --out cube.snap to convert)
+  flowcube serve    --snapshot cube.snap [--addr HOST:PORT] [--workers N]
+                    [--queue-depth N] [--cache N]
+                    (or --cube cube.json to serve a JSON cube directly)
   flowcube tables   (reproduce the paper's Tables 1-4 examples)
 
 OBSERVABILITY (build and mine):
@@ -126,10 +131,9 @@ pub fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-pub fn build(args: &Args) -> Result<(), String> {
-    obs_setup(args);
+/// Build a cube from `--db` plus the shared build flags.
+fn build_cube(args: &Args) -> Result<FlowCube, String> {
     let db = read_db(args.require("db")?)?;
-    let out = args.require("out")?;
     let mut params = FlowCubeParams::new(args.num("min-support", 100u64)?);
     params.exception_deviation = args.num("eps", params.exception_deviation)?;
     params.algorithm = parse_algorithm(args.get_or("algorithm", "shared"))?;
@@ -153,6 +157,13 @@ pub fn build(args: &Args) -> Result<(), String> {
         cube.total_cells(),
         cube.stats().summary()
     );
+    Ok(cube)
+}
+
+pub fn build(args: &Args) -> Result<(), String> {
+    obs_setup(args);
+    let out = args.require("out")?;
+    let cube = build_cube(args)?;
     let json = serde_json::to_string(&cube).map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| e.to_string())?;
     println!("wrote {out}");
@@ -339,6 +350,74 @@ pub fn predict(args: &Args) -> Result<(), String> {
     for (p, name) in rows {
         println!("  {name:<24} {:.1}%", p * 100.0);
     }
+    Ok(())
+}
+
+/// Load the cube named by `--cube` (JSON) or build one from `--db`.
+fn cube_for_snapshot(args: &Args) -> Result<FlowCube, String> {
+    if args.get("cube").is_some() {
+        read_cube(args.require("cube")?)
+    } else if args.get("db").is_some() {
+        build_cube(args)
+    } else {
+        Err("need --cube cube.json or --db db.json (plus build flags)".into())
+    }
+}
+
+/// `flowcube snapshot` — build (or load) a cube and persist it to the
+/// versioned binary snapshot format a server can open lazily.
+pub fn snapshot(args: &Args) -> Result<(), String> {
+    obs_setup(args);
+    let out = args.require("out")?;
+    let cube = cube_for_snapshot(args)?;
+    let info = flowcube_serve::write_snapshot(&cube, std::path::Path::new(out))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote snapshot {out}: {} sections ({} cuboids), {} bytes",
+        info.sections, info.cuboids, info.bytes
+    );
+    obs_finish(args)
+}
+
+/// Start a server per the CLI flags and return its handle without
+/// blocking — the piece `serve` and the integration tests share.
+pub fn serve_with_handle(args: &Args) -> Result<flowcube_serve::ServerHandle, String> {
+    // The server is an observability consumer: always record.
+    flowcube_obs::enable();
+    let served = if args.get("snapshot").is_some() {
+        let path: &std::path::Path = args.require("snapshot")?.as_ref();
+        let snap = flowcube_serve::Snapshot::open(path).map_err(|e| e.to_string())?;
+        println!(
+            "opened snapshot {} ({} cuboids, lazy)",
+            path.display(),
+            snap.num_cuboids()
+        );
+        flowcube_serve::ServedCube::from_snapshot(snap)
+    } else if args.get("cube").is_some() {
+        flowcube_serve::ServedCube::from_cube(read_cube(args.require("cube")?)?)
+    } else {
+        return Err("need --snapshot cube.snap or --cube cube.json".into());
+    };
+    let config = flowcube_serve::ServerConfig {
+        addr: args.get_or("addr", "127.0.0.1:7070").to_string(),
+        workers: args.num("workers", 4usize)?,
+        queue_depth: args.num("queue-depth", 64usize)?,
+        cache_capacity: args.num("cache", 256usize)?,
+        ..Default::default()
+    };
+    let handle = flowcube_serve::serve_cube(served, config).map_err(|e| e.to_string())?;
+    println!(
+        "serving on http://{}/ (try /healthz, /stats, /metrics)",
+        handle.addr()
+    );
+    Ok(handle)
+}
+
+/// `flowcube serve` — serve a snapshot (or JSON cube) until SIGINT/SIGTERM.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let handle = serve_with_handle(args)?;
+    handle.wait_for_signals();
+    println!("shut down cleanly");
     Ok(())
 }
 

@@ -17,6 +17,8 @@ fn main() {
         "query" => commands::query(&args),
         "mine" => commands::mine(&args),
         "predict" => commands::predict(&args),
+        "snapshot" => commands::snapshot(&args),
+        "serve" => commands::serve(&args),
         "tables" => commands::tables(&args),
         "" | "help" | "--help" => {
             print!("{}", commands::USAGE);

@@ -1,0 +1,173 @@
+//! End-to-end serving flow: generate → snapshot → serve on an ephemeral
+//! port → one query per endpoint → clean shutdown. Also checks the
+//! acceptance property that a served `/rollup` equals the in-process
+//! `FlowCube::roll_up` on the same snapshot.
+
+use flowcube_cli::{commands, Args};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn args(line: &str) -> Args {
+    Args::parse(line.split_whitespace().map(String::from)).expect("parse")
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("flowcube-serve-test-{}-{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(
+        format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .expect("write");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Assert a 200 whose JSON body contains every expected fragment.
+fn expect_json(addr: SocketAddr, target: &str, fragments: &[&str]) -> String {
+    let (status, body) = get(addr, target);
+    assert_eq!(status, 200, "{target}: {body}");
+    assert!(body.starts_with('{'), "{target}: not a JSON object: {body}");
+    for frag in fragments {
+        assert!(body.contains(frag), "{target}: missing {frag:?} in {body}");
+    }
+    body
+}
+
+#[test]
+fn snapshot_serve_query_shutdown() {
+    let db = tmp("db.json");
+    let snap = tmp("cube.snap");
+
+    commands::generate(&args(&format!(
+        "generate --paths 400 --dims 3 --seqs 8 --seed 9 --out {db}"
+    )))
+    .expect("generate");
+    commands::snapshot(&args(&format!(
+        "snapshot --db {db} --min-support 20 --out {snap}"
+    )))
+    .expect("snapshot");
+
+    let handle = commands::serve_with_handle(&args(&format!(
+        "serve --snapshot {snap} --addr 127.0.0.1:0 --workers 2 --cache 64"
+    )))
+    .expect("serve");
+    let addr = handle.addr();
+
+    // One query per endpoint, asserting JSON shape.
+    expect_json(addr, "/healthz", &["\"ok\":true"]);
+    expect_json(
+        addr,
+        "/cell?cell=*,*,*&level=loc0/dur0",
+        &["\"cell\"", "\"support\"", "\"nodes\"", "\"exact\":true"],
+    );
+    // Discover a concrete dim-0 value by drilling down from the apex
+    // (generated names are synthetic, e.g. "d0_0_0_p0").
+    let drill = expect_json(
+        addr,
+        "/drilldown?cell=*,*,*&dim=0&level=loc0/dur0",
+        &["\"count\"", "\"cells\""],
+    );
+    let value = drill
+        .split("\"cell\":\"(")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .expect("a drilldown child cell")
+        .to_string();
+    let rollup_body = expect_json(
+        addr,
+        &format!("/rollup?cell={value},*,*&dim=0&level=loc0/dur0"),
+        &["\"parent\"", "\"support\""],
+    );
+    expect_json(
+        addr,
+        &format!("/slice?at=1,0,0&level=loc0/dur0&dim=0&value={value}"),
+        &["\"count\"", "\"cells\""],
+    );
+    expect_json(
+        addr,
+        &format!("/dice?at=1,0,0&level=loc0/dur0&where=0:{value}"),
+        &["\"count\"", "\"cells\""],
+    );
+    expect_json(
+        addr,
+        "/paths/topk?cell=*,*,*&level=loc0/dur0&k=3",
+        &["\"paths\"", "\"probability\""],
+    );
+    expect_json(
+        addr,
+        "/exceptions?cell=*,*,*&level=loc0/dur0",
+        &["\"count\""],
+    );
+    expect_json(
+        addr,
+        "/stats",
+        &["\"cuboids\"", "\"snapshot_backed\":true", "\"summary\""],
+    );
+    let metrics = expect_json(
+        addr,
+        "/metrics",
+        &["serve.requests.total", "serve.latency_us", "serve.cache."],
+    );
+    assert!(
+        metrics.contains("serve.responses.2xx"),
+        "metrics must count statuses: {metrics}"
+    );
+
+    // /paths/probability needs a real location name: pull one from topk.
+    let topk = expect_json(addr, "/paths/topk?cell=*,*,*&level=loc0/dur0&k=1", &[]);
+    // Tokens after splitting on '"': … "locations", ":[", "<name>", …
+    let loc = topk
+        .split('"')
+        .skip_while(|s| *s != "locations")
+        .nth(2)
+        .expect("a location name in topk output")
+        .to_string();
+    expect_json(
+        addr,
+        &format!("/paths/probability?cell=*,*,*&level=loc0/dur0&path={loc}"),
+        &["\"probability\""],
+    );
+
+    // Acceptance: served /rollup equals the in-process roll_up.
+    {
+        let snapshot = flowcube_serve::Snapshot::open(&snap).expect("open snapshot");
+        let cube = snapshot.load_cube().expect("load cube");
+        let key = cube.require_key(&format!("{value},*,*")).expect("key");
+        let pl = cube.require_path_level("loc0/dur0").expect("level");
+        let (parent, entry) = cube.roll_up(&key, 0, pl).expect("in-process rollup");
+        let expected_parent = flowcube_core::display_key(&parent, cube.schema());
+        assert!(
+            rollup_body.contains(&format!("\"parent\":\"{expected_parent}\"")),
+            "served parent differs: {rollup_body}"
+        );
+        assert!(
+            rollup_body.contains(&format!("\"support\":{}", entry.support)),
+            "served support differs: {rollup_body}"
+        );
+    }
+
+    // Clean shutdown: workers drain and join.
+    handle.shutdown();
+    handle.join();
+
+    let _ = std::fs::remove_file(&db);
+    let _ = std::fs::remove_file(&snap);
+}

@@ -5,6 +5,7 @@ use crate::build::{self, BuildOutput};
 use crate::cell::{
     aggregate_key, display_key, level_of_key, CellEntry, CellKey, Cuboid, CuboidKey,
 };
+use crate::error::CoreError;
 use crate::params::{FlowCubeParams, ItemPlan};
 use crate::stats::BuildStats;
 use flowcube_hier::{ConceptId, FxHashMap, ItemLevel, PathLatticeSpec, PathLevelId, Schema};
@@ -52,6 +53,36 @@ impl FlowCube {
             cuboids,
             stats,
         }
+    }
+
+    /// Assemble a cube shell from pre-built parts with no cuboids; the
+    /// snapshot loader adds cuboids as they come off disk via
+    /// [`FlowCube::insert_cuboid`]. Name-lookup indexes are rebuilt, so a
+    /// schema deserialized from a snapshot section works immediately.
+    pub fn from_parts(
+        mut schema: Schema,
+        spec: PathLatticeSpec,
+        params: FlowCubeParams,
+        stats: BuildStats,
+    ) -> Self {
+        schema.rebuild_indexes();
+        FlowCube {
+            schema,
+            spec,
+            params,
+            cuboids: FxHashMap::default(),
+            stats,
+        }
+    }
+
+    /// Install a cuboid (snapshot hook; replaces any cuboid at `key`).
+    pub fn insert_cuboid(&mut self, key: CuboidKey, cuboid: Cuboid) {
+        self.cuboids.insert(key, cuboid);
+    }
+
+    /// Whether a cuboid is present at `key`.
+    pub fn has_cuboid(&self, key: &CuboidKey) -> bool {
+        self.cuboids.contains_key(key)
     }
 
     pub fn schema(&self) -> &Schema {
@@ -110,6 +141,32 @@ impl FlowCube {
     /// Resolve a path level by its configured name.
     pub fn path_level_id(&self, name: &str) -> Option<PathLevelId> {
         (0..self.spec.len() as PathLevelId).find(|&i| self.spec.level(i).name == name)
+    }
+
+    /// [`FlowCube::path_level_id`] with a typed error for callers that
+    /// surface failures (e.g. the serve subsystem's HTTP mapping).
+    pub fn require_path_level(&self, name: &str) -> Result<PathLevelId, CoreError> {
+        self.path_level_id(name)
+            .ok_or_else(|| CoreError::UnknownPathLevel {
+                name: name.to_string(),
+            })
+    }
+
+    /// Resolve a comma-separated cell spec (`*` or empty = any) into a
+    /// key, with a typed error when a value name is unknown or the arity
+    /// is wrong.
+    pub fn require_key(&self, spec: &str) -> Result<CellKey, CoreError> {
+        let names: Vec<Option<&str>> = spec
+            .split(',')
+            .map(|s| {
+                let s = s.trim();
+                (s != "*" && !s.is_empty()).then_some(s)
+            })
+            .collect();
+        self.key_from_names(&names)
+            .ok_or_else(|| CoreError::UnresolvedCell {
+                spec: spec.to_string(),
+            })
     }
 
     /// Resolve a cell key from value names (`None` = `*`).
@@ -267,18 +324,25 @@ impl FlowCube {
     ///   Build partitions with δ = 1 for an exact merge.
     ///
     /// # Errors
-    /// Returns an error string when the schemas or path-level specs are
+    /// Returns [`CoreError`] when the schemas or path-level specs are
     /// incompatible.
-    pub fn merge_from(&mut self, other: &FlowCube) -> Result<(), String> {
+    pub fn merge_from(&mut self, other: &FlowCube) -> Result<(), CoreError> {
         if self.schema.num_dims() != other.schema.num_dims() {
-            return Err("dimension count mismatch".into());
+            return Err(CoreError::SchemaMismatch {
+                left_dims: self.schema.num_dims(),
+                right_dims: other.schema.num_dims(),
+            });
         }
         if self.spec.len() != other.spec.len() {
-            return Err("path-level spec mismatch".into());
+            return Err(CoreError::PathSpecMismatch {
+                detail: format!("{} levels vs {}", self.spec.len(), other.spec.len()),
+            });
         }
         for i in 0..self.spec.len() as PathLevelId {
             if self.spec.level(i).name != other.spec.level(i).name {
-                return Err(format!("path level {i} name mismatch"));
+                return Err(CoreError::PathSpecMismatch {
+                    detail: format!("path level {i} name mismatch"),
+                });
             }
         }
         for (ck, cuboid) in &other.cuboids {

@@ -1,0 +1,50 @@
+//! Typed errors for flowcube operations.
+//!
+//! Every fallible `FlowCube` API returns [`CoreError`] rather than a
+//! bare string, so downstream layers (the serve subsystem's
+//! error-to-HTTP-status mapping in particular) can branch on the failure
+//! kind instead of parsing messages.
+
+use std::fmt;
+
+/// Why a `FlowCube` operation failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// Two cubes cannot combine: their schemas have different dimension
+    /// counts.
+    SchemaMismatch { left_dims: usize, right_dims: usize },
+    /// Two cubes cannot combine: their path-level specs disagree.
+    PathSpecMismatch { detail: String },
+    /// A path level name did not resolve against the cube's spec.
+    UnknownPathLevel { name: String },
+    /// A cell specification did not resolve against the schema (wrong
+    /// arity or an unknown dimension value).
+    UnresolvedCell { spec: String },
+    /// A dimension index is out of range for the schema.
+    DimensionOutOfRange { dim: usize, num_dims: usize },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::SchemaMismatch {
+                left_dims,
+                right_dims,
+            } => write!(f, "schema mismatch: {left_dims} dimensions vs {right_dims}"),
+            CoreError::PathSpecMismatch { detail } => {
+                write!(f, "path-level spec mismatch: {detail}")
+            }
+            CoreError::UnknownPathLevel { name } => {
+                write!(f, "unknown path level {name:?}")
+            }
+            CoreError::UnresolvedCell { spec } => {
+                write!(f, "cannot resolve cell {spec:?}")
+            }
+            CoreError::DimensionOutOfRange { dim, num_dims } => {
+                write!(f, "dimension {dim} out of range (schema has {num_dims})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -436,7 +436,51 @@ fn merge_rejects_incompatible_cubes() {
     )]);
     let b = FlowCube::build(&db, spec, FlowCubeParams::new(2), ItemPlan::All);
     let mut a2 = a.clone();
-    assert!(a2.merge_from(&b).is_err());
+    match a2.merge_from(&b) {
+        Err(flowcube_core::CoreError::PathSpecMismatch { .. }) => {}
+        other => panic!("expected PathSpecMismatch, got {other:?}"),
+    }
+}
+
+/// `from_parts` + `insert_cuboid` reassemble a cube that answers the
+/// same queries as the original (the snapshot loader's contract).
+#[test]
+fn from_parts_reassembles_cube() {
+    let (_, cube) = paper_cube(2);
+    let mut shell = FlowCube::from_parts(
+        cube.schema().clone(),
+        cube.spec().clone(),
+        cube.params().clone(),
+        cube.stats().clone(),
+    );
+    assert_eq!(shell.num_cuboids(), 0);
+    for (ck, cuboid) in cube.cuboids() {
+        assert!(!shell.has_cuboid(ck));
+        shell.insert_cuboid(ck.clone(), cuboid.clone());
+        assert!(shell.has_cuboid(ck));
+    }
+    assert_eq!(shell.num_cuboids(), cube.num_cuboids());
+    assert_eq!(shell.total_cells(), cube.total_cells());
+    // Name-based lookup works without an explicit rebuild_indexes call.
+    let a = cube
+        .cell_by_names(&[Some("outerwear"), Some("nike")], "fine/raw")
+        .unwrap();
+    let b = shell
+        .cell_by_names(&[Some("outerwear"), Some("nike")], "fine/raw")
+        .unwrap();
+    assert_eq!(a.support, b.support);
+    // Typed resolution helpers.
+    let pl = shell.require_path_level("fine/raw").unwrap();
+    assert_eq!(pl, cube.path_level_id("fine/raw").unwrap());
+    match shell.require_path_level("nope") {
+        Err(flowcube_core::CoreError::UnknownPathLevel { name }) => assert_eq!(name, "nope"),
+        other => panic!("expected UnknownPathLevel, got {other:?}"),
+    }
+    assert!(shell.require_key("outerwear,nike").is_ok());
+    assert!(matches!(
+        shell.require_key("martian,nike"),
+        Err(flowcube_core::CoreError::UnresolvedCell { .. })
+    ));
 }
 
 #[test]

@@ -1,0 +1,683 @@
+//! The query API: endpoint handlers mapping HTTP requests onto the
+//! in-process [`FlowCube`] operations, plus [`ServedCube`] — the
+//! lazily-hydrated cube a server answers from.
+//!
+//! Endpoints (all `GET`, all JSON):
+//!
+//! | route                 | parameters                                  | backing operation |
+//! |-----------------------|---------------------------------------------|-------------------|
+//! | `/cell`               | `cell`, `level`                             | `FlowCube::lookup` + `describe_cell` |
+//! | `/rollup`             | `cell`, `dim`, `level`                      | `FlowCube::roll_up` |
+//! | `/drilldown`          | `cell`, `dim`, `level`                      | `FlowCube::drill_down` |
+//! | `/slice`              | `at`, `level`, `dim`, `value`               | `FlowCube::slice` |
+//! | `/dice`               | `at`, `level`, `where`                      | `FlowCube::dice` |
+//! | `/paths/topk`         | `cell`, `level`, `k`                        | `flowgraph::top_k_paths` |
+//! | `/paths/probability`  | `cell`, `level`, `path`                     | `flowgraph::path_probability` |
+//! | `/exceptions`         | `cell`, `level`                             | cell exception list |
+//! | `/stats`              | —                                           | build stats + cube shape |
+//! | `/metrics`            | —                                           | `flowcube-obs` registry export |
+//! | `/healthz`            | —                                           | liveness |
+
+use crate::cache::{CachedResponse, ResponseCache};
+use crate::error::{ApiError, SnapshotError};
+use crate::http::Request;
+use crate::snapshot::Snapshot;
+use flowcube_core::{display_key, level_of_key, CellKey, CuboidKey, FlowCube};
+use flowcube_hier::{ConceptId, FxHashSet, ItemLevel, PathLevelId};
+use flowcube_pathdb::AggStage;
+use parking_lot::{Mutex, RwLock};
+use serde::Serialize;
+use std::time::Instant;
+
+/// A cube being served: either fully in memory, or a snapshot-backed
+/// shell that hydrates cuboids from disk the first time a query touches
+/// them (so startup cost is the metadata sections only and a `serve`
+/// process never re-mines).
+pub struct ServedCube {
+    cube: RwLock<FlowCube>,
+    snapshot: Option<Snapshot>,
+    /// Cuboid keys already probed against the snapshot (present or not),
+    /// so each section is read at most once.
+    hydrated: Mutex<FxHashSet<CuboidKey>>,
+}
+
+impl ServedCube {
+    /// Serve a fully materialized in-memory cube (tests, benches).
+    pub fn from_cube(cube: FlowCube) -> Self {
+        ServedCube {
+            cube: RwLock::new(cube),
+            snapshot: None,
+            hydrated: Mutex::new(FxHashSet::default()),
+        }
+    }
+
+    /// Serve lazily from an opened snapshot.
+    pub fn from_snapshot(snapshot: Snapshot) -> Self {
+        let shell = snapshot.shell().clone();
+        ServedCube {
+            cube: RwLock::new(shell),
+            snapshot: Some(snapshot),
+            hydrated: Mutex::new(FxHashSet::default()),
+        }
+    }
+
+    /// Hydrate the given cuboids from the snapshot if not yet loaded.
+    fn ensure(&self, keys: impl IntoIterator<Item = CuboidKey>) -> Result<(), SnapshotError> {
+        let Some(snapshot) = &self.snapshot else {
+            return Ok(());
+        };
+        let mut hydrated = self.hydrated.lock();
+        for key in keys {
+            if hydrated.contains(&key) {
+                continue;
+            }
+            if let Some(cuboid) = snapshot.load_cuboid(&key)? {
+                self.cube.write().insert_cuboid(key.clone(), cuboid);
+            }
+            hydrated.insert(key);
+        }
+        Ok(())
+    }
+
+    /// Hydrate every snapshot cuboid at one path level (needed by
+    /// `lookup`'s ancestor walk, which may probe any item level).
+    fn ensure_path_level(&self, path_level: PathLevelId) -> Result<(), SnapshotError> {
+        let Some(snapshot) = &self.snapshot else {
+            return Ok(());
+        };
+        let keys: Vec<CuboidKey> = snapshot
+            .cuboid_keys()
+            .filter(|k| k.path_level == path_level)
+            .cloned()
+            .collect();
+        self.ensure(keys)
+    }
+
+    /// Run a closure against the (read-locked) cube.
+    pub fn with_cube<R>(&self, f: impl FnOnce(&FlowCube) -> R) -> R {
+        f(&self.cube.read())
+    }
+
+    /// Cuboids currently resident in memory.
+    pub fn resident_cuboids(&self) -> usize {
+        self.cube.read().num_cuboids()
+    }
+
+    /// Total cuboids in the served cube (snapshot total when
+    /// snapshot-backed, resident count otherwise).
+    pub fn total_cuboids(&self) -> usize {
+        match &self.snapshot {
+            Some(s) => s.num_cuboids(),
+            None => self.resident_cuboids(),
+        }
+    }
+}
+
+/// Everything a worker needs to answer requests.
+pub struct AppState {
+    pub cube: ServedCube,
+    pub cache: ResponseCache,
+}
+
+// ---- response shapes ----------------------------------------------------
+
+#[derive(Serialize)]
+struct ErrorResponse {
+    error: String,
+}
+
+#[derive(Serialize)]
+struct CellResponse {
+    cell: String,
+    level: String,
+    /// Whether the exact requested cell was materialized (vs. answered
+    /// from the nearest materialized ancestor).
+    exact: bool,
+    source_cell: String,
+    support: u64,
+    nodes: usize,
+    exceptions: usize,
+    description: String,
+}
+
+#[derive(Serialize)]
+struct CellRow {
+    cell: String,
+    support: u64,
+    nodes: usize,
+    exceptions: usize,
+}
+
+#[derive(Serialize)]
+struct CellsResponse {
+    count: usize,
+    cells: Vec<CellRow>,
+}
+
+#[derive(Serialize)]
+struct RollupResponse {
+    cell: String,
+    parent: String,
+    support: u64,
+    nodes: usize,
+}
+
+#[derive(Serialize)]
+struct PathRow {
+    locations: Vec<String>,
+    probability: f64,
+}
+
+#[derive(Serialize)]
+struct TopKResponse {
+    cell: String,
+    paths: Vec<PathRow>,
+}
+
+#[derive(Serialize)]
+struct ProbabilityResponse {
+    cell: String,
+    probability: f64,
+}
+
+#[derive(Serialize)]
+struct ExceptionRow {
+    node: Vec<String>,
+    condition: Vec<String>,
+    support: u64,
+    deviation: f64,
+    kind: String,
+}
+
+#[derive(Serialize)]
+struct ExceptionsResponse {
+    cell: String,
+    count: usize,
+    exceptions: Vec<ExceptionRow>,
+}
+
+#[derive(Serialize)]
+struct StatsResponse {
+    cuboids: usize,
+    resident_cuboids: usize,
+    resident_cells: usize,
+    snapshot_backed: bool,
+    summary: String,
+    build: flowcube_core::BuildStats,
+}
+
+#[derive(Serialize)]
+struct HealthResponse {
+    ok: bool,
+}
+
+fn json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| format!("{{\"error\":\"encoding: {e}\"}}"))
+}
+
+// ---- parameter parsing --------------------------------------------------
+
+fn require_param<'a>(req: &'a Request, key: &str) -> Result<&'a str, ApiError> {
+    req.param(key)
+        .ok_or_else(|| ApiError::BadRequest(format!("missing parameter {key:?}")))
+}
+
+fn parse_num<T: std::str::FromStr>(req: &Request, key: &str, default: T) -> Result<T, ApiError> {
+    match req.param(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| ApiError::BadRequest(format!("parameter {key}={v:?} is not a number"))),
+    }
+}
+
+/// Resolve `cell` + `level` parameters against the cube.
+fn resolve_cell(cube: &FlowCube, req: &Request) -> Result<(CellKey, PathLevelId), ApiError> {
+    let spec = require_param(req, "cell")?;
+    let key = cube.require_key(spec)?;
+    let level_name = match req.param("level") {
+        Some(name) => name.to_string(),
+        None => cube.spec().level(0).name.clone(),
+    };
+    let pl = cube.require_path_level(&level_name)?;
+    Ok((key, pl))
+}
+
+/// Parse `at=2,1` into an item level, validated against the schema.
+fn parse_item_level(cube: &FlowCube, req: &Request) -> Result<ItemLevel, ApiError> {
+    let at = require_param(req, "at")?;
+    let levels: Result<Vec<u8>, _> = at.split(',').map(|s| s.trim().parse::<u8>()).collect();
+    let levels =
+        levels.map_err(|_| ApiError::BadRequest(format!("at={at:?} is not a level list")))?;
+    if levels.len() != cube.schema().num_dims() {
+        return Err(ApiError::BadRequest(format!(
+            "at={at:?} has {} levels, schema has {} dimensions",
+            levels.len(),
+            cube.schema().num_dims()
+        )));
+    }
+    Ok(ItemLevel(levels))
+}
+
+fn parse_dim(cube: &FlowCube, req: &Request) -> Result<usize, ApiError> {
+    let raw = require_param(req, "dim")?;
+    let dim: usize = raw
+        .parse()
+        .map_err(|_| ApiError::BadRequest(format!("parameter dim={raw:?} is not a number")))?;
+    let num_dims = cube.schema().num_dims();
+    if dim >= num_dims {
+        return Err(flowcube_core::CoreError::DimensionOutOfRange { dim, num_dims }.into());
+    }
+    Ok(dim)
+}
+
+/// Parse an observed path `loc:dur,loc` into aggregated stages.
+fn parse_path(cube: &FlowCube, spec: &str) -> Result<Vec<AggStage>, ApiError> {
+    let loc_h = cube.schema().locations();
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (loc_name, dur) = match part.split_once(':') {
+            Some((l, d)) => {
+                let dur = d.parse::<u32>().map_err(|_| {
+                    ApiError::BadRequest(format!("bad duration in path stage {part:?}"))
+                })?;
+                (l, Some(dur))
+            }
+            None => (part, None),
+        };
+        let loc = loc_h
+            .id_of(loc_name)
+            .map_err(|_| ApiError::NotFound(format!("unknown location {loc_name:?}")))?;
+        out.push(AggStage { loc, dur });
+    }
+    if out.is_empty() {
+        return Err(ApiError::BadRequest("empty path".into()));
+    }
+    Ok(out)
+}
+
+fn location_names(cube: &FlowCube, ids: &[ConceptId]) -> Vec<String> {
+    let h = cube.schema().locations();
+    ids.iter().map(|&c| h.name_of(c).to_string()).collect()
+}
+
+// ---- endpoint handlers --------------------------------------------------
+
+fn handle_cell(state: &AppState, req: &Request) -> Result<String, ApiError> {
+    let (key, pl) = state.cube.with_cube(|cube| resolve_cell(cube, req))?;
+    state.cube.ensure_path_level(pl)?;
+    state.cube.with_cube(|cube| {
+        let lk = cube
+            .lookup(&key, pl)
+            .ok_or_else(|| ApiError::NotFound("no materialized cell or ancestor".into()))?;
+        Ok(json(&CellResponse {
+            cell: display_key(&key, cube.schema()),
+            level: cube.spec().level(pl).name.clone(),
+            exact: lk.exact,
+            source_cell: display_key(lk.source_key, cube.schema()),
+            support: lk.entry.support,
+            nodes: lk.entry.graph.len() - 1,
+            exceptions: lk.entry.exceptions.len(),
+            description: cube.describe_cell(lk.source_key, pl),
+        }))
+    })
+}
+
+fn handle_rollup(state: &AppState, req: &Request) -> Result<String, ApiError> {
+    let (key, pl, dim, parent_key) = state.cube.with_cube(|cube| {
+        let (key, pl) = resolve_cell(cube, req)?;
+        let dim = parse_dim(cube, req)?;
+        let level = level_of_key(&key, cube.schema());
+        if level.0[dim] == 0 {
+            return Err(ApiError::NotFound(format!(
+                "dimension {dim} is already fully aggregated"
+            )));
+        }
+        let mut parent_level = level.clone();
+        parent_level.0[dim] -= 1;
+        Ok((
+            key,
+            pl,
+            dim,
+            CuboidKey {
+                item_level: parent_level,
+                path_level: pl,
+            },
+        ))
+    })?;
+    state.cube.ensure([parent_key])?;
+    state.cube.with_cube(|cube| {
+        let (parent, entry) = cube
+            .roll_up(&key, dim, pl)
+            .ok_or_else(|| ApiError::NotFound("parent cell not materialized".into()))?;
+        Ok(json(&RollupResponse {
+            cell: display_key(&key, cube.schema()),
+            parent: display_key(&parent, cube.schema()),
+            support: entry.support,
+            nodes: entry.graph.len() - 1,
+        }))
+    })
+}
+
+fn handle_drilldown(state: &AppState, req: &Request) -> Result<String, ApiError> {
+    let (key, pl, dim, child_key) = state.cube.with_cube(|cube| {
+        let (key, pl) = resolve_cell(cube, req)?;
+        let dim = parse_dim(cube, req)?;
+        let mut child_level = level_of_key(&key, cube.schema());
+        child_level.0[dim] += 1;
+        Ok::<_, ApiError>((
+            key,
+            pl,
+            dim,
+            CuboidKey {
+                item_level: child_level,
+                path_level: pl,
+            },
+        ))
+    })?;
+    state.cube.ensure([child_key])?;
+    state.cube.with_cube(|cube| {
+        let children = cube.drill_down(&key, dim, pl);
+        Ok(json(&CellsResponse {
+            count: children.len(),
+            cells: children
+                .into_iter()
+                .map(|(k, e)| CellRow {
+                    cell: display_key(&k, cube.schema()),
+                    support: e.support,
+                    nodes: e.graph.len() - 1,
+                    exceptions: e.exceptions.len(),
+                })
+                .collect(),
+        }))
+    })
+}
+
+fn handle_slice(state: &AppState, req: &Request) -> Result<String, ApiError> {
+    let (item_level, pl, dim, value) = state.cube.with_cube(|cube| {
+        let item_level = parse_item_level(cube, req)?;
+        let level_name = require_param(req, "level")?;
+        let pl = cube.require_path_level(level_name)?;
+        let dim = parse_dim(cube, req)?;
+        let name = require_param(req, "value")?;
+        let value = cube.schema().dim(dim as u8).id_of(name).map_err(|_| {
+            ApiError::NotFound(format!("unknown value {name:?} in dimension {dim}"))
+        })?;
+        Ok::<_, ApiError>((item_level, pl, dim, value))
+    })?;
+    state.cube.ensure([CuboidKey {
+        item_level: item_level.clone(),
+        path_level: pl,
+    }])?;
+    state.cube.with_cube(|cube| {
+        let cells = cube.slice(&item_level, pl, dim, value);
+        Ok(json(&CellsResponse {
+            count: cells.len(),
+            cells: cells
+                .into_iter()
+                .map(|(k, e)| CellRow {
+                    cell: display_key(k, cube.schema()),
+                    support: e.support,
+                    nodes: e.graph.len() - 1,
+                    exceptions: e.exceptions.len(),
+                })
+                .collect(),
+        }))
+    })
+}
+
+fn handle_dice(state: &AppState, req: &Request) -> Result<String, ApiError> {
+    let (item_level, pl, constraints) = state.cube.with_cube(|cube| {
+        let item_level = parse_item_level(cube, req)?;
+        let level_name = require_param(req, "level")?;
+        let pl = cube.require_path_level(level_name)?;
+        // `where=0:shoes,1:nike` — key[dim] must equal the named value.
+        let mut constraints: Vec<(usize, ConceptId)> = Vec::new();
+        if let Some(spec) = req.param("where") {
+            for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+                let (d, name) = part.split_once(':').ok_or_else(|| {
+                    ApiError::BadRequest(format!("bad where constraint {part:?}"))
+                })?;
+                let dim: usize = d.trim().parse().map_err(|_| {
+                    ApiError::BadRequest(format!("bad dimension in constraint {part:?}"))
+                })?;
+                let num_dims = cube.schema().num_dims();
+                if dim >= num_dims {
+                    return Err(
+                        flowcube_core::CoreError::DimensionOutOfRange { dim, num_dims }.into(),
+                    );
+                }
+                let value = cube
+                    .schema()
+                    .dim(dim as u8)
+                    .id_of(name.trim())
+                    .map_err(|_| {
+                        ApiError::NotFound(format!("unknown value {name:?} in dimension {dim}"))
+                    })?;
+                constraints.push((dim, value));
+            }
+        }
+        Ok::<_, ApiError>((item_level, pl, constraints))
+    })?;
+    state.cube.ensure([CuboidKey {
+        item_level: item_level.clone(),
+        path_level: pl,
+    }])?;
+    state.cube.with_cube(|cube| {
+        let cells = cube.dice(&item_level, pl, |key| {
+            constraints.iter().all(|&(d, v)| key[d] == v)
+        });
+        Ok(json(&CellsResponse {
+            count: cells.len(),
+            cells: cells
+                .into_iter()
+                .map(|(k, e)| CellRow {
+                    cell: display_key(k, cube.schema()),
+                    support: e.support,
+                    nodes: e.graph.len() - 1,
+                    exceptions: e.exceptions.len(),
+                })
+                .collect(),
+        }))
+    })
+}
+
+fn handle_topk(state: &AppState, req: &Request) -> Result<String, ApiError> {
+    let (key, pl) = state.cube.with_cube(|cube| resolve_cell(cube, req))?;
+    let k: usize = parse_num(req, "k", 5)?;
+    state.cube.ensure_path_level(pl)?;
+    state.cube.with_cube(|cube| {
+        let lk = cube
+            .lookup(&key, pl)
+            .ok_or_else(|| ApiError::NotFound("no materialized cell or ancestor".into()))?;
+        let paths = flowcube_flowgraph::top_k_paths(&lk.entry.graph, k);
+        Ok(json(&TopKResponse {
+            cell: display_key(lk.source_key, cube.schema()),
+            paths: paths
+                .into_iter()
+                .map(|p| PathRow {
+                    locations: location_names(cube, &p.locations),
+                    probability: p.probability,
+                })
+                .collect(),
+        }))
+    })
+}
+
+fn handle_probability(state: &AppState, req: &Request) -> Result<String, ApiError> {
+    let (key, pl) = state.cube.with_cube(|cube| resolve_cell(cube, req))?;
+    state.cube.ensure_path_level(pl)?;
+    state.cube.with_cube(|cube| {
+        let path = parse_path(cube, require_param(req, "path")?)?;
+        let lk = cube
+            .lookup(&key, pl)
+            .ok_or_else(|| ApiError::NotFound("no materialized cell or ancestor".into()))?;
+        Ok(json(&ProbabilityResponse {
+            cell: display_key(lk.source_key, cube.schema()),
+            probability: flowcube_flowgraph::path_probability(&lk.entry.graph, &path),
+        }))
+    })
+}
+
+fn handle_exceptions(state: &AppState, req: &Request) -> Result<String, ApiError> {
+    let (key, pl) = state.cube.with_cube(|cube| resolve_cell(cube, req))?;
+    state.cube.ensure_path_level(pl)?;
+    state.cube.with_cube(|cube| {
+        let lk = cube
+            .lookup(&key, pl)
+            .ok_or_else(|| ApiError::NotFound("no materialized cell or ancestor".into()))?;
+        let graph = &lk.entry.graph;
+        let h = cube.schema().locations();
+        let rows: Vec<ExceptionRow> = lk
+            .entry
+            .exceptions
+            .iter()
+            .map(|e| ExceptionRow {
+                node: location_names(cube, &graph.prefix_of(e.node)),
+                condition: e
+                    .condition
+                    .iter()
+                    .map(|&(n, d)| format!("{}={d}", h.name_of(graph.location(n))))
+                    .collect(),
+                support: e.support,
+                deviation: e.deviation,
+                kind: match e.detail {
+                    flowcube_flowgraph::ExceptionDetail::Duration { .. } => "duration".into(),
+                    flowcube_flowgraph::ExceptionDetail::Transition { .. } => "transition".into(),
+                },
+            })
+            .collect();
+        Ok(json(&ExceptionsResponse {
+            cell: display_key(lk.source_key, cube.schema()),
+            count: rows.len(),
+            exceptions: rows,
+        }))
+    })
+}
+
+fn handle_stats(state: &AppState) -> Result<String, ApiError> {
+    let cuboids = state.cube.total_cuboids();
+    state.cube.with_cube(|cube| {
+        Ok(json(&StatsResponse {
+            cuboids,
+            resident_cuboids: cube.num_cuboids(),
+            resident_cells: cube.total_cells(),
+            snapshot_backed: state.cube.snapshot.is_some(),
+            summary: cube.stats().summary(),
+            build: cube.stats().clone(),
+        }))
+    })
+}
+
+fn handle_metrics(state: &AppState) -> Result<String, ApiError> {
+    flowcube_obs::gauge_set("serve.cache.hit_rate", state.cache.hit_rate());
+    flowcube_obs::gauge_set("serve.cache.entries", state.cache.len() as f64);
+    let snapshot = flowcube_obs::snapshot();
+    Ok(flowcube_obs::export::metrics_json(&snapshot))
+}
+
+// ---- dispatch -----------------------------------------------------------
+
+/// Endpoints whose responses are cached: the flowgraph-heavy ones, where
+/// a response may require walking an entire cell graph.
+fn cacheable(path: &str) -> bool {
+    matches!(
+        path,
+        "/paths/topk" | "/paths/probability" | "/exceptions" | "/drilldown"
+    )
+}
+
+/// Metric tag for an endpoint path.
+fn endpoint_tag(path: &str) -> &'static str {
+    match path {
+        "/cell" => "cell",
+        "/rollup" => "rollup",
+        "/drilldown" => "drilldown",
+        "/slice" => "slice",
+        "/dice" => "dice",
+        "/paths/topk" => "paths_topk",
+        "/paths/probability" => "paths_probability",
+        "/exceptions" => "exceptions",
+        "/stats" => "stats",
+        "/metrics" => "metrics",
+        "/healthz" => "healthz",
+        _ => "other",
+    }
+}
+
+/// Route and answer one request, recording latency/status metrics and
+/// consulting the response cache. Returns `(status, body)`.
+pub fn handle_request(state: &AppState, req: &Request) -> (u16, String) {
+    let start = Instant::now();
+    let tag = endpoint_tag(&req.path);
+    let _span = flowcube_obs::span!("serve.request");
+    flowcube_obs::counter_add("serve.requests.total", 1);
+    flowcube_obs::counter_add(&format!("serve.requests.{tag}"), 1);
+
+    let (status, body) = respond(state, req);
+
+    let us = start.elapsed().as_micros() as f64;
+    flowcube_obs::histogram_record("serve.latency_us", us);
+    flowcube_obs::histogram_record(&format!("serve.latency_us.{tag}"), us);
+    flowcube_obs::counter_add(&format!("serve.responses.{}xx", status / 100), 1);
+    flowcube_obs::gauge_set("serve.cache.hit_rate", state.cache.hit_rate());
+    (status, body)
+}
+
+fn respond(state: &AppState, req: &Request) -> (u16, String) {
+    if req.method != "GET" {
+        return (
+            405,
+            json(&ErrorResponse {
+                error: format!("method {} not allowed", req.method),
+            }),
+        );
+    }
+
+    let use_cache = cacheable(&req.path);
+    let cache_key = req.cache_key();
+    if use_cache {
+        if let Some(hit) = state.cache.get(&cache_key) {
+            return (hit.status, hit.body.clone());
+        }
+    }
+
+    let result = match req.path.as_str() {
+        "/cell" => handle_cell(state, req),
+        "/rollup" => handle_rollup(state, req),
+        "/drilldown" => handle_drilldown(state, req),
+        "/slice" => handle_slice(state, req),
+        "/dice" => handle_dice(state, req),
+        "/paths/topk" => handle_topk(state, req),
+        "/paths/probability" => handle_probability(state, req),
+        "/exceptions" => handle_exceptions(state, req),
+        "/stats" => handle_stats(state),
+        "/metrics" => handle_metrics(state),
+        "/healthz" => Ok(json(&HealthResponse { ok: true })),
+        other => Err(ApiError::NotFound(format!("no route {other:?}"))),
+    };
+
+    let (status, body) = match result {
+        Ok(body) => (200, body),
+        Err(e) => (
+            e.status(),
+            json(&ErrorResponse {
+                error: e.to_string(),
+            }),
+        ),
+    };
+    if use_cache && status == 200 {
+        state.cache.insert(
+            cache_key,
+            CachedResponse {
+                status,
+                body: body.clone(),
+            },
+        );
+    }
+    (status, body)
+}

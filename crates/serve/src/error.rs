@@ -1,0 +1,113 @@
+//! Serving-layer errors and their HTTP status mapping.
+
+use flowcube_core::CoreError;
+use std::fmt;
+
+/// Why a snapshot could not be written, opened, or read.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotError {
+    Io {
+        path: String,
+        detail: String,
+    },
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The file declares a format version this build does not read.
+    UnsupportedVersion {
+        found: u32,
+        supported: u32,
+    },
+    /// The file ends before a structure it promises.
+    Truncated {
+        what: &'static str,
+    },
+    /// A section's bytes do not match their recorded CRC-32.
+    ChecksumMismatch {
+        section: String,
+    },
+    /// A structurally invalid index or payload.
+    Corrupt {
+        detail: String,
+    },
+    /// A required metadata section is absent.
+    MissingSection {
+        kind: &'static str,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, detail } => write!(f, "{path}: {detail}"),
+            SnapshotError::BadMagic => write!(f, "not a flowcube snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} not supported (this build reads {supported})"
+            ),
+            SnapshotError::Truncated { what } => write!(f, "snapshot truncated in {what}"),
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in {section}")
+            }
+            SnapshotError::Corrupt { detail } => write!(f, "corrupt snapshot: {detail}"),
+            SnapshotError::MissingSection { kind } => {
+                write!(f, "snapshot missing required section {kind:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A request that could not be served, carrying its HTTP status.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApiError {
+    /// Missing/unparsable parameter, unknown route parameterization.
+    BadRequest(String),
+    /// The route or the addressed data does not exist.
+    NotFound(String),
+    /// A typed core failure (resolution, compatibility).
+    Core(CoreError),
+    /// The snapshot backing the cube failed mid-serve.
+    Snapshot(SnapshotError),
+}
+
+impl ApiError {
+    /// The HTTP status this error maps to. This is the single place the
+    /// serving layer decides statuses, and it reuses [`CoreError`]'s
+    /// variants rather than string matching.
+    pub fn status(&self) -> u16 {
+        match self {
+            ApiError::BadRequest(_) => 400,
+            ApiError::NotFound(_) => 404,
+            ApiError::Core(e) => match e {
+                CoreError::UnknownPathLevel { .. } | CoreError::UnresolvedCell { .. } => 404,
+                CoreError::DimensionOutOfRange { .. } => 400,
+                CoreError::SchemaMismatch { .. } | CoreError::PathSpecMismatch { .. } => 409,
+            },
+            ApiError::Snapshot(_) => 500,
+        }
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ApiError::NotFound(m) => write!(f, "not found: {m}"),
+            ApiError::Core(e) => write!(f, "{e}"),
+            ApiError::Snapshot(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<CoreError> for ApiError {
+    fn from(e: CoreError) -> Self {
+        ApiError::Core(e)
+    }
+}
+
+impl From<SnapshotError> for ApiError {
+    fn from(e: SnapshotError) -> Self {
+        ApiError::Snapshot(e)
+    }
+}

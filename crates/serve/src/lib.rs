@@ -1,0 +1,36 @@
+//! # flowcube-serve — snapshots and a query server for built FlowCubes
+//!
+//! The serving layer splits a FlowCube's life into two phases:
+//!
+//! 1. **Snapshot** — [`snapshot::write_snapshot`] persists a built cube
+//!    into a versioned binary container (magic + format version,
+//!    CRC-protected section index, length-prefixed serde-encoded
+//!    sections: schema, path-lattice spec, params, build stats, and one
+//!    section per cuboid). [`snapshot::Snapshot::open`] validates the
+//!    container and loads metadata eagerly but cuboid cell tables
+//!    **lazily**, so a server starts in milliseconds regardless of cube
+//!    size.
+//! 2. **Serve** — [`server::serve`] answers the OLAP + flowgraph query
+//!    API over HTTP/1.1 with a fixed worker pool, a bounded accept
+//!    queue that sheds load with `429` instead of buffering without
+//!    bound, per-connection socket timeouts, a sharded LRU response
+//!    cache ([`cache::ResponseCache`]) fronting the flowgraph-heavy
+//!    endpoints, and graceful shutdown on `SIGINT`/`SIGTERM`.
+//!
+//! Every request is traced through `flowcube-obs` (`serve.requests.*`,
+//! `serve.latency_us*`, `serve.cache.*`) and the registry is exported
+//! over `/metrics`.
+
+pub mod api;
+pub mod cache;
+pub mod crc;
+pub mod error;
+pub mod http;
+pub mod server;
+pub mod snapshot;
+
+pub use api::{handle_request, AppState, ServedCube};
+pub use cache::{CachedResponse, ResponseCache};
+pub use error::{ApiError, SnapshotError};
+pub use server::{serve, serve_cube, ServerConfig, ServerHandle};
+pub use snapshot::{write_snapshot, Snapshot, SnapshotInfo, FORMAT_VERSION};

@@ -1,0 +1,309 @@
+//! The concurrent query server: a hand-rolled HTTP/1.1 front end over
+//! `std::net::TcpListener`.
+//!
+//! Threading model:
+//!
+//! * one **acceptor** thread pulls connections off the listener and
+//!   pushes them onto a bounded queue;
+//! * `workers` **worker** threads pop connections, apply socket
+//!   read/write timeouts, parse one request, answer it through
+//!   [`crate::api::handle_request`], and close;
+//! * when the queue is full the acceptor answers `429 Too Many
+//!   Requests` inline and drops the connection — load shedding at the
+//!   door instead of unbounded buffering.
+//!
+//! Shutdown is cooperative: [`ServerHandle::shutdown`] (or `SIGINT`/
+//! `SIGTERM` via [`ServerHandle::wait_for_signals`]) flips a flag; the
+//! acceptor (polling with a short accept timeout) and the workers
+//! (polling the queue with a short wait timeout) notice it and drain.
+
+use crate::api::{handle_request, AppState};
+use crate::cache::ResponseCache;
+use crate::http::{read_request, write_response, HttpError};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tunables; `Default` is sized for tests and small deployments.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Accepted-but-unserved connections held before shedding begins.
+    pub queue_depth: usize,
+    /// Response cache capacity (entries); 0 disables caching.
+    pub cache_capacity: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 256,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The bounded hand-off between the acceptor and the workers.
+/// (std `Mutex`/`Condvar` — the vendored `parking_lot` has no condvar;
+/// poisoning is recovered because a panicking worker must not wedge the
+/// accept path.)
+struct ConnQueue {
+    queue: std::sync::Mutex<VecDeque<TcpStream>>,
+    ready: std::sync::Condvar,
+    depth: usize,
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> Self {
+        ConnQueue {
+            queue: std::sync::Mutex::new(VecDeque::new()),
+            ready: std::sync::Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue if there is room; a full queue hands the stream back so
+    /// the caller can shed it.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.lock();
+        if q.len() >= self.depth {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pop with a bounded wait so workers can observe shutdown.
+    fn pop(&self, wait: Duration) -> Option<TcpStream> {
+        let mut q = self.lock();
+        if q.is_empty() {
+            let (guard, _timeout) = self
+                .ready
+                .wait_timeout(q, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        q.pop_front()
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request a graceful stop; returns immediately. A wake-up
+    /// connection unblocks the acceptor so it observes the flag without
+    /// waiting for real traffic.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Wait for the acceptor and all workers to exit.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until `SIGINT`/`SIGTERM` (or a prior [`shutdown`] call),
+    /// then stop the server and join its threads.
+    ///
+    /// [`shutdown`]: ServerHandle::shutdown
+    pub fn wait_for_signals(self) {
+        install_signal_handlers();
+        while !self.stop.load(Ordering::SeqCst) && !signal_received() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Start serving `state` per `config`. Returns once the listener is
+/// bound and the worker pool is running.
+pub fn serve(state: AppState, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(ConnQueue::new(config.queue_depth));
+    let state = Arc::new(state);
+
+    let mut threads = Vec::with_capacity(config.workers + 1);
+
+    // Acceptor.
+    {
+        let stop = stop.clone();
+        let queue = queue.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || acceptor_loop(listener, queue, stop))?,
+        );
+    }
+
+    // Workers.
+    for i in 0..config.workers.max(1) {
+        let stop = stop.clone();
+        let queue = queue.clone();
+        let state = state.clone();
+        let config = config.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(state, queue, stop, config))?,
+        );
+    }
+
+    flowcube_obs::counter_add("serve.started", 1);
+    Ok(ServerHandle {
+        addr,
+        stop,
+        threads,
+    })
+}
+
+/// Convenience: build the [`AppState`] and start serving.
+pub fn serve_cube(cube: crate::api::ServedCube, config: ServerConfig) -> io::Result<ServerHandle> {
+    let cache = ResponseCache::new(config.cache_capacity);
+    serve(AppState { cube, cache }, config)
+}
+
+fn acceptor_loop(listener: TcpListener, queue: Arc<ConnQueue>, stop: Arc<AtomicBool>) {
+    // Blocking accept: zero added latency on the hot path. `shutdown`
+    // unblocks it with a wake-up connection.
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return; // the wake-up connection (or late traffic)
+                }
+                if let Err(mut shed) = queue.push(stream) {
+                    // Queue full: shed at the door.
+                    flowcube_obs::counter_add("serve.shed", 1);
+                    let _ = shed.set_write_timeout(Some(Duration::from_millis(500)));
+                    let _ = write_response(&mut shed, 429, "{\"error\":\"server overloaded\"}");
+                }
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    state: Arc<AppState>,
+    queue: Arc<ConnQueue>,
+    stop: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    loop {
+        let Some(mut stream) = queue.pop(Duration::from_millis(100)) else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        match read_request(&mut stream) {
+            Ok(req) => {
+                let (status, body) = handle_request(&state, &req);
+                let _ = write_response(&mut stream, status, &body);
+            }
+            Err(HttpError::Malformed(detail)) => {
+                flowcube_obs::counter_add("serve.malformed", 1);
+                let body = format!(
+                    "{{\"error\":\"malformed request: {}\"}}",
+                    detail.replace('"', "'")
+                );
+                let _ = write_response(&mut stream, 400, &body);
+            }
+            Err(HttpError::TooLarge) => {
+                flowcube_obs::counter_add("serve.malformed", 1);
+                let _ = write_response(&mut stream, 431, "{\"error\":\"request too large\"}");
+            }
+            Err(HttpError::Disconnected) => {
+                flowcube_obs::counter_add("serve.disconnected", 1);
+            }
+        }
+        // Connection: close — drop the stream.
+    }
+}
+
+// ---- signals ------------------------------------------------------------
+
+static SIGNAL_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::SIGNAL_RECEIVED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNAL_RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // std already links libc on unix; `signal(2)` with a flag-setting
+        // handler is the only async-signal-safe thing we need.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Install `SIGINT`/`SIGTERM` handlers that flip a process-wide flag.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    sig::install();
+}
+
+/// Whether a termination signal has been observed.
+pub fn signal_received() -> bool {
+    SIGNAL_RECEIVED.load(Ordering::SeqCst)
+}

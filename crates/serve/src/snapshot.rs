@@ -1,0 +1,327 @@
+//! Versioned binary snapshot format for built [`FlowCube`]s.
+//!
+//! A snapshot is what lets a `flowcube serve` process answer queries
+//! without ever re-mining: the cube is built once, written to disk, and
+//! opened lazily — [`Snapshot::open`] validates the container and loads
+//! only the small metadata sections; each cuboid's cell table stays on
+//! disk until a query first touches it.
+//!
+//! ## Layout (format version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"FCUBSNAP"
+//! 8       4     format version, u32 LE
+//! 12      8     index length in bytes, u64 LE
+//! 20      4     CRC-32 of the index bytes, u32 LE
+//! 24      n     index: JSON `Vec<SectionDesc>`
+//! 24+n    …     section payloads (JSON), at index-recorded offsets
+//! ```
+//!
+//! Section payload offsets are relative to the end of the index (the
+//! *data region*), so the index's own length never perturbs them. Every
+//! payload carries its own CRC-32, verified on load — lazily for cuboid
+//! sections, eagerly for the metadata sections (`schema`, `spec`,
+//! `params`, `stats`).
+
+use crate::crc::crc32;
+use crate::error::SnapshotError;
+use flowcube_core::{Cuboid, CuboidKey, FlowCube};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// First 8 bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"FCUBSNAP";
+/// Newest format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Fixed-size header: magic + version + index length + index CRC.
+const HEADER_LEN: u64 = 24;
+
+/// Section kinds in a version-1 snapshot.
+pub const KIND_SCHEMA: &str = "schema";
+pub const KIND_SPEC: &str = "spec";
+pub const KIND_PARAMS: &str = "params";
+pub const KIND_STATS: &str = "stats";
+pub const KIND_CUBOID: &str = "cuboid";
+
+/// One entry of the snapshot index.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SectionDesc {
+    /// One of the `KIND_*` constants.
+    pub kind: String,
+    /// The cuboid address, for `kind == "cuboid"` sections.
+    pub cuboid: Option<CuboidKey>,
+    /// Payload offset relative to the start of the data region.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC-32 of the payload bytes.
+    pub crc: u32,
+}
+
+/// Summary returned by [`write_snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    pub sections: usize,
+    pub cuboids: usize,
+    pub bytes: u64,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> SnapshotError {
+    SnapshotError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+fn encode<T: Serialize>(what: &'static str, value: &T) -> Result<Vec<u8>, SnapshotError> {
+    serde_json::to_string(value)
+        .map(String::into_bytes)
+        .map_err(|e| SnapshotError::Corrupt {
+            detail: format!("encoding {what}: {e}"),
+        })
+}
+
+/// Serialize `cube` into a snapshot file at `path`.
+///
+/// Cuboid sections are written in sorted [`CuboidKey`] order, so the same
+/// cube always produces byte-identical snapshots.
+pub fn write_snapshot(
+    cube: &FlowCube,
+    path: impl AsRef<Path>,
+) -> Result<SnapshotInfo, SnapshotError> {
+    let path = path.as_ref();
+    let _span = flowcube_obs::span!("serve.snapshot.write");
+
+    // Metadata sections first, then cuboids in deterministic order.
+    let mut payloads: Vec<(String, Option<CuboidKey>, Vec<u8>)> = vec![
+        (KIND_SCHEMA.into(), None, encode("schema", cube.schema())?),
+        (KIND_SPEC.into(), None, encode("spec", cube.spec())?),
+        (KIND_PARAMS.into(), None, encode("params", cube.params())?),
+        (KIND_STATS.into(), None, encode("stats", cube.stats())?),
+    ];
+    let mut cuboids: Vec<(&CuboidKey, &Cuboid)> = cube.cuboids().collect();
+    cuboids.sort_by(|a, b| a.0.cmp(b.0));
+    for (key, cuboid) in cuboids {
+        payloads.push((
+            KIND_CUBOID.into(),
+            Some(key.clone()),
+            encode("cuboid", cuboid)?,
+        ));
+    }
+
+    let mut index: Vec<SectionDesc> = Vec::with_capacity(payloads.len());
+    let mut offset = 0u64;
+    for (kind, cuboid, bytes) in &payloads {
+        index.push(SectionDesc {
+            kind: kind.clone(),
+            cuboid: cuboid.clone(),
+            offset,
+            len: bytes.len() as u64,
+            crc: crc32(bytes),
+        });
+        offset += bytes.len() as u64;
+    }
+    let index_bytes = encode("index", &index)?;
+
+    let mut file = File::create(path).map_err(|e| io_err(path, e))?;
+    let mut header = Vec::with_capacity(HEADER_LEN as usize);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
+    header.extend_from_slice(&crc32(&index_bytes).to_le_bytes());
+    file.write_all(&header).map_err(|e| io_err(path, e))?;
+    file.write_all(&index_bytes).map_err(|e| io_err(path, e))?;
+    for (_, _, bytes) in &payloads {
+        file.write_all(bytes).map_err(|e| io_err(path, e))?;
+    }
+    file.flush().map_err(|e| io_err(path, e))?;
+
+    let cuboid_count = index.iter().filter(|s| s.kind == KIND_CUBOID).count();
+    Ok(SnapshotInfo {
+        sections: index.len(),
+        cuboids: cuboid_count,
+        bytes: HEADER_LEN + index_bytes.len() as u64 + offset,
+    })
+}
+
+/// An open, validated snapshot with lazily-loaded cuboid sections.
+pub struct Snapshot {
+    file: Mutex<File>,
+    path: PathBuf,
+    data_start: u64,
+    sections: Vec<SectionDesc>,
+    shell: FlowCube,
+}
+
+impl Snapshot {
+    /// Open and validate a snapshot: magic, format version, index CRC,
+    /// section bounds against the file size, and the presence and
+    /// integrity of the four metadata sections. Cuboid payloads are *not*
+    /// read here — they load (and CRC-verify) on first access.
+    pub fn open(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
+        let path = path.as_ref();
+        let _span = flowcube_obs::span!("serve.snapshot.open");
+        let mut file = File::open(path).map_err(|e| io_err(path, e))?;
+        let file_len = file.metadata().map_err(|e| io_err(path, e))?.len();
+        if file_len < HEADER_LEN {
+            return Err(SnapshotError::Truncated { what: "header" });
+        }
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header).map_err(|e| io_err(path, e))?;
+        if header[0..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let index_len = u64::from_le_bytes(header[12..20].try_into().unwrap());
+        let index_crc = u32::from_le_bytes(header[20..24].try_into().unwrap());
+        if HEADER_LEN + index_len > file_len {
+            return Err(SnapshotError::Truncated { what: "index" });
+        }
+        let mut index_bytes = vec![0u8; index_len as usize];
+        file.read_exact(&mut index_bytes)
+            .map_err(|e| io_err(path, e))?;
+        if crc32(&index_bytes) != index_crc {
+            return Err(SnapshotError::ChecksumMismatch {
+                section: "index".into(),
+            });
+        }
+        let index_text = std::str::from_utf8(&index_bytes).map_err(|_| SnapshotError::Corrupt {
+            detail: "index is not UTF-8".into(),
+        })?;
+        let sections: Vec<SectionDesc> =
+            serde_json::from_str(index_text).map_err(|e| SnapshotError::Corrupt {
+                detail: format!("index: {e}"),
+            })?;
+        let data_start = HEADER_LEN + index_len;
+        for s in &sections {
+            let end = s.offset.checked_add(s.len).ok_or(SnapshotError::Corrupt {
+                detail: "section bounds overflow".into(),
+            })?;
+            if data_start + end > file_len {
+                return Err(SnapshotError::Truncated {
+                    what: "section payload",
+                });
+            }
+        }
+
+        let meta = |kind: &'static str| -> Result<SectionDesc, SnapshotError> {
+            sections
+                .iter()
+                .find(|s| s.kind == kind)
+                .cloned()
+                .ok_or(SnapshotError::MissingSection { kind })
+        };
+        let schema = decode_section(&mut file, path, data_start, &meta(KIND_SCHEMA)?)?;
+        let spec = decode_section(&mut file, path, data_start, &meta(KIND_SPEC)?)?;
+        let params = decode_section(&mut file, path, data_start, &meta(KIND_PARAMS)?)?;
+        let stats = decode_section(&mut file, path, data_start, &meta(KIND_STATS)?)?;
+        Ok(Snapshot {
+            file: Mutex::new(file),
+            path: path.to_path_buf(),
+            data_start,
+            sections,
+            shell: FlowCube::from_parts(schema, spec, params, stats),
+        })
+    }
+
+    /// Read one section payload, verify its CRC, and decode it.
+    fn read_section<T: for<'de> Deserialize<'de>>(
+        &self,
+        desc: &SectionDesc,
+    ) -> Result<T, SnapshotError> {
+        let mut file = self.file.lock();
+        decode_section(&mut file, &self.path, self.data_start, desc)
+    }
+
+    /// An empty cube carrying the snapshot's schema, spec, params, and
+    /// stats — the shell the serving layer fills with lazily-loaded
+    /// cuboids.
+    pub fn shell(&self) -> &FlowCube {
+        &self.shell
+    }
+
+    /// Addresses of every cuboid stored in the snapshot.
+    pub fn cuboid_keys(&self) -> impl Iterator<Item = &CuboidKey> {
+        self.sections.iter().filter_map(|s| s.cuboid.as_ref())
+    }
+
+    /// Number of cuboid sections.
+    pub fn num_cuboids(&self) -> usize {
+        self.sections
+            .iter()
+            .filter(|s| s.kind == KIND_CUBOID)
+            .count()
+    }
+
+    /// Load one cuboid's cell table from disk (`Ok(None)` when the
+    /// snapshot holds no cuboid at `key`). Integrity is verified against
+    /// the section CRC on every load.
+    pub fn load_cuboid(&self, key: &CuboidKey) -> Result<Option<Cuboid>, SnapshotError> {
+        let Some(desc) = self
+            .sections
+            .iter()
+            .find(|s| s.cuboid.as_ref() == Some(key))
+            .cloned()
+        else {
+            return Ok(None);
+        };
+        let _span = flowcube_obs::span!("serve.snapshot.load_cuboid");
+        flowcube_obs::counter_add("serve.snapshot.cuboid_loads", 1);
+        self.read_section(&desc).map(Some)
+    }
+
+    /// Eagerly load every cuboid into a complete [`FlowCube`].
+    pub fn load_cube(&self) -> Result<FlowCube, SnapshotError> {
+        let _span = flowcube_obs::span!("serve.snapshot.load_cube");
+        let mut cube = self.shell.clone();
+        for desc in self.sections.iter().filter(|s| s.kind == KIND_CUBOID) {
+            let key = desc.cuboid.clone().ok_or(SnapshotError::Corrupt {
+                detail: "cuboid section without a key".into(),
+            })?;
+            let cuboid: Cuboid = self.read_section(desc)?;
+            cube.insert_cuboid(key, cuboid);
+        }
+        Ok(cube)
+    }
+}
+
+fn section_label(desc: &SectionDesc) -> String {
+    match &desc.cuboid {
+        Some(key) => format!("cuboid {:?}@{}", key.item_level, key.path_level),
+        None => desc.kind.clone(),
+    }
+}
+
+/// Seek-read-verify-decode one section from an open snapshot file.
+fn decode_section<T: for<'de> Deserialize<'de>>(
+    file: &mut File,
+    path: &Path,
+    data_start: u64,
+    desc: &SectionDesc,
+) -> Result<T, SnapshotError> {
+    let mut bytes = vec![0u8; desc.len as usize];
+    file.seek(SeekFrom::Start(data_start + desc.offset))
+        .map_err(|e| io_err(path, e))?;
+    file.read_exact(&mut bytes).map_err(|e| io_err(path, e))?;
+    if crc32(&bytes) != desc.crc {
+        return Err(SnapshotError::ChecksumMismatch {
+            section: section_label(desc),
+        });
+    }
+    let text = std::str::from_utf8(&bytes).map_err(|_| SnapshotError::Corrupt {
+        detail: format!("{} is not UTF-8", section_label(desc)),
+    })?;
+    serde_json::from_str(text).map_err(|e| SnapshotError::Corrupt {
+        detail: format!("{}: {e}", section_label(desc)),
+    })
+}

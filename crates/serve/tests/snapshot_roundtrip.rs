@@ -1,0 +1,210 @@
+//! Snapshot format contract tests.
+//!
+//! * property: an arbitrary small cube survives write → open → load with
+//!   **byte-identical** `lookup` / `roll_up` results;
+//! * snapshot writing is deterministic (same cube → same bytes);
+//! * corruption (truncation, flipped bytes, future format version, wrong
+//!   magic) fails with a typed [`SnapshotError`] — never a panic.
+
+use flowcube_core::{display_key, FlowCube, FlowCubeParams, ItemPlan};
+use flowcube_datagen::{generate, DimShape, GeneratorConfig};
+use flowcube_hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel, Schema};
+use flowcube_serve::{write_snapshot, Snapshot, SnapshotError, FORMAT_VERSION};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("flowcube-snap-test-{}-{name}", std::process::id()))
+}
+
+fn two_level_spec(schema: &Schema) -> PathLatticeSpec {
+    let loc = schema.locations();
+    let fine = LocationCut::uniform_level(loc, loc.max_level());
+    PathLatticeSpec::new(vec![
+        PathLevel::new("fine", fine.clone(), DurationLevel::Raw),
+        PathLevel::new("fine/any", fine, DurationLevel::Any),
+    ])
+}
+
+/// A small deterministic cube, varied by the inputs.
+fn small_cube(paths: usize, seed: u64, min_support: u64) -> FlowCube {
+    let config = GeneratorConfig {
+        num_paths: paths,
+        dims: vec![DimShape::new(vec![2, 3], 0.7); 2],
+        num_sequences: 5,
+        seed,
+        ..Default::default()
+    };
+    let db = generate(&config).db;
+    let spec = two_level_spec(db.schema());
+    FlowCube::build(&db, spec, FlowCubeParams::new(min_support), ItemPlan::All)
+}
+
+/// Serialize every cell's `lookup` answer plus a dim-0 `roll_up`, as the
+/// equality fingerprint of a cube's query behavior.
+fn query_fingerprint(cube: &FlowCube) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rows: Vec<(flowcube_core::CuboidKey, Vec<flowcube_core::CellKey>)> = cube
+        .cuboids()
+        .map(|(ck, cuboid)| {
+            let mut keys: Vec<_> = cuboid.iter().map(|(k, _)| k.clone()).collect();
+            keys.sort();
+            (ck.clone(), keys)
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    for (ck, keys) in rows {
+        for key in keys {
+            let lk = cube.lookup(&key, ck.path_level).expect("cell exists");
+            out.push(format!(
+                "{}@{}:{} support={} entry={}",
+                display_key(&key, cube.schema()),
+                ck.path_level,
+                lk.exact,
+                lk.entry.support,
+                serde_json::to_string(lk.entry).unwrap()
+            ));
+            match cube.roll_up(&key, 0, ck.path_level) {
+                Some((parent, entry)) => out.push(format!(
+                    "rollup {} -> {} {}",
+                    display_key(&key, cube.schema()),
+                    display_key(&parent, cube.schema()),
+                    serde_json::to_string(entry).unwrap()
+                )),
+                None => out.push(format!(
+                    "rollup {} -> none",
+                    display_key(&key, cube.schema())
+                )),
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// write → open → load round-trips to byte-identical query results.
+    #[test]
+    fn roundtrip_preserves_queries(
+        paths in 40usize..160,
+        seed in 0u64..1000,
+        min_support in 4u64..20,
+    ) {
+        let cube = small_cube(paths, seed, min_support);
+        let path = tmp(&format!("rt-{paths}-{seed}-{min_support}.snap"));
+        write_snapshot(&cube, &path).expect("write");
+
+        let snap = Snapshot::open(&path).expect("open");
+        prop_assert_eq!(snap.num_cuboids(), cube.num_cuboids());
+        let loaded = snap.load_cube().expect("load");
+        prop_assert_eq!(loaded.num_cuboids(), cube.num_cuboids());
+        prop_assert_eq!(loaded.total_cells(), cube.total_cells());
+        prop_assert_eq!(query_fingerprint(&loaded), query_fingerprint(&cube));
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn snapshot_bytes_are_deterministic() {
+    let cube = small_cube(80, 7, 8);
+    let a = tmp("det-a.snap");
+    let b = tmp("det-b.snap");
+    write_snapshot(&cube, &a).expect("write a");
+    write_snapshot(&cube, &b).expect("write b");
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "same cube must produce identical snapshot bytes"
+    );
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
+/// Every truncation point of the file fails with a typed error, not a
+/// panic (and certainly not a silently short cube).
+#[test]
+fn truncation_fails_cleanly() {
+    let cube = small_cube(60, 3, 6);
+    let path = tmp("trunc.snap");
+    write_snapshot(&cube, &path).expect("write");
+    let full = std::fs::read(&path).unwrap();
+
+    // A spread of cut points: inside magic, header, index, payloads.
+    let cuts = [0, 4, 8, 11, 16, 23, 40, full.len() / 2, full.len() - 1];
+    for cut in cuts {
+        let t = tmp(&format!("trunc-{cut}.snap"));
+        std::fs::write(&t, &full[..cut]).unwrap();
+        let result = Snapshot::open(&t).and_then(|s| s.load_cube());
+        assert!(
+            result.is_err(),
+            "truncation at {cut}/{} bytes must fail",
+            full.len()
+        );
+        let _ = std::fs::remove_file(&t);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A flipped byte anywhere in the data region is caught by a section CRC.
+#[test]
+fn corrupted_payload_is_detected() {
+    let cube = small_cube(60, 4, 6);
+    let path = tmp("crc.snap");
+    write_snapshot(&cube, &path).expect("write");
+    let full = std::fs::read(&path).unwrap();
+
+    // Flip one byte in several spots of the payload region (the tail of
+    // the file is cuboid payloads; the area right after the header is
+    // the index).
+    for frac in [3, 2] {
+        let pos = full.len() - full.len() / frac - 1;
+        let mut bad = full.clone();
+        bad[pos] ^= 0x40;
+        let t = tmp(&format!("crc-{frac}.snap"));
+        std::fs::write(&t, &bad).unwrap();
+        let result = Snapshot::open(&t).and_then(|s| {
+            // Either open itself (metadata/index) or a cuboid load must
+            // notice the flip.
+            s.load_cube()
+        });
+        match result {
+            Err(SnapshotError::ChecksumMismatch { .. })
+            | Err(SnapshotError::Corrupt { .. })
+            | Err(SnapshotError::Truncated { .. }) => {}
+            other => panic!("flipped byte at {pos} not detected: {other:?}"),
+        }
+        let _ = std::fs::remove_file(&t);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let cube = small_cube(50, 5, 6);
+    let path = tmp("ver.snap");
+    write_snapshot(&cube, &path).expect("write");
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Bytes 8..12 are the little-endian format version.
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    match Snapshot::open(&path).map(|_| ()) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let path = tmp("magic.snap");
+    std::fs::write(&path, b"NOTACUBExxxxxxxxxxxxxxxxxxxxxxxx").unwrap();
+    assert!(matches!(
+        Snapshot::open(&path),
+        Err(SnapshotError::BadMagic)
+    ));
+    let _ = std::fs::remove_file(&path);
+}

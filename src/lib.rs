@@ -11,7 +11,8 @@
 //! * [`mining`] — the Shared / Basic / Cubing mining algorithms;
 //! * [`core`] — the flowcube model with OLAP navigation;
 //! * [`datagen`] — the synthetic retail path generator;
-//! * [`obs`] — structured tracing, metrics, and profiling exporters.
+//! * [`obs`] — structured tracing, metrics, and profiling exporters;
+//! * [`serve`] — versioned binary snapshots and the HTTP query server.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -22,6 +23,7 @@ pub use flowcube_hier as hier;
 pub use flowcube_mining as mining;
 pub use flowcube_obs as obs;
 pub use flowcube_pathdb as pathdb;
+pub use flowcube_serve as serve;
 
 pub use flowcube_core::{Algorithm, FlowCube, FlowCubeParams, ItemPlan};
 pub use flowcube_flowgraph::FlowGraph;

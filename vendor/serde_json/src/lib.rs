@@ -335,15 +335,17 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 char (input is a &str, so valid).
+                    // Bulk-copy up to the next quote or backslash; validating
+                    // one bounded chunk keeps parsing linear in input size.
                     let rest = &self.bytes[self.pos..];
-                    let c = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid utf-8"))?
-                        .chars()
-                        .next()
-                        .unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let chunk_len = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .ok_or_else(|| self.err("unterminated string"))?;
+                    let chunk = std::str::from_utf8(&rest[..chunk_len])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(chunk);
+                    self.pos += chunk_len;
                 }
             }
         }
