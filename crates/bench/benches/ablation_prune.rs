@@ -56,6 +56,7 @@ fn bench(c: &mut Criterion) {
                     min_support: delta,
                     local_pruning: false,
                     io: CubingIo::InMemory,
+                    threads: 0,
                 },
             )
         })

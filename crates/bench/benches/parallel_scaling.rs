@@ -1,0 +1,107 @@
+//! Thread-scaling of the Shared mining scans on the Figure 6 workload
+//! (N = 10 000, δ = 1% = 100, d = 5, 4 path abstraction levels).
+//!
+//! Criterion times `mine()` at 1/2/4/8 threads; the medians, the
+//! speedups relative to the 1-thread run, and the machine's core count
+//! are written to `BENCH_parallel_scaling.json`. Parallel speedup is
+//! bounded by physical cores — on a 1-core container every thread count
+//! times the same as serial (plus a little spawn overhead), which the
+//! recorded `available_parallelism` makes legible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowcube_bench::experiments::{base_config, paper_path_spec};
+use flowcube_datagen::generate;
+use flowcube_mining::{mine, SharedConfig, TransactionDb};
+use flowcube_pathdb::MergePolicy;
+use std::time::Instant;
+
+const NUM_PATHS: usize = 10_000;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(serde::Serialize)]
+struct ThreadTiming {
+    threads: usize,
+    median_ms: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ParallelScalingResult {
+    num_paths: usize,
+    min_support: u64,
+    available_parallelism: usize,
+    frequent_patterns: u64,
+    timings: Vec<ThreadTiming>,
+}
+
+/// Median of a direct wall-clock sample, for the JSON artifact (criterion
+/// keeps its own statistics for the report).
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let generated = generate(&base_config(NUM_PATHS));
+    let spec = paper_path_spec(generated.db.schema());
+    let tx = TransactionDb::encode(&generated.db, spec, MergePolicy::Sum);
+    let delta = (NUM_PATHS / 100) as u64;
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    let mut timings = Vec::new();
+    let mut frequent_patterns = 0u64;
+    for threads in THREADS {
+        let config = SharedConfig::shared(delta).with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("shared", threads), &threads, |b, _| {
+            b.iter(|| mine(&tx, &config))
+        });
+        let samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                let out = mine(&tx, &config);
+                frequent_patterns = out.stats.total_frequent();
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        timings.push(ThreadTiming {
+            threads,
+            median_ms: median_ms(samples),
+            speedup_vs_serial: 0.0, // filled below, once serial is known
+        });
+    }
+    group.finish();
+
+    let serial_ms = timings[0].median_ms;
+    for t in &mut timings {
+        t.speedup_vs_serial = serial_ms / t.median_ms;
+    }
+
+    let result = ParallelScalingResult {
+        num_paths: NUM_PATHS,
+        min_support: delta,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        frequent_patterns,
+        timings,
+    };
+    std::fs::write(
+        "BENCH_parallel_scaling.json",
+        serde_json::to_string_pretty(&result).expect("serialize"),
+    )
+    .expect("write BENCH_parallel_scaling.json");
+    println!(
+        "\nwrote BENCH_parallel_scaling.json ({} cores available)",
+        result.available_parallelism
+    );
+    for t in &result.timings {
+        println!(
+            "threads={:<2} median={:>8.1}ms speedup={:>5.2}x",
+            t.threads, t.median_ms, t.speedup_vs_serial
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

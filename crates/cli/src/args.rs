@@ -1,5 +1,5 @@
-//! A small, dependency-free argument parser: `--key value` flags plus
-//! positional arguments.
+//! A small, dependency-free argument parser: `--key value` and
+//! `--key=value` flags plus positional arguments.
 
 use std::collections::BTreeMap;
 
@@ -22,9 +22,12 @@ impl Args {
         };
         while let Some(a) = raw.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = match raw.peek() {
-                    Some(v) if !v.starts_with("--") => raw.next().unwrap(),
-                    _ => "true".to_string(), // boolean flag
+                let (key, value) = match key.split_once('=') {
+                    Some((k, v)) => (k, v.to_string()),
+                    None => match raw.peek() {
+                        Some(v) if !v.starts_with("--") => (key, raw.next().unwrap()),
+                        _ => (key, "true".to_string()), // boolean flag
+                    },
                 };
                 if out.flags.insert(key.to_string(), value).is_some() {
                     return Err(format!("duplicate flag --{key}"));
@@ -95,6 +98,15 @@ mod tests {
         assert!(!a.flag("quiet"));
         assert_eq!(a.get_or("missing", "d"), "d");
         assert_eq!(a.num::<u64>("absent", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = parse("build --threads=4 --db=x.json --tau=0.5").unwrap();
+        assert_eq!(a.num::<usize>("threads", 0).unwrap(), 4);
+        assert_eq!(a.get("db"), Some("x.json"));
+        assert_eq!(a.num::<f64>("tau", 0.0).unwrap(), 0.5);
+        assert!(parse("x --a=1 --a 2").is_err(), "duplicate across syntaxes");
     }
 
     #[test]

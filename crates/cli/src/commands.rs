@@ -17,12 +17,12 @@ USAGE:
                     [--flow-correlation F] [--exception-bias B] --out db.json
   flowcube build    --db db.json --min-support N [--eps E] [--tau T]
                     [--algorithm shared|basic|cubing]
-                    [--no-exceptions] [--parallel] --out cube.json
+                    [--no-exceptions] [--threads N] --out cube.json
   flowcube cells    --cube cube.json [--level NAME] [--limit N]
   flowcube query    --cube cube.json --cell v1,v2,… (use * for any)
                     [--level NAME]
   flowcube mine     --db db.json --algorithm shared|basic|cubing
-                    --min-support N
+                    --min-support N [--threads N]
   flowcube predict  --cube cube.json --cell v1,… --observed loc:dur,loc:dur
                     [--level NAME]
   flowcube snapshot --db db.json [build flags] --out cube.snap
@@ -146,9 +146,9 @@ fn build_cube(args: &Args) -> Result<FlowCube, String> {
     if args.flag("no-exceptions") {
         params.mine_exceptions = false;
     }
-    if args.flag("parallel") {
-        params.parallel = true;
-    }
+    // 0 = auto (FLOWCUBE_THREADS env, else available_parallelism); the
+    // result is bit-identical at any thread count.
+    params.threads = args.num("threads", 0usize)?;
     let spec = default_spec(db.schema());
     let cube = FlowCube::build(&db, spec, params, ItemPlan::All);
     println!(
@@ -267,11 +267,12 @@ pub fn mine(args: &Args) -> Result<(), String> {
     let tx = TransactionDb::encode(&db, spec, MergePolicy::Sum);
     let encode = timer.stop();
     let algo = parse_algorithm(args.get_or("algorithm", "shared"))?;
+    let threads = args.num("threads", 0usize)?;
     let timer = flowcube_obs::Timer::start("mine.run");
     let out = match algo {
-        Algorithm::Shared => mine_itemsets(&tx, &SharedConfig::shared(delta)),
-        Algorithm::Basic => mine_itemsets(&tx, &SharedConfig::basic(delta)),
-        Algorithm::Cubing => mine_cubing(&db, &tx, &CubingConfig::new(delta)),
+        Algorithm::Shared => mine_itemsets(&tx, &SharedConfig::shared(delta).with_threads(threads)),
+        Algorithm::Basic => mine_itemsets(&tx, &SharedConfig::basic(delta).with_threads(threads)),
+        Algorithm::Cubing => mine_cubing(&db, &tx, &CubingConfig::new(delta).with_threads(threads)),
     };
     let elapsed = timer.stop();
     out.stats.publish(algorithm_prefix(algo));

@@ -57,7 +57,7 @@ fn build_with_redundancy_and_exceptions() {
     )))
     .expect("generate");
     commands::build(&args(&format!(
-        "build --db {db} --min-support 40 --tau 0.5 --eps 0.2 --parallel --out {cube}"
+        "build --db {db} --min-support 40 --tau 0.5 --eps 0.2 --threads=2 --out {cube}"
     )))
     .expect("build with exceptions");
     commands::cells(&args(&format!(
@@ -128,7 +128,7 @@ fn build_with_trace_and_metrics_out() {
     )))
     .expect("generate");
     commands::build(&args(&format!(
-        "build --db {db} --min-support 30 --parallel --trace-out {trace} --metrics-out {metrics} --out {cube}"
+        "build --db {db} --min-support 30 --threads 2 --trace-out {trace} --metrics-out {metrics} --out {cube}"
     )))
     .expect("build with tracing");
 

@@ -42,7 +42,7 @@ pub(crate) fn build(
         "build",
         paths = db.len(),
         min_support = params.min_support,
-        parallel = params.parallel as u64,
+        threads = params.threads as u64,
     );
     let mut stats = BuildStats::default();
     let schema = db.schema();
@@ -71,15 +71,25 @@ pub(crate) fn build(
         let timer = Timer::start("build.mine");
         let (mined, algo_prefix): (FrequentItemsets, &str) = match params.algorithm {
             Algorithm::Shared => (
-                mine(&tx, &SharedConfig::shared(params.min_support)),
+                mine(
+                    &tx,
+                    &SharedConfig::shared(params.min_support).with_threads(params.threads),
+                ),
                 "mining.shared",
             ),
             Algorithm::Basic => (
-                mine(&tx, &SharedConfig::basic(params.min_support)),
+                mine(
+                    &tx,
+                    &SharedConfig::basic(params.min_support).with_threads(params.threads),
+                ),
                 "mining.basic",
             ),
             Algorithm::Cubing => (
-                mine_cubing(db, &tx, &CubingConfig::new(params.min_support)),
+                mine_cubing(
+                    db,
+                    &tx,
+                    &CubingConfig::new(params.min_support).with_threads(params.threads),
+                ),
                 "mining.cubing",
             ),
         };
@@ -292,28 +302,20 @@ pub(crate) fn build(
         result
     };
 
-    let results: Vec<(CuboidKey, CellKey, CellEntry)> = if params.parallel && work.len() > 8 {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(work.len());
-        let chunk = work.len().div_ceil(threads);
-        let mut results = Vec::with_capacity(work.len());
-        let materialize = &materialize;
-        crossbeam::scope(|s| {
-            let handles: Vec<_> = work
-                .chunks(chunk)
-                .map(|c| s.spawn(move |_| c.iter().map(materialize).collect::<Vec<_>>()))
-                .collect();
-            for h in handles {
-                results.extend(h.join().expect("materialize worker panicked"));
-            }
-        })
-        .expect("crossbeam scope");
-        results
-    } else {
-        work.iter().map(materialize).collect()
-    };
+    // One threads policy with mining (`FlowCubeParams::threads_for`);
+    // cells insert into the cuboid map in work order either way, so the
+    // cube is identical at any thread count.
+    let threads = params.threads_for(work.len());
+    stats.threads_used = threads;
+    let results: Vec<(CuboidKey, CellKey, CellEntry)> = flowcube_mining::parallel::run_chunks(
+        "build.materialize.chunk",
+        work.len(),
+        threads,
+        |range| work[range].iter().map(&materialize).collect::<Vec<_>>(),
+    )
+    .into_iter()
+    .flatten()
+    .collect();
 
     let mut cuboids: FxHashMap<CuboidKey, Cuboid> = FxHashMap::default();
     for (ck, key, entry) in results {

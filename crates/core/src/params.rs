@@ -32,8 +32,18 @@ pub struct FlowCubeParams {
     pub algorithm: Algorithm,
     /// Mine exceptions (the holistic, expensive part of the measure).
     pub mine_exceptions: bool,
-    /// Build cell flowgraphs on multiple threads.
-    pub parallel: bool,
+    /// Worker threads for mining scans and flowgraph materialization.
+    /// `0` resolves automatically: the `FLOWCUBE_THREADS` environment
+    /// variable if set, else `available_parallelism`. Output is
+    /// bit-identical at any setting.
+    #[serde(default)]
+    pub threads: usize,
+    /// Work-item count at or below which a phase runs serially regardless
+    /// of `threads` (`0` = the library default,
+    /// [`flowcube_mining::DEFAULT_PARALLEL_CUTOFF`]). Mining and
+    /// materialization share this one policy via [`Self::threads_for`].
+    #[serde(default)]
+    pub parallel_cutoff: usize,
 }
 
 impl FlowCubeParams {
@@ -45,7 +55,8 @@ impl FlowCubeParams {
             merge: MergePolicy::Sum,
             algorithm: Algorithm::Shared,
             mine_exceptions: true,
-            parallel: false,
+            threads: 0,
+            parallel_cutoff: 0,
         }
     }
 
@@ -64,9 +75,21 @@ impl FlowCubeParams {
         self
     }
 
-    pub fn parallel(mut self, on: bool) -> Self {
-        self.parallel = on;
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
+    }
+
+    pub fn with_parallel_cutoff(mut self, cutoff: usize) -> Self {
+        self.parallel_cutoff = cutoff;
+        self
+    }
+
+    /// Worker count to actually use for a phase with `work_items` units of
+    /// work — the single threads policy shared by mining and
+    /// materialization.
+    pub fn threads_for(&self, work_items: usize) -> usize {
+        flowcube_mining::plan_threads(self.threads, work_items, self.parallel_cutoff)
     }
 }
 
@@ -117,12 +140,28 @@ mod tests {
             .with_algorithm(Algorithm::Cubing)
             .with_redundancy(0.1)
             .with_exceptions(false)
-            .parallel(true);
+            .with_threads(3)
+            .with_parallel_cutoff(2);
         assert_eq!(p.min_support, 5);
         assert_eq!(p.algorithm, Algorithm::Cubing);
         assert_eq!(p.redundancy_tau, Some(0.1));
         assert!(!p.mine_exceptions);
-        assert!(p.parallel);
+        assert_eq!(p.threads, 3);
+        assert_eq!(p.parallel_cutoff, 2);
+    }
+
+    #[test]
+    fn threads_policy_shared_by_phases() {
+        // Below the cutoff the phase runs serially even with an explicit
+        // thread request; above it the request is honored and clamped.
+        let p = FlowCubeParams::new(2).with_threads(4);
+        assert_eq!(p.threads_for(8), 1, "default cutoff is 8");
+        assert_eq!(p.threads_for(9), 4);
+        assert_eq!(p.threads_for(3), 1);
+        let p = p.with_parallel_cutoff(2);
+        assert_eq!(p.threads_for(3), 3, "clamped to work items");
+        assert_eq!(p.threads_for(100), 4);
+        assert_eq!(p.threads_for(2), 1, "cutoff override respected");
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct BuildStats {
     pub cells_materialized: usize,
     /// Cells dropped as redundant.
     pub cells_pruned_redundant: usize,
+    /// Worker threads the materialization phase actually ran on (after
+    /// the cutoff/clamp policy of `FlowCubeParams::threads_for`).
+    #[serde(default)]
+    pub threads_used: usize,
 }
 
 impl BuildStats {
@@ -44,7 +48,8 @@ impl BuildStats {
         format!(
             "cells={} (pruned {} redundant), frequent patterns={}, \
              candidates counted={} in {} scans, candidates pruned \
-             [subset={} ancestor={} unlinkable={} precount={}], total {:?}",
+             [subset={} ancestor={} unlinkable={} precount={}], threads={}, \
+             total {:?}",
             self.cells_materialized,
             self.cells_pruned_redundant,
             self.mining.total_frequent(),
@@ -54,6 +59,7 @@ impl BuildStats {
             self.mining.pruned_ancestor,
             self.mining.pruned_unlinkable,
             self.mining.pruned_precount,
+            self.threads_used,
             self.total_time(),
         )
     }
@@ -76,6 +82,7 @@ mod tests {
         s.mining.pruned_ancestor = 7;
         s.mining.pruned_unlinkable = 1;
         s.mining.pruned_precount = 9;
+        s.threads_used = 2;
         assert_eq!(s.total_time(), Duration::from_millis(15));
         let summary = s.summary();
         assert!(summary.contains("cells=3"));
@@ -84,5 +91,6 @@ mod tests {
         assert!(summary.contains("ancestor=7"));
         assert!(summary.contains("unlinkable=1"));
         assert!(summary.contains("precount=9"));
+        assert!(summary.contains("threads=2"));
     }
 }

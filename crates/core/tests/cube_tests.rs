@@ -193,16 +193,23 @@ fn parallel_build_matches_serial() {
     let serial = FlowCube::build(
         &out.db,
         spec.clone(),
-        FlowCubeParams::new(10).parallel(false),
+        FlowCubeParams::new(10).with_threads(1),
         ItemPlan::All,
     );
     let parallel = FlowCube::build(
         &out.db,
         spec,
-        FlowCubeParams::new(10).parallel(true),
+        FlowCubeParams::new(10).with_threads(4),
         ItemPlan::All,
     );
     assert_eq!(serial.total_cells(), parallel.total_cells());
+    // Every cell, graph, and exception must be identical; serializing
+    // the cuboids compares them all at once (params/stats are excluded —
+    // they record the differing thread knob and wall-clock timings).
+    assert_eq!(
+        serde_json::to_string(serial.cuboids().collect::<Vec<_>>().as_slice()).unwrap(),
+        serde_json::to_string(parallel.cuboids().collect::<Vec<_>>().as_slice()).unwrap()
+    );
     for (ck, cuboid) in serial.cuboids() {
         let pc = parallel.cuboid(&ck.item_level, ck.path_level).unwrap();
         for (key, entry) in cuboid.iter() {
@@ -211,6 +218,34 @@ fn parallel_build_matches_serial() {
             assert_eq!(entry.exceptions.len(), pe.exceptions.len());
         }
     }
+}
+
+#[test]
+fn build_threads_policy_controls_materialization() {
+    // The paper cube has 4 path levels × a handful of cells — enough
+    // work items to clear the default cutoff of 8, so an explicit
+    // request is honored; a raised cutoff forces it back to serial.
+    let db = samples::paper_table1();
+    let cube = FlowCube::build(
+        &db,
+        paper_spec(&db),
+        FlowCubeParams::new(2).with_threads(2),
+        ItemPlan::All,
+    );
+    assert_eq!(cube.stats().threads_used, 2);
+    let serial = FlowCube::build(
+        &db,
+        paper_spec(&db),
+        FlowCubeParams::new(2)
+            .with_threads(2)
+            .with_parallel_cutoff(10_000),
+        ItemPlan::All,
+    );
+    assert_eq!(serial.stats().threads_used, 1);
+    assert_eq!(
+        serde_json::to_string(cube.cuboids().collect::<Vec<_>>().as_slice()).unwrap(),
+        serde_json::to_string(serial.cuboids().collect::<Vec<_>>().as_slice()).unwrap()
+    );
 }
 
 #[test]

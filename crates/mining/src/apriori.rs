@@ -10,7 +10,10 @@ use serde::{Deserialize, Serialize};
 pub type Itemset = Box<[ItemId]>;
 
 /// Counters describing one mining run; the source of Figure 11.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Derives `PartialEq` so the differential tests can assert that parallel
+/// runs reproduce the serial counters exactly, prune attribution included.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MiningStats {
     /// Candidates whose support was actually counted, per pattern length
     /// (index 0 = length 1).
@@ -191,10 +194,11 @@ impl CandidateTrie {
 }
 
 /// Pairwise pruning predicate: checks the two items that differ between
-/// the joined parents.
-pub type PairHook<'a> = &'a dyn Fn(ItemId, ItemId) -> (bool, PruneReason);
+/// the joined parents. `Sync` because candidate generation shards its
+/// prefix groups across worker threads.
+pub type PairHook<'a> = &'a (dyn Fn(ItemId, ItemId) -> (bool, PruneReason) + Sync);
 /// Whole-candidate pruning predicate, applied after the subset check.
-pub type CandidateHook<'a> = &'a dyn Fn(&[ItemId]) -> (bool, PruneReason);
+pub type CandidateHook<'a> = &'a (dyn Fn(&[ItemId]) -> (bool, PruneReason) + Sync);
 
 /// Hooks applied while generating `C_k` from `L_{k-1}`.
 pub struct PruneHooks<'a> {
@@ -226,18 +230,45 @@ impl Default for PruneHooks<'_> {
     }
 }
 
+/// Minimum number of join pairs before candidate generation shards its
+/// work across threads — below this, the join is cheaper than a spawn.
+const GEN_PARALLEL_CUTOFF: usize = 512;
+
+/// Attribute a hook rejection to its prune counter.
+fn charge_prune(stats: &mut MiningStats, reason: PruneReason) {
+    match reason {
+        PruneReason::Ancestor => stats.pruned_ancestor += 1,
+        PruneReason::Unlinkable => stats.pruned_unlinkable += 1,
+        PruneReason::Precount => stats.pruned_precount += 1,
+        PruneReason::None => {}
+    }
+}
+
 /// Generate length-`k` candidates by self-joining the sorted frequent
 /// (`k-1`)-itemsets, applying the hooks. `prev` must be sorted
 /// lexicographically.
+///
+/// With `threads > 1` the join units (one per left parent, in join order)
+/// are sharded into contiguous batches balanced by pair count; each
+/// worker fills a private output and a private [`MiningStats`] shard, and
+/// the batches are concatenated / absorbed in batch order — the output
+/// and every prune counter are identical to the serial join.
 pub fn generate_candidates(
     prev: &[Itemset],
     k: usize,
     hooks: &PruneHooks<'_>,
     stats: &mut MiningStats,
+    threads: usize,
 ) -> Vec<Itemset> {
     debug_assert!(k >= 2);
     let prev_set: FxHashSet<&[ItemId]> = prev.iter().map(|s| &**s).collect();
-    let mut out: Vec<Itemset> = Vec::new();
+
+    // Join units `(i, group_end)`: left parent `i` joins with every
+    // `j in i+1..group_end` of its k-2-prefix group. Unit order equals the
+    // serial nested-loop order, so concatenating per-batch outputs
+    // reproduces the serial candidate order exactly (for k = 2 there is a
+    // single group — the whole of `prev` — and units still split it).
+    let mut units: Vec<(usize, usize)> = Vec::new();
     let mut start = 0;
     while start < prev.len() {
         // Group of itemsets sharing the first k-2 items.
@@ -246,7 +277,12 @@ pub fn generate_candidates(
         while end < prev.len() && &prev[end][..k - 2] == head {
             end += 1;
         }
-        for i in start..end {
+        units.extend((start..end - 1).map(|i| (i, end)));
+        start = end;
+    }
+
+    let join_unit =
+        |&(i, end): &(usize, usize), out: &mut Vec<Itemset>, stats: &mut MiningStats| {
             for j in i + 1..end {
                 let a = prev[i][k - 2];
                 let b = prev[j][k - 2];
@@ -254,12 +290,7 @@ pub fn generate_candidates(
                 if let Some(pair_ok) = hooks.pair_ok {
                     let (ok, reason) = pair_ok(a, b);
                     if !ok {
-                        match reason {
-                            PruneReason::Ancestor => stats.pruned_ancestor += 1,
-                            PruneReason::Unlinkable => stats.pruned_unlinkable += 1,
-                            PruneReason::Precount => stats.pruned_precount += 1,
-                            PruneReason::None => {}
-                        }
+                        charge_prune(stats, reason);
                         continue;
                     }
                 }
@@ -292,38 +323,110 @@ pub fn generate_candidates(
                 if let Some(candidate_ok) = hooks.candidate_ok {
                     let (ok, reason) = candidate_ok(&cand);
                     if !ok {
-                        match reason {
-                            PruneReason::Ancestor => stats.pruned_ancestor += 1,
-                            PruneReason::Unlinkable => stats.pruned_unlinkable += 1,
-                            PruneReason::Precount => stats.pruned_precount += 1,
-                            PruneReason::None => {}
-                        }
+                        charge_prune(stats, reason);
                         continue;
                     }
                 }
                 out.push(cand.into_boxed_slice());
             }
+        };
+
+    let total_pairs: usize = units.iter().map(|&(i, end)| end - 1 - i).sum();
+    if threads <= 1 || total_pairs <= GEN_PARALLEL_CUTOFF || units.len() < 2 {
+        let mut out: Vec<Itemset> = Vec::new();
+        for unit in &units {
+            join_unit(unit, &mut out, stats);
         }
-        start = end;
+        return out;
+    }
+
+    let batches = batch_units_by_cost(&units, threads);
+    let units = &units[..];
+    let join_unit = &join_unit;
+    let parts: Vec<(Vec<Itemset>, MiningStats)> = crossbeam::scope(|s| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| {
+                s.spawn(move |_| {
+                    let _span = flowcube_obs::span!("mining.generate.chunk", units = batch.len());
+                    let mut out: Vec<Itemset> = Vec::new();
+                    let mut shard = MiningStats::default();
+                    for unit in &units[batch] {
+                        join_unit(unit, &mut out, &mut shard);
+                    }
+                    (out, shard)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("candidate generation worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut out: Vec<Itemset> = Vec::with_capacity(parts.iter().map(|(p, _)| p.len()).sum());
+    for (part, shard) in parts {
+        out.extend(part);
+        stats.absorb(&shard);
     }
     out
 }
 
+/// Partition the join units into at most `threads` contiguous batches of
+/// roughly equal pair cost (a unit `(i, end)` joins `end - 1 - i` pairs).
+fn batch_units_by_cost(units: &[(usize, usize)], threads: usize) -> Vec<std::ops::Range<usize>> {
+    let total: usize = units.iter().map(|&(i, end)| end - 1 - i).sum();
+    let target = total.div_ceil(threads).max(1);
+    let mut out: Vec<std::ops::Range<usize>> = Vec::with_capacity(threads);
+    let mut start = 0;
+    let mut cost = 0;
+    for (x, &(i, end)) in units.iter().enumerate() {
+        cost += end - 1 - i;
+        if cost >= target && out.len() + 1 < threads {
+            out.push(start..x + 1);
+            start = x + 1;
+            cost = 0;
+        }
+    }
+    out.push(start..units.len());
+    out
+}
+
 /// Count `candidates` (all length `k`) over `transactions`, returning the
-/// support of each.
-pub fn count_candidates<'a>(
+/// support of each. The trie is built once and shared read-only; workers
+/// count disjoint transaction chunks into private vectors that are summed
+/// in chunk order (addition commutes — any merge order gives the serial
+/// counts, we keep chunk order anyway for uniformity).
+pub fn count_candidates(
     candidates: &[Itemset],
     k: usize,
-    transactions: impl Iterator<Item = &'a [ItemId]>,
+    transactions: &[&[ItemId]],
+    threads: usize,
     stats: &mut MiningStats,
 ) -> Vec<u64> {
-    let _scan_span = flowcube_obs::span!("mining.scan", k = k, candidates = candidates.len());
+    let _scan_span = flowcube_obs::span!(
+        "mining.scan",
+        k = k,
+        candidates = candidates.len(),
+        threads = threads,
+    );
     let trie = CandidateTrie::build(candidates, k);
-    let mut counts = vec![0u64; candidates.len()];
-    for t in transactions {
-        if t.len() >= k {
-            trie.count_transaction(t, &mut counts);
-        }
+    let trie = &trie;
+    let parts =
+        crate::parallel::run_chunks("mining.scan.chunk", transactions.len(), threads, |r| {
+            let mut counts = vec![0u64; candidates.len()];
+            for &t in &transactions[r] {
+                if t.len() >= k {
+                    trie.count_transaction(t, &mut counts);
+                }
+            }
+            counts
+        });
+    let mut parts = parts.into_iter();
+    let mut counts = parts.next().unwrap_or_else(|| vec![0u64; candidates.len()]);
+    for part in parts {
+        crate::parallel::merge_counts(&mut counts, &part);
     }
     stats.scans += 1;
     MiningStats::bump(&mut stats.counted_by_length, k, candidates.len() as u64);
@@ -368,7 +471,7 @@ mod tests {
     fn join_generates_sorted_candidates() {
         let prev = vec![ids(&[1, 2]), ids(&[1, 3]), ids(&[2, 3])];
         let mut stats = MiningStats::default();
-        let cands = generate_candidates(&prev, 3, &PruneHooks::default(), &mut stats);
+        let cands = generate_candidates(&prev, 3, &PruneHooks::default(), &mut stats, 1);
         // {1,2}+{1,3} → {1,2,3}: subsets {2,3} frequent → kept.
         assert_eq!(cands, vec![ids(&[1, 2, 3])]);
         assert_eq!(stats.pruned_subset, 0);
@@ -378,7 +481,7 @@ mod tests {
     fn subset_pruning_fires() {
         let prev = vec![ids(&[1, 2]), ids(&[1, 3])];
         let mut stats = MiningStats::default();
-        let cands = generate_candidates(&prev, 3, &PruneHooks::default(), &mut stats);
+        let cands = generate_candidates(&prev, 3, &PruneHooks::default(), &mut stats, 1);
         // {1,2,3} requires {2,3} which is absent.
         assert!(cands.is_empty());
         assert_eq!(stats.pruned_subset, 1);
@@ -400,7 +503,7 @@ mod tests {
             candidate_ok: None,
             subsets: true,
         };
-        let cands = generate_candidates(&prev, 2, &hooks, &mut stats);
+        let cands = generate_candidates(&prev, 2, &hooks, &mut stats, 1);
         assert_eq!(cands, vec![ids(&[1, 3]), ids(&[2, 3])]);
         assert_eq!(stats.pruned_unlinkable, 1);
     }
@@ -414,12 +517,8 @@ mod tests {
         ];
         let candidates = vec![ids(&[1, 2]), ids(&[2, 3]), ids(&[1, 3])];
         let mut stats = MiningStats::default();
-        let counts = count_candidates(
-            &candidates,
-            2,
-            transactions.iter().map(|t| t.as_slice()),
-            &mut stats,
-        );
+        let tx_slices: Vec<&[ItemId]> = transactions.iter().map(|t| t.as_slice()).collect();
+        let counts = count_candidates(&candidates, 2, &tx_slices, 1, &mut stats);
         assert_eq!(counts, vec![2, 2, 1]);
         assert_eq!(stats.scans, 1);
         assert_eq!(stats.counted_by_length, vec![0, 3]);

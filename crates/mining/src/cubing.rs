@@ -50,6 +50,11 @@ pub struct CubingConfig {
     /// the paper's point, not the local candidate hygiene.
     pub local_pruning: bool,
     pub io: CubingIo,
+    /// Worker threads for each cell's counting scans (`0` = auto; see
+    /// [`SharedConfig::threads`](crate::shared::SharedConfig)). Cells at
+    /// or below the parallel cutoff — most of them — scan serially.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl CubingConfig {
@@ -61,6 +66,7 @@ impl CubingConfig {
             min_support,
             local_pruning: false,
             io: CubingIo::Spill,
+            threads: 0,
         }
     }
 
@@ -71,7 +77,14 @@ impl CubingConfig {
             min_support,
             local_pruning: true,
             io: CubingIo::InMemory,
+            threads: 0,
         }
+    }
+
+    /// Set the worker-thread knob (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -160,7 +173,8 @@ pub fn mine_cubing(
         transactions = tx.len(),
     );
     let dict = tx.dict();
-    let delta = config.min_support;
+    // δ=0 would make every itemset "frequent"; 1 yields the same output.
+    let delta = config.min_support.max(1);
     let mut stats = MiningStats::default();
 
     // Step 3 of Algorithm 2: iceberg cube with tid-list measures.
@@ -210,6 +224,11 @@ pub fn mine_cubing(
                 .map(|&t| stage_only[t as usize].as_slice())
                 .collect(),
         };
+        let cell_threads = crate::parallel::plan_threads(
+            config.threads,
+            cell_tx.len(),
+            crate::parallel::DEFAULT_PARALLEL_CUTOFF,
+        );
 
         // Record the cell itself as a frequent pattern (Shared reports
         // frequent cells the same way; the apex cell is implicit).
@@ -258,11 +277,11 @@ pub fn mine_cubing(
                 candidate_ok: None,
                 subsets: true,
             };
-            let candidates = generate_candidates(&prev, k, &hooks, &mut stats);
+            let candidates = generate_candidates(&prev, k, &hooks, &mut stats, cell_threads);
             if candidates.is_empty() {
                 break;
             }
-            let supports = count_candidates(&candidates, k, cell_tx.iter().copied(), &mut stats);
+            let supports = count_candidates(&candidates, k, &cell_tx, cell_threads, &mut stats);
             let mut next: Vec<Itemset> = Vec::new();
             for (cand, support) in candidates.into_iter().zip(supports) {
                 if support >= delta {
@@ -372,6 +391,7 @@ mod tests {
                     min_support: 2,
                     local_pruning,
                     io: CubingIo::Spill,
+                    threads: 0,
                 },
             );
             let mem = mine_cubing(
@@ -381,6 +401,7 @@ mod tests {
                     min_support: 2,
                     local_pruning,
                     io: CubingIo::InMemory,
+                    threads: 0,
                 },
             );
             assert_eq!(spill.itemsets, mem.itemsets);
@@ -400,6 +421,7 @@ mod tests {
                 min_support: 3,
                 local_pruning: false,
                 io: CubingIo::InMemory,
+                threads: 0,
             },
         );
         // raw finds a superset (item+ancestor combos); every pruned

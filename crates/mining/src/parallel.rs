@@ -1,0 +1,180 @@
+//! Deterministic fork/join helpers shared by the mining scans and by
+//! flowgraph materialization in `flowcube-core`.
+//!
+//! The design rule for every parallel phase in this workspace: workers
+//! own disjoint, *contiguous* chunks of the input, produce private
+//! results, and the main thread merges those results **in chunk order**
+//! with order-insensitive operations (`u64` sums, map-value sums) or
+//! order-preserving concatenation. Output is therefore bit-identical to
+//! the serial run at any thread count — the differential suite in
+//! `tests/mining_differential.rs` holds us to that.
+
+use std::ops::Range;
+
+/// Environment variable consulted when a threads knob is `0` (auto).
+pub const THREADS_ENV: &str = "FLOWCUBE_THREADS";
+
+/// Default minimum number of work items (transactions, cells × levels)
+/// a phase must have before it spawns worker threads. Below this, thread
+/// startup costs more than the scan itself.
+pub const DEFAULT_PARALLEL_CUTOFF: usize = 8;
+
+/// Resolve a requested thread count: an explicit `requested > 0` wins;
+/// `0` means auto — the [`THREADS_ENV`] environment variable if set to a
+/// positive integer, else [`std::thread::available_parallelism`].
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The one threads policy every phase shares: resolve the knob, apply the
+/// small-work cutoff (`0` = [`DEFAULT_PARALLEL_CUTOFF`]), and never use
+/// more workers than there are work items. Always returns ≥ 1.
+pub fn plan_threads(requested: usize, work_items: usize, cutoff: usize) -> usize {
+    let cutoff = if cutoff == 0 {
+        DEFAULT_PARALLEL_CUTOFF
+    } else {
+        cutoff
+    };
+    if work_items <= cutoff {
+        return 1;
+    }
+    resolve_threads(requested).clamp(1, work_items)
+}
+
+/// Split `0..n` into exactly `threads` contiguous ranges in index order.
+/// All but the last are `ceil(n / threads)` long; trailing ranges may be
+/// empty when `threads` exceeds `n` (workers for them are no-ops).
+pub fn chunk_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
+    let threads = threads.max(1);
+    let size = n.div_ceil(threads).max(1);
+    (0..threads)
+        .map(|i| (i * size).min(n)..((i + 1) * size).min(n))
+        .collect()
+}
+
+/// Fold one worker's count vector into the accumulator. Saturating, so a
+/// merge can never wrap even if per-chunk counts sit near `u64::MAX`
+/// (counts are transaction counts, but the merge must not be the place
+/// where an overflow silently corrupts supports).
+pub fn merge_counts(acc: &mut [u64], part: &[u64]) {
+    debug_assert_eq!(acc.len(), part.len(), "count vectors must align");
+    for (a, &p) in acc.iter_mut().zip(part) {
+        *a = a.saturating_add(p);
+    }
+}
+
+/// Run `f` over the chunks of `0..n`, returning per-chunk results **in
+/// chunk order**. `threads <= 1` calls `f(0..n)` inline on the current
+/// thread — the serial and parallel paths share all counting code, they
+/// differ only in who runs it. Each worker opens a `name` span so the
+/// chunks render as concurrent lanes in a Chrome trace.
+pub fn run_chunks<R, F>(name: &'static str, n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(n, threads);
+    if threads <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let f = &f;
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                s.spawn(move |_| {
+                    let _span = flowcube_obs::span!(name, chunk = i, items = r.len());
+                    f(r)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mining worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_in_order() {
+        for (n, threads) in [(10, 3), (16, 7), (8, 8), (1, 4), (0, 3), (100, 1)] {
+            let ranges = chunk_ranges(n, threads);
+            assert_eq!(ranges.len(), threads.max(1), "n={n} threads={threads}");
+            let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+            assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_empty_tails_when_threads_exceed_items() {
+        let ranges = chunk_ranges(3, 8);
+        assert_eq!(ranges.len(), 8);
+        assert_eq!(ranges.iter().filter(|r| r.is_empty()).count(), 5);
+        assert_eq!(ranges[0], 0..1);
+        assert_eq!(ranges[2], 2..3);
+        assert!(ranges[7].is_empty());
+    }
+
+    #[test]
+    fn merge_counts_sums_and_saturates() {
+        let mut acc = vec![1, u64::MAX - 1, 0];
+        merge_counts(&mut acc, &[2, 5, 7]);
+        assert_eq!(acc, vec![3, u64::MAX, 7]);
+        merge_counts(&mut acc, &[0, u64::MAX, 1]);
+        assert_eq!(acc, vec![3, u64::MAX, 8]);
+    }
+
+    #[test]
+    fn plan_threads_applies_cutoff_and_clamp() {
+        // at or below the cutoff: always serial, explicit knob or not
+        assert_eq!(plan_threads(4, 8, 0), 1);
+        assert_eq!(plan_threads(4, 3, 0), 1);
+        // above the cutoff: explicit knob honored, clamped to the work
+        assert_eq!(plan_threads(4, 9, 0), 4);
+        assert_eq!(plan_threads(64, 10, 0), 10);
+        // custom cutoff moves the boundary
+        assert_eq!(plan_threads(4, 8, 2), 4);
+        assert_eq!(plan_threads(4, 2, 2), 1);
+        // requested > 0 bypasses env/auto resolution entirely
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn run_chunks_matches_serial_at_any_thread_count() {
+        let data: Vec<u64> = (0..103).collect();
+        let serial: u64 = data.iter().sum();
+        for threads in [1, 2, 7, 8, 200] {
+            let parts = run_chunks("test.chunk", data.len(), threads, |r| {
+                data[r].iter().sum::<u64>()
+            });
+            assert_eq!(parts.len(), threads);
+            assert_eq!(parts.iter().sum::<u64>(), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_chunks_preserves_chunk_order() {
+        let parts = run_chunks("test.chunk", 20, 6, |r| r.collect::<Vec<usize>>());
+        let flat: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -44,6 +44,13 @@ pub struct SharedConfig {
     /// baseline, whose candidate set can exhaust memory — as in the
     /// paper's experiments).
     pub max_len: Option<usize>,
+    /// Worker threads for the counting scans and candidate generation.
+    /// `0` resolves automatically (the `FLOWCUBE_THREADS` environment
+    /// variable if set, else `available_parallelism`); databases at or
+    /// below [`crate::parallel::DEFAULT_PARALLEL_CUTOFF`] transactions are
+    /// always scanned serially. Output is bit-identical at any setting.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl SharedConfig {
@@ -57,6 +64,7 @@ impl SharedConfig {
             prune_ancestor_pairs: true,
             precount_ahead: false,
             max_len: None,
+            threads: 0,
         }
     }
 
@@ -79,12 +87,22 @@ impl SharedConfig {
             prune_ancestor_pairs: false,
             precount_ahead: false,
             max_len: None,
+            threads: 0,
         }
+    }
+
+    /// Set the worker-thread knob (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
 /// The output of a mining run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` compares itemsets, supports, order, *and* stats — the
+/// differential tests use it to assert bit-identical parallel runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FrequentItemsets {
     /// All frequent itemsets with their supports, sorted lexicographically
     /// within each length.
@@ -219,46 +237,85 @@ fn precount_projection(tx: &TransactionDb, dim_level: u8) -> Vec<ItemId> {
 }
 
 /// Run the Shared (or Basic, depending on `config`) algorithm.
+///
+/// Every scan is data-parallel over `config.threads` workers (see
+/// [`crate::parallel`]): workers count disjoint transaction chunks into
+/// private vectors/tables that are merged in chunk order before the
+/// support filter, so the output — itemsets, supports, order, and stats —
+/// is bit-identical to the serial run at any thread count.
 pub fn mine(tx: &TransactionDb, config: &SharedConfig) -> FrequentItemsets {
+    let threads = crate::parallel::plan_threads(
+        config.threads,
+        tx.len(),
+        crate::parallel::DEFAULT_PARALLEL_CUTOFF,
+    );
     let _mine_span = flowcube_obs::span!(
         "mining.apriori",
         min_support = config.min_support,
         transactions = tx.len(),
+        threads = threads,
     );
     let dict = tx.dict();
     let mut stats = MiningStats::default();
-    let delta = config.min_support;
+    // δ = 0 would admit every candidate (any count ≥ 0) and explode the
+    // level-wise loop; clamp to 1, which accepts exactly the same
+    // itemsets — every itemset in the output must occur somewhere.
+    let delta = config.min_support.max(1);
 
     // ------- Scan 1: L1 counts and (optionally) high-level pair counts.
+    // Per-chunk item counts and pre-count tables merge by summation; the
+    // projected transactions concatenate in chunk order, keeping
+    // `projected_tx[ti]` aligned with transaction `ti`.
     let projection = if config.precount {
         Some(precount_projection(tx, config.precount_dim_level))
     } else {
         None
     };
     let keep_projected = config.precount_ahead && projection.is_some();
+    let scan1_span = flowcube_obs::span!(
+        "mining.scan",
+        k = 1usize,
+        candidates = dict.len(),
+        threads = threads,
+    );
+    let projection_ref = projection.as_deref();
+    let scan1_parts =
+        crate::parallel::run_chunks("mining.scan.chunk", tx.len(), threads, |range| {
+            let mut item_counts = vec![0u64; dict.len()];
+            let mut precounted: FxHashMap<(ItemId, ItemId), u64> = FxHashMap::default();
+            let mut projected: Vec<Vec<ItemId>> = Vec::new();
+            let mut proj_scratch: Vec<ItemId> = Vec::new();
+            for ti in range {
+                let t = tx.transaction(ti);
+                for &i in t {
+                    item_counts[i.index()] += 1;
+                }
+                if let Some(projection) = projection_ref {
+                    proj_scratch.clear();
+                    proj_scratch.extend(t.iter().map(|&i| projection[i.index()]));
+                    proj_scratch.sort_unstable();
+                    proj_scratch.dedup();
+                    for (x, &a) in proj_scratch.iter().enumerate() {
+                        for &b in &proj_scratch[x + 1..] {
+                            *precounted.entry((a, b)).or_insert(0) += 1;
+                        }
+                    }
+                    if keep_projected {
+                        projected.push(proj_scratch.clone());
+                    }
+                }
+            }
+            (item_counts, precounted, projected)
+        });
     let mut item_counts = vec![0u64; dict.len()];
     let mut precounted: FxHashMap<(ItemId, ItemId), u64> = FxHashMap::default();
     let mut projected_tx: Vec<Vec<ItemId>> = Vec::new();
-    let mut proj_scratch: Vec<ItemId> = Vec::new();
-    let scan1_span = flowcube_obs::span!("mining.scan", k = 1usize, candidates = dict.len());
-    for t in tx.iter() {
-        for &i in t {
-            item_counts[i.index()] += 1;
+    for (counts, pre, projected) in scan1_parts {
+        crate::parallel::merge_counts(&mut item_counts, &counts);
+        for (pair, c) in pre {
+            *precounted.entry(pair).or_insert(0) += c;
         }
-        if let Some(projection) = &projection {
-            proj_scratch.clear();
-            proj_scratch.extend(t.iter().map(|&i| projection[i.index()]));
-            proj_scratch.sort_unstable();
-            proj_scratch.dedup();
-            for (x, &a) in proj_scratch.iter().enumerate() {
-                for &b in &proj_scratch[x + 1..] {
-                    *precounted.entry((a, b)).or_insert(0) += 1;
-                }
-            }
-            if keep_projected {
-                projected_tx.push(proj_scratch.clone());
-            }
-        }
+        projected_tx.extend(projected);
     }
     drop(scan1_span);
     stats.scans += 1;
@@ -347,7 +404,7 @@ pub fn mine(tx: &TransactionDb, config: &SharedConfig) -> FrequentItemsets {
             candidate_ok: keep_projected.then_some(&candidate_ok as _),
             subsets: true,
         };
-        let candidates = generate_candidates(&prev, k, &hooks, &mut stats);
+        let candidates = generate_candidates(&prev, k, &hooks, &mut stats, threads);
         if candidates.is_empty() {
             break;
         }
@@ -355,7 +412,13 @@ pub fn mine(tx: &TransactionDb, config: &SharedConfig) -> FrequentItemsets {
         // Look-ahead: high-level candidates of length k+1 are counted in
         // the same pass, against the projected transactions.
         let high_candidates = if keep_projected && !high_prev.is_empty() {
-            generate_candidates(&high_prev, k + 1, &PruneHooks::default(), &mut stats)
+            generate_candidates(
+                &high_prev,
+                k + 1,
+                &PruneHooks::default(),
+                &mut stats,
+                threads,
+            )
         } else {
             Vec::new()
         };
@@ -365,22 +428,46 @@ pub fn mine(tx: &TransactionDb, config: &SharedConfig) -> FrequentItemsets {
             k = k,
             candidates = candidates.len(),
             lookahead = high_candidates.len(),
+            threads = threads,
         );
         let trie = crate::apriori::CandidateTrie::build(&candidates, k);
-        let mut counts = vec![0u64; candidates.len()];
+        let trie = &trie;
         let high_trie = (!high_candidates.is_empty())
             .then(|| crate::apriori::CandidateTrie::build(&high_candidates, k + 1));
-        let mut high_counts = vec![0u64; high_candidates.len()];
-        for (ti, t) in tx.iter().enumerate() {
-            if t.len() >= k {
-                trie.count_transaction(t, &mut counts);
-            }
-            if let Some(high_trie) = &high_trie {
-                let pt = &projected_tx[ti];
-                if pt.len() > k {
-                    high_trie.count_transaction(pt, &mut high_counts);
+        let high_trie = high_trie.as_ref();
+        let projected_ref = &projected_tx;
+        let scan_parts =
+            crate::parallel::run_chunks("mining.scan.chunk", tx.len(), threads, |range| {
+                let mut counts = vec![0u64; candidates.len()];
+                let mut high_counts = vec![0u64; high_candidates.len()];
+                match high_trie {
+                    None => {
+                        for t in tx.iter_range(range) {
+                            if t.len() >= k {
+                                trie.count_transaction(t, &mut counts);
+                            }
+                        }
+                    }
+                    Some(high_trie) => {
+                        for ti in range {
+                            let t = tx.transaction(ti);
+                            if t.len() >= k {
+                                trie.count_transaction(t, &mut counts);
+                            }
+                            let pt = &projected_ref[ti];
+                            if pt.len() > k {
+                                high_trie.count_transaction(pt, &mut high_counts);
+                            }
+                        }
+                    }
                 }
-            }
+                (counts, high_counts)
+            });
+        let mut counts = vec![0u64; candidates.len()];
+        let mut high_counts = vec![0u64; high_candidates.len()];
+        for (c, h) in scan_parts {
+            crate::parallel::merge_counts(&mut counts, &c);
+            crate::parallel::merge_counts(&mut high_counts, &h);
         }
         drop(scan_span);
         stats.scans += 1;

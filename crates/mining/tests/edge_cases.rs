@@ -165,6 +165,72 @@ fn merge_policy_changes_coarse_supports_only_consistently() {
     assert_eq!(outputs[0], outputs[2]);
 }
 
+/// The paper database duplicated — 16 transactions, enough to clear the
+/// parallel cutoff of 8 so a thread request is actually honored.
+fn doubled_paper_db() -> PathDatabase {
+    let db = flowcube_pathdb::samples::paper_table1();
+    let mut out = flowcube_pathdb::samples::paper_table1();
+    for r in db.records() {
+        out.push(PathRecord::new(
+            r.id + 100,
+            r.dims.clone(),
+            r.stages.clone(),
+        ))
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn parallel_mine_with_empty_chunks_is_bit_identical() {
+    // 16 transactions over 7 workers → ceil(16/7)=3 per chunk, so the
+    // last chunk is empty; its zeroed count vector must merge as a no-op.
+    let db = doubled_paper_db();
+    let tx = TransactionDb::encode(&db, spec_for(&db), MergePolicy::Sum);
+    assert_eq!(tx.len(), 16);
+    for config in [
+        SharedConfig::shared(2),
+        SharedConfig::shared_ahead(2),
+        SharedConfig::basic(4),
+    ] {
+        let serial = mine(&tx, &config.clone().with_threads(1));
+        for threads in [2usize, 7, 16] {
+            let parallel = mine(&tx, &config.clone().with_threads(threads));
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn zero_min_support_equals_one() {
+    // δ=0 is clamped to 1 (any itemset in the output must occur at least
+    // once), for Shared and Cubing alike, at any thread count.
+    let db = doubled_paper_db();
+    let tx = TransactionDb::encode(&db, spec_for(&db), MergePolicy::Sum);
+    let one = mine(&tx, &SharedConfig::shared(1));
+    for threads in [1usize, 7] {
+        let zero = mine(&tx, &SharedConfig::shared(0).with_threads(threads));
+        assert_eq!(zero.itemsets, one.itemsets, "threads={threads}");
+    }
+    let cubing_one = mine_cubing(&db, &tx, &CubingConfig::pruned_in_memory(1));
+    let cubing_zero = mine_cubing(&db, &tx, &CubingConfig::pruned_in_memory(0));
+    assert_eq!(cubing_zero.itemsets, cubing_one.itemsets);
+}
+
+#[test]
+fn min_support_above_db_is_empty_at_any_thread_count() {
+    let db = doubled_paper_db();
+    let tx = TransactionDb::encode(&db, spec_for(&db), MergePolicy::Sum);
+    for threads in [1usize, 2, 7, 8] {
+        let out = mine(&tx, &SharedConfig::shared(17).with_threads(threads));
+        assert!(out.itemsets.is_empty(), "threads={threads}");
+        // Exactly |D| still finds the universally-supported items.
+        let all = mine(&tx, &SharedConfig::shared(16).with_threads(threads));
+        assert!(all.itemsets.iter().all(|&(_, c)| c == 16));
+        assert!(!all.itemsets.is_empty());
+    }
+}
+
 #[test]
 fn basic_superset_property_on_paper_data() {
     let db = flowcube_pathdb::samples::paper_table1();

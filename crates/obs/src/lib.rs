@@ -27,7 +27,7 @@ pub use metrics::{
     counter_add, gauge_set, histogram_record, snapshot, Histogram, HistogramSummary,
     MetricsSnapshot,
 };
-pub use trace::{ArgValue, Event, Phase};
+pub use trace::{lane_count, ArgValue, Event, Phase};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};

@@ -87,6 +87,14 @@ pub fn lane() -> u32 {
     LANE.with(|l| *l)
 }
 
+/// How many distinct lanes (threads) have recorded so far in this
+/// process. Lane ids are assigned on a thread's first event and never
+/// reused, so the count only grows — a parallel scan that actually ran
+/// its workers is visible as an increase.
+pub fn lane_count() -> u32 {
+    NEXT_TID.load(Ordering::Relaxed)
+}
+
 pub(crate) fn push(event: Event) {
     BUFFER.lock().push(event);
 }
@@ -122,4 +130,22 @@ pub fn events() -> Vec<Event> {
 
 pub(crate) fn clear() {
     BUFFER.lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_count_grows_with_recording_threads() {
+        let before = lane_count();
+        lane(); // this thread takes a lane
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(lane);
+            }
+        });
+        assert!(lane_count() >= before.max(1) + 3);
+        assert_eq!(lane_count(), lane_count(), "count is stable between events");
+    }
 }

@@ -85,10 +85,37 @@ fn encode<T: Serialize>(what: &'static str, value: &T) -> Result<Vec<u8>, Snapsh
         })
 }
 
+/// Strip the execution-environment knobs from the persisted params: the
+/// thread count must not change what a cube *is*, so two builds of the
+/// same data at different `--threads` produce byte-identical snapshots.
+fn canonical_params(params: &flowcube_core::FlowCubeParams) -> flowcube_core::FlowCubeParams {
+    let mut p = params.clone();
+    p.threads = 0;
+    p.parallel_cutoff = 0;
+    p
+}
+
+/// Strip wall-clock timings and the thread count from the persisted
+/// stats, for the same snapshot-determinism reason as
+/// [`canonical_params`]. The mining counters stay: they are themselves
+/// deterministic at any thread count.
+fn canonical_stats(stats: &flowcube_core::BuildStats) -> flowcube_core::BuildStats {
+    let mut s = stats.clone();
+    s.encode_time = Default::default();
+    s.mining_time = Default::default();
+    s.prepare_time = Default::default();
+    s.materialize_time = Default::default();
+    s.redundancy_time = Default::default();
+    s.threads_used = 0;
+    s
+}
+
 /// Serialize `cube` into a snapshot file at `path`.
 ///
-/// Cuboid sections are written in sorted [`CuboidKey`] order, so the same
-/// cube always produces byte-identical snapshots.
+/// Cuboid sections are written in sorted [`CuboidKey`] order, and params /
+/// stats are canonicalized (no timings, no thread knobs), so the same cube
+/// always produces byte-identical snapshots — even when built with
+/// different thread counts.
 pub fn write_snapshot(
     cube: &FlowCube,
     path: impl AsRef<Path>,
@@ -100,8 +127,16 @@ pub fn write_snapshot(
     let mut payloads: Vec<(String, Option<CuboidKey>, Vec<u8>)> = vec![
         (KIND_SCHEMA.into(), None, encode("schema", cube.schema())?),
         (KIND_SPEC.into(), None, encode("spec", cube.spec())?),
-        (KIND_PARAMS.into(), None, encode("params", cube.params())?),
-        (KIND_STATS.into(), None, encode("stats", cube.stats())?),
+        (
+            KIND_PARAMS.into(),
+            None,
+            encode("params", &canonical_params(cube.params()))?,
+        ),
+        (
+            KIND_STATS.into(),
+            None,
+            encode("stats", &canonical_stats(cube.stats()))?,
+        ),
     ];
     let mut cuboids: Vec<(&CuboidKey, &Cuboid)> = cube.cuboids().collect();
     cuboids.sort_by(|a, b| a.0.cmp(b.0));

@@ -27,7 +27,7 @@ fn two_level_spec(schema: &Schema) -> PathLatticeSpec {
 }
 
 /// A small deterministic cube, varied by the inputs.
-fn small_cube(paths: usize, seed: u64, min_support: u64) -> FlowCube {
+fn small_cube_threads(paths: usize, seed: u64, min_support: u64, threads: usize) -> FlowCube {
     let config = GeneratorConfig {
         num_paths: paths,
         dims: vec![DimShape::new(vec![2, 3], 0.7); 2],
@@ -37,7 +37,16 @@ fn small_cube(paths: usize, seed: u64, min_support: u64) -> FlowCube {
     };
     let db = generate(&config).db;
     let spec = two_level_spec(db.schema());
-    FlowCube::build(&db, spec, FlowCubeParams::new(min_support), ItemPlan::All)
+    FlowCube::build(
+        &db,
+        spec,
+        FlowCubeParams::new(min_support).with_threads(threads),
+        ItemPlan::All,
+    )
+}
+
+fn small_cube(paths: usize, seed: u64, min_support: u64) -> FlowCube {
+    small_cube_threads(paths, seed, min_support, 1)
 }
 
 /// Serialize every cell's `lookup` answer plus a dim-0 `roll_up`, as the
@@ -119,6 +128,32 @@ fn snapshot_bytes_are_deterministic() {
     );
     let _ = std::fs::remove_file(&a);
     let _ = std::fs::remove_file(&b);
+}
+
+/// Building the same database at different thread counts must produce
+/// byte-identical snapshots: the parallel build is bit-deterministic, and
+/// `write_snapshot` canonicalizes away the thread knob and the timings.
+#[test]
+fn snapshot_bytes_identical_across_thread_counts() {
+    let reference = {
+        let cube = small_cube_threads(90, 13, 8, 1);
+        let p = tmp("threads-1.snap");
+        write_snapshot(&cube, &p).expect("write");
+        let bytes = std::fs::read(&p).unwrap();
+        let _ = std::fs::remove_file(&p);
+        bytes
+    };
+    for threads in [2usize, 7] {
+        let cube = small_cube_threads(90, 13, 8, threads);
+        let p = tmp(&format!("threads-{threads}.snap"));
+        write_snapshot(&cube, &p).expect("write");
+        let bytes = std::fs::read(&p).unwrap();
+        let _ = std::fs::remove_file(&p);
+        assert_eq!(
+            bytes, reference,
+            "snapshot built with {threads} threads differs from serial"
+        );
+    }
 }
 
 /// Every truncation point of the file fails with a typed error, not a

@@ -32,7 +32,7 @@ fn main() {
         LocationCut::uniform_level(loc, 2),
         DurationLevel::Bucket(2),
     )]);
-    let mut params = FlowCubeParams::new(150).parallel(true);
+    let mut params = FlowCubeParams::new(150).with_threads(0);
     params.exception_deviation = 0.10;
     let cube = FlowCube::build(&out.db, spec, params, ItemPlan::All);
 

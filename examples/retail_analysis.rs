@@ -47,7 +47,7 @@ fn main() {
         ),
     ]);
     let mut params = FlowCubeParams::new(200)
-        .parallel(true)
+        .with_threads(0)
         .with_redundancy(0.02);
     params.exception_deviation = 0.12;
     let cube = FlowCube::build(db, spec, params, ItemPlan::All);

@@ -1,0 +1,189 @@
+//! Differential test harness for the parallel mining scans.
+//!
+//! The contract under test: `mine()` is **bit-identical** at any thread
+//! count — same itemsets, same supports, same order, same stats — because
+//! workers count disjoint transaction chunks into private vectors that
+//! are merged in chunk order before the support filter. On top of that,
+//! the algorithms are cross-checked against each other and against a
+//! brute-force support oracle on proptest-generated path databases.
+
+use flowcube::datagen::{generate, DimShape, GeneratorConfig};
+use flowcube::hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel};
+use flowcube::mining::{
+    mine, mine_cubing, CubingConfig, FrequentItemsets, ItemId, SharedConfig, TransactionDb,
+};
+use flowcube::pathdb::{MergePolicy, PathDatabase};
+use proptest::prelude::*;
+
+/// A generated path database plus its transaction encoding, sized so the
+/// parallel cutoff (8 transactions) is always cleared.
+fn encode_db(paths: usize, seed: u64) -> (PathDatabase, TransactionDb) {
+    let config = GeneratorConfig {
+        num_paths: paths,
+        dims: vec![DimShape::new(vec![2, 3], 0.7); 2],
+        num_sequences: 5,
+        path_len: (3, 5),
+        max_duration: 4,
+        seed,
+        ..Default::default()
+    };
+    let db = generate(&config).db;
+    let loc = db.schema().locations();
+    let fine = LocationCut::uniform_level(loc, loc.max_level());
+    let spec = PathLatticeSpec::new(vec![
+        PathLevel::new("fine", fine.clone(), DurationLevel::Raw),
+        PathLevel::new("fine/any", fine, DurationLevel::Any),
+    ]);
+    let tx = TransactionDb::encode(&db, spec, MergePolicy::Sum);
+    (db, tx)
+}
+
+/// Brute-force support oracle: count the transactions containing every
+/// item of `itemset` by direct scan (transactions are sorted).
+fn oracle_support(tx: &TransactionDb, itemset: &[ItemId]) -> u64 {
+    tx.iter()
+        .filter(|t| itemset.iter().all(|i| t.binary_search(i).is_ok()))
+        .count() as u64
+}
+
+/// Project a mining output to (itemset, support) pairs, sorted + deduped
+/// — the order- and duplicate-insensitive view for cross-algorithm
+/// comparisons (Cubing may emit a pattern once per covering cell).
+fn canonical(out: &FrequentItemsets) -> Vec<(Vec<ItemId>, u64)> {
+    let mut rows: Vec<(Vec<ItemId>, u64)> =
+        out.itemsets.iter().map(|(s, c)| (s.to_vec(), *c)).collect();
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The tentpole property: Shared, Shared+lookahead, and (capped)
+    /// Basic return *identical* `FrequentItemsets` — including the stats
+    /// shards merged from the workers — at every thread count.
+    #[test]
+    fn parallel_mine_is_bit_identical(paths in 30usize..120, seed in 0u64..1000) {
+        let (_db, tx) = encode_db(paths, seed);
+        let delta = (paths / 8).max(4) as u64;
+        let basic_capped = {
+            let mut c = SharedConfig::basic(delta);
+            c.max_len = Some(3); // Basic's candidate set explodes uncapped
+            c
+        };
+        for config in [SharedConfig::shared(delta), SharedConfig::shared_ahead(delta), basic_capped] {
+            let serial = mine(&tx, &config.clone().with_threads(1));
+            for threads in [2usize, 7, 8] {
+                let parallel = mine(&tx, &config.clone().with_threads(threads));
+                prop_assert_eq!(&serial, &parallel, "threads={}", threads);
+            }
+        }
+    }
+
+    /// Every reported support matches a brute-force recount, at a thread
+    /// count chosen by the generator.
+    #[test]
+    fn supports_match_brute_force_oracle(
+        paths in 30usize..100,
+        seed in 0u64..1000,
+        threads in 1usize..9,
+    ) {
+        let (_db, tx) = encode_db(paths, seed);
+        let delta = (paths / 8).max(4) as u64;
+        let out = mine(&tx, &SharedConfig::shared(delta).with_threads(threads));
+        prop_assert!(!out.itemsets.is_empty());
+        // Check a spread of itemsets (every 5th keeps the scan cheap while
+        // still covering all lengths).
+        for (s, c) in out.itemsets.iter().step_by(5) {
+            prop_assert_eq!(oracle_support(&tx, s), *c, "itemset {:?}", s);
+            prop_assert!(*c >= delta);
+        }
+    }
+
+    /// Cross-algorithm agreement: every Shared itemset appears in Basic
+    /// with identical support (Basic finds a superset — it skips the
+    /// ancestor/unlinkable prunings), at mixed thread counts.
+    #[test]
+    fn shared_is_a_pruned_basic(paths in 30usize..80, seed in 0u64..1000) {
+        let (_db, tx) = encode_db(paths, seed);
+        let delta = (paths / 6).max(4) as u64;
+        let mut shared_cfg = SharedConfig::shared(delta);
+        shared_cfg.max_len = Some(3);
+        let mut basic_cfg = SharedConfig::basic(delta);
+        basic_cfg.max_len = Some(3);
+        let shared = mine(&tx, &shared_cfg.with_threads(7));
+        let basic = mine(&tx, &basic_cfg.with_threads(2));
+        let basic_map: std::collections::HashMap<&[ItemId], u64> =
+            basic.itemsets.iter().map(|(s, c)| (&**s, *c)).collect();
+        for (s, c) in &shared.itemsets {
+            prop_assert_eq!(basic_map.get(&**s), Some(c), "itemset {:?}", s);
+        }
+        prop_assert!(basic.itemsets.len() >= shared.itemsets.len());
+    }
+}
+
+/// Shared and Cubing (modernized, duplicate-free config) find exactly the
+/// same patterns with the same supports, with Cubing's per-cell scans at
+/// a different thread count than Shared's global ones.
+#[test]
+fn shared_and_cubing_agree_across_thread_counts() {
+    for (paths, seed) in [(40usize, 5u64), (48, 21)] {
+        let (db, tx) = encode_db(paths, seed);
+        let delta = (paths / 8).max(4) as u64;
+        let shared = mine(&tx, &SharedConfig::shared(delta).with_threads(7));
+        let cubing = mine_cubing(
+            &db,
+            &tx,
+            &CubingConfig::pruned_in_memory(delta).with_threads(2),
+        );
+        assert_eq!(
+            canonical(&shared),
+            canonical(&cubing),
+            "paths={paths} seed={seed}"
+        );
+    }
+}
+
+/// BUC's iceberg cells carry the same supports that Shared reports for
+/// its pure-dimension itemsets.
+#[test]
+fn buc_cell_supports_match_shared() {
+    let (db, tx) = encode_db(60, 33);
+    let delta = 8u64;
+    let shared = mine(&tx, &SharedConfig::shared(delta).with_threads(4));
+    let cells = shared.frequent_cells(&tx);
+    assert!(!cells.is_empty());
+    let (buc_cells, _) = flowcube::mining::buc_iceberg(&db, delta);
+    for (items, support) in &cells {
+        assert_eq!(oracle_support(&tx, items), *support);
+    }
+    // Every mined cell's tid-list length appears among BUC's cells.
+    let buc_supports: std::collections::HashSet<u64> =
+        buc_cells.iter().map(|c| c.tids.len() as u64).collect();
+    for (_, support) in &cells {
+        assert!(
+            buc_supports.contains(support),
+            "support {support} missing from BUC"
+        );
+    }
+}
+
+/// The parallel scans actually run on worker threads: with tracing on,
+/// each worker records its chunk span under a fresh trace lane, so the
+/// process-wide lane count grows past the main thread's.
+#[test]
+fn parallel_scan_workers_occupy_trace_lanes() {
+    let (_db, tx) = encode_db(80, 9);
+    flowcube::obs::reset();
+    flowcube::obs::enable();
+    let before = flowcube::obs::lane_count();
+    let _ = mine(&tx, &SharedConfig::shared(8).with_threads(4));
+    let after = flowcube::obs::lane_count();
+    flowcube::obs::disable();
+    flowcube::obs::reset();
+    assert!(
+        after >= before + 4,
+        "expected ≥4 new worker lanes, lane count went {before} → {after}"
+    );
+}

@@ -58,7 +58,7 @@ fn parallel_build_chrome_trace_wellformed() {
     let db = test_db();
     let spec = two_level_spec(&db);
     let mut params = FlowCubeParams::new(20);
-    params.parallel = true;
+    params.threads = 2;
     let _cube = FlowCube::build(&db, spec, params, ItemPlan::All);
     let json = obs::export::chrome_trace_json();
     let snapshot = obs::snapshot();
