@@ -1,0 +1,131 @@
+//! Overhead of failpoint sites when nothing is armed.
+//!
+//! The contract (`crates/testkit`): a quiet site costs **one relaxed
+//! atomic load**. Three measurements verify that on the mining hot path:
+//!
+//!  * `site_disabled_x1000` — the raw cost of 1000 `fail_point` calls
+//!    with the registry inactive, for a per-site nanosecond figure,
+//!  * `fig7_shared_baseline` vs `fig7_shared_with_sites` — the Figure 7
+//!    Shared mining run timed with the failpoint registry fully reset
+//!    (the production state) and with a failpoint armed on an *unrelated*
+//!    site (the worst realistic case: `ACTIVE` is true, so every visited
+//!    site takes the registry lock and misses). The baseline ratio must
+//!    sit within noise; the armed-elsewhere ratio bounds what a live
+//!    debugging session costs.
+//!
+//! Medians land in `BENCH_failpoint_overhead.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flowcube_bench::experiments::{base_config, paper_path_spec};
+use flowcube_datagen::generate;
+use flowcube_mining::{mine, SharedConfig, TransactionDb};
+use flowcube_pathdb::MergePolicy;
+use std::time::Instant;
+
+#[derive(serde::Serialize)]
+struct FailpointOverheadResult {
+    num_paths: usize,
+    min_support: u64,
+    /// Nanoseconds per quiet `fail_point` call (median over batches).
+    disabled_site_ns: f64,
+    /// Median ms of the mining run with the registry inactive.
+    baseline_ms: f64,
+    /// Median ms with a failpoint armed on a site mining never visits.
+    armed_elsewhere_ms: f64,
+    /// `armed_elsewhere_ms / baseline_ms` — the slowdown a live armed
+    /// registry imposes on sites that never fire.
+    armed_elsewhere_ratio: f64,
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 2_000usize;
+    let generated = generate(&base_config(n));
+    let spec = paper_path_spec(generated.db.schema());
+    let tx = TransactionDb::encode(&generated.db, spec, MergePolicy::Sum);
+    let delta = ((n as f64 * 0.01).ceil() as u64).max(2);
+
+    let mut group = c.benchmark_group("failpoint_overhead");
+    group.sample_size(10);
+
+    flowcube_testkit::reset();
+    group.bench_function("site_disabled_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000u32 {
+                black_box(flowcube_testkit::fail_point(black_box("bench.noop")));
+            }
+        })
+    });
+
+    group.bench_function("fig7_shared_baseline", |b| {
+        b.iter(|| mine(&tx, &SharedConfig::shared(delta)))
+    });
+
+    // Arm a site the mining workload never reaches: ACTIVE flips on, so
+    // every visited site falls into the slow path and misses the map.
+    flowcube_testkit::arm(
+        "bench.never-visited",
+        flowcube_testkit::FailAction::ReturnErr(None),
+    );
+    group.bench_function("fig7_shared_armed_elsewhere", |b| {
+        b.iter(|| mine(&tx, &SharedConfig::shared(delta)))
+    });
+    flowcube_testkit::reset();
+    group.finish();
+
+    // Direct wall-clock medians for the JSON artifact.
+    let site_samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..100_000u32 {
+                black_box(flowcube_testkit::fail_point(black_box("bench.noop")));
+            }
+            start.elapsed().as_secs_f64() * 1e9 / 100_000.0
+        })
+        .collect();
+    let mine_ms = |samples: usize| -> Vec<f64> {
+        (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(mine(&tx, &SharedConfig::shared(delta)));
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect()
+    };
+    let baseline_ms = median(mine_ms(5));
+    flowcube_testkit::arm(
+        "bench.never-visited",
+        flowcube_testkit::FailAction::ReturnErr(None),
+    );
+    let armed_elsewhere_ms = median(mine_ms(5));
+    flowcube_testkit::reset();
+
+    let result = FailpointOverheadResult {
+        num_paths: n,
+        min_support: delta,
+        disabled_site_ns: median(site_samples),
+        baseline_ms,
+        armed_elsewhere_ms,
+        armed_elsewhere_ratio: armed_elsewhere_ms / baseline_ms,
+    };
+    std::fs::write(
+        "BENCH_failpoint_overhead.json",
+        serde_json::to_string_pretty(&result).expect("serialize"),
+    )
+    .expect("write BENCH_failpoint_overhead.json");
+    println!(
+        "\nwrote BENCH_failpoint_overhead.json: {:.2}ns/site disabled, \
+         baseline {:.1}ms, armed-elsewhere {:.1}ms ({:.3}x)",
+        result.disabled_site_ns,
+        result.baseline_ms,
+        result.armed_elsewhere_ms,
+        result.armed_elsewhere_ratio
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! CLI subcommand implementations.
 
 use crate::args::Args;
+use crate::error::CliError;
 use flowcube_core::{Algorithm, FlowCube, FlowCubeParams, ItemPlan};
 use flowcube_datagen::{generate as gen_paths, DimShape, GeneratorConfig};
 use flowcube_hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel, Schema};
@@ -28,9 +29,26 @@ USAGE:
   flowcube snapshot --db db.json [build flags] --out cube.snap
                     (or --cube cube.json --out cube.snap to convert)
   flowcube serve    --snapshot cube.snap [--addr HOST:PORT] [--workers N]
-                    [--queue-depth N] [--cache N]
+                    [--queue-depth N] [--cache N] [--deadline-ms MS]
+                    [--degraded-after N]
                     (or --cube cube.json to serve a JSON cube directly)
+  flowcube ingest   --text paths.txt --schema-from db.json --out clean.json
+                    [--on-error strict|lenient|quarantine]
+                    [--quarantine-cap N] [--quarantine-out FILE]
   flowcube tables   (reproduce the paper's Tables 1-4 examples)
+
+INGESTION (--on-error):
+  strict      stop at the first malformed line (exit code 65)
+  lenient     skip malformed lines, report line numbers and messages
+  quarantine  like lenient, but also retain the raw text of bad lines
+
+SERVING:
+  --deadline-ms MS     per-request deadline; slow requests answer 503
+  --degraded-after N   /healthz reports degraded after N worker crashes
+                       (0 disables; default 8)
+  SIGHUP or POST /admin/reload re-opens the snapshot file, verifies every
+  section checksum, and swaps it in atomically; a corrupt file is rejected
+  and the server keeps serving the old cube.
 
 OBSERVABILITY (build and mine):
   --trace-out FILE    write a Chrome trace-event JSON of the run
@@ -38,6 +56,11 @@ OBSERVABILITY (build and mine):
   --metrics-out FILE  write the metrics registry (counters per candidate
                       length, prune rules, histograms, peak RSS) as JSON
   --verbose           print the span tree with durations after the run
+
+FAULT INJECTION:
+  FLOWCUBE_FAILPOINTS=\"site=action;…\" arms deterministic failpoints at
+  process start (e.g. \"pathdb.parse.line=2*return(boom)\"). Used by the
+  fault-injection test suite; disabled sites cost one atomic load.
 ";
 
 /// Turn recording on when any observability flag is present.
@@ -50,7 +73,7 @@ fn obs_setup(args: &Args) {
 }
 
 /// Write the requested exports and print the verbose span tree.
-fn obs_finish(args: &Args) -> Result<(), String> {
+fn obs_finish(args: &Args) -> Result<(), CliError> {
     if let Some(path) = args.get("trace-out") {
         std::fs::write(path, flowcube_obs::export::chrome_trace_json())
             .map_err(|e| format!("{path}: {e}"))?;
@@ -109,7 +132,7 @@ fn default_spec(schema: &Schema) -> PathLatticeSpec {
     ])
 }
 
-pub fn generate(args: &Args) -> Result<(), String> {
+pub fn generate(args: &Args) -> Result<(), CliError> {
     let out = args.require("out")?;
     let config = GeneratorConfig {
         num_paths: args.num("paths", 10_000usize)?,
@@ -160,7 +183,7 @@ fn build_cube(args: &Args) -> Result<FlowCube, String> {
     Ok(cube)
 }
 
-pub fn build(args: &Args) -> Result<(), String> {
+pub fn build(args: &Args) -> Result<(), CliError> {
     obs_setup(args);
     let out = args.require("out")?;
     let cube = build_cube(args)?;
@@ -177,7 +200,7 @@ fn read_cube(path: &str) -> Result<FlowCube, String> {
     Ok(cube)
 }
 
-pub fn cells(args: &Args) -> Result<(), String> {
+pub fn cells(args: &Args) -> Result<(), CliError> {
     let cube = read_cube(args.require("cube")?)?;
     let limit = args.num("limit", 50usize)?;
     let level_filter = args.get("level");
@@ -218,7 +241,7 @@ pub fn cells(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-pub fn query(args: &Args) -> Result<(), String> {
+pub fn query(args: &Args) -> Result<(), CliError> {
     let cube = read_cube(args.require("cube")?)?;
     let cell_spec = args.require("cell")?;
     let names: Vec<Option<&str>> = cell_spec
@@ -258,7 +281,7 @@ pub fn query(args: &Args) -> Result<(), String> {
     }
 }
 
-pub fn mine(args: &Args) -> Result<(), String> {
+pub fn mine(args: &Args) -> Result<(), CliError> {
     obs_setup(args);
     let db = read_db(args.require("db")?)?;
     let delta = args.num("min-support", 100u64)?;
@@ -290,7 +313,7 @@ pub fn mine(args: &Args) -> Result<(), String> {
 }
 
 /// Predict the next location for an observed partial path within a cell.
-pub fn predict(args: &Args) -> Result<(), String> {
+pub fn predict(args: &Args) -> Result<(), CliError> {
     let cube = read_cube(args.require("cube")?)?;
     let cell_spec = args.require("cell")?;
     let names: Vec<Option<&str>> = cell_spec
@@ -367,7 +390,7 @@ fn cube_for_snapshot(args: &Args) -> Result<FlowCube, String> {
 
 /// `flowcube snapshot` — build (or load) a cube and persist it to the
 /// versioned binary snapshot format a server can open lazily.
-pub fn snapshot(args: &Args) -> Result<(), String> {
+pub fn snapshot(args: &Args) -> Result<(), CliError> {
     obs_setup(args);
     let out = args.require("out")?;
     let cube = cube_for_snapshot(args)?;
@@ -404,6 +427,11 @@ pub fn serve_with_handle(args: &Args) -> Result<flowcube_serve::ServerHandle, St
         workers: args.num("workers", 4usize)?,
         queue_depth: args.num("queue-depth", 64usize)?,
         cache_capacity: args.num("cache", 256usize)?,
+        request_deadline: match args.num("deadline-ms", 0u64)? {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        },
+        degraded_after: args.num("degraded-after", 8u64)?,
         ..Default::default()
     };
     let handle = flowcube_serve::serve_cube(served, config).map_err(|e| e.to_string())?;
@@ -415,14 +443,64 @@ pub fn serve_with_handle(args: &Args) -> Result<flowcube_serve::ServerHandle, St
 }
 
 /// `flowcube serve` — serve a snapshot (or JSON cube) until SIGINT/SIGTERM.
-pub fn serve(args: &Args) -> Result<(), String> {
+pub fn serve(args: &Args) -> Result<(), CliError> {
     let handle = serve_with_handle(args)?;
     handle.wait_for_signals();
     println!("shut down cleanly");
     Ok(())
 }
 
-pub fn tables(_args: &Args) -> Result<(), String> {
+/// `flowcube ingest` — parse a line-oriented path text file into a path
+/// database JSON, with `--on-error` selecting how malformed lines are
+/// handled (see [`flowcube_pathdb::IngestMode`]).
+pub fn ingest(args: &Args) -> Result<(), CliError> {
+    let text_path = args.require("text")?;
+    let schema_from = args.require("schema-from")?;
+    let out = args.require("out")?;
+    let mode: flowcube_pathdb::IngestMode = args
+        .get_or("on-error", "strict")
+        .parse()
+        .map_err(|e: String| CliError::usage(format!("--on-error: {e}")))?;
+    let options = flowcube_pathdb::ParseOptions {
+        mode,
+        quarantine_cap: args.num("quarantine-cap", 64usize)?,
+    };
+    let schema = read_db(schema_from)?.schema().clone();
+    let text = std::fs::read_to_string(text_path).map_err(|e| format!("{text_path}: {e}"))?;
+    // A strict-mode parse failure is a data error: ParseError routes
+    // through CoreError::Ingest and exits with code 65 (EX_DATAERR).
+    let outcome = flowcube_pathdb::parse_text_with(schema, &text, &options)?;
+    let json = serde_json::to_string(&outcome.db).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {} records to {out} ({} mode)",
+        outcome.db.len(),
+        mode
+    );
+    if !outcome.quarantine.is_empty() {
+        eprintln!("{}", outcome.quarantine.summary());
+        for entry in &outcome.quarantine.entries {
+            match &entry.raw {
+                Some(raw) => eprintln!("  line {}: {} | {raw}", entry.line, entry.message),
+                None => eprintln!("  line {}: {}", entry.line, entry.message),
+            }
+        }
+        if outcome.quarantine.dropped() > 0 {
+            eprintln!(
+                "  … {} more (raise --quarantine-cap to keep them)",
+                outcome.quarantine.dropped()
+            );
+        }
+    }
+    if let Some(qpath) = args.get("quarantine-out") {
+        let qjson = serde_json::to_string(&outcome.quarantine).map_err(|e| e.to_string())?;
+        std::fs::write(qpath, qjson).map_err(|e| format!("{qpath}: {e}"))?;
+        println!("wrote quarantine report to {qpath}");
+    }
+    Ok(())
+}
+
+pub fn tables(_args: &Args) -> Result<(), CliError> {
     // Delegate to the sample data; same content as examples/paper_tables.
     let db = flowcube_pathdb::samples::paper_table1();
     println!("Table 1 — path database:");

@@ -1,0 +1,117 @@
+//! Typed CLI failures carrying their process exit code.
+//!
+//! Exit codes follow the BSD `sysexits.h` convention where one exists:
+//!
+//! | code | meaning                                      |
+//! |------|----------------------------------------------|
+//! | 1    | generic failure (IO, build, serve, …)        |
+//! | 2    | usage error (bad flags) — set by `main`      |
+//! | 65   | `EX_DATAERR`: the *input data* was malformed |
+//!
+//! The distinction matters to pipeline drivers: exit 65 means "fix your
+//! data file", not "retry" or "fix your invocation".
+
+use flowcube_core::CoreError;
+use std::fmt;
+
+/// Generic failure.
+pub const EXIT_FAILURE: i32 = 1;
+/// Bad command line (mirrors the code `main` uses for unparsable args).
+pub const EXIT_USAGE: i32 = 2;
+/// `EX_DATAERR` — input data failed to parse or validate.
+pub const EXIT_DATAERR: i32 = 65;
+
+/// A CLI command failure: message for stderr, code for the process exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    pub message: String,
+    pub code: i32,
+}
+
+impl CliError {
+    /// A usage error (exit 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: EXIT_USAGE,
+        }
+    }
+
+    /// A data error (exit 65).
+    pub fn data(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: EXIT_DATAERR,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError {
+            message,
+            code: EXIT_FAILURE,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError {
+            message: message.to_string(),
+            code: EXIT_FAILURE,
+        }
+    }
+}
+
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        let code = match &e {
+            CoreError::Ingest { .. } => EXIT_DATAERR,
+            _ => EXIT_FAILURE,
+        };
+        CliError {
+            message: e.to_string(),
+            code,
+        }
+    }
+}
+
+impl From<flowcube_pathdb::ParseError> for CliError {
+    fn from(e: flowcube_pathdb::ParseError) -> Self {
+        // Route through CoreError so both layers classify identically.
+        CoreError::from(e).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_by_source() {
+        let e: CliError = "boom".into();
+        assert_eq!(e.code, EXIT_FAILURE);
+        let e: CliError = CoreError::Ingest {
+            line: 3,
+            detail: "bad duration".into(),
+        }
+        .into();
+        assert_eq!(e.code, EXIT_DATAERR);
+        assert!(e.message.contains("line 3"));
+        let e: CliError = CoreError::UnknownPathLevel { name: "x".into() }.into();
+        assert_eq!(e.code, EXIT_FAILURE);
+        let e: CliError = flowcube_pathdb::ParseError {
+            line: 7,
+            message: "truncated".into(),
+        }
+        .into();
+        assert_eq!(e.code, EXIT_DATAERR);
+    }
+}

@@ -2,5 +2,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod error;
 
 pub use args::Args;
+pub use error::CliError;

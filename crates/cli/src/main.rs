@@ -1,16 +1,19 @@
 //! `flowcube` — command-line interface for the FlowCube reproduction.
 
-use flowcube_cli::{commands, Args};
+use flowcube_cli::{commands, Args, CliError};
 
 fn main() {
+    // Fault injection is configured once at process entry; commands and
+    // library code only ever observe already-armed failpoints.
+    flowcube_testkit::init_from_env();
     let args = match Args::from_env() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(flowcube_cli::error::EXIT_USAGE);
         }
     };
-    let result = match args.command.as_str() {
+    let result: Result<(), CliError> = match args.command.as_str() {
         "generate" => commands::generate(&args),
         "build" => commands::build(&args),
         "cells" => commands::cells(&args),
@@ -20,14 +23,18 @@ fn main() {
         "snapshot" => commands::snapshot(&args),
         "serve" => commands::serve(&args),
         "tables" => commands::tables(&args),
+        "ingest" => commands::ingest(&args),
         "" | "help" | "--help" => {
             print!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}\n{}",
+            commands::USAGE
+        ))),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.code);
     }
 }

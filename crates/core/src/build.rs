@@ -307,15 +307,15 @@ pub(crate) fn build(
     // cube is identical at any thread count.
     let threads = params.threads_for(work.len());
     stats.threads_used = threads;
-    let results: Vec<(CuboidKey, CellKey, CellEntry)> = flowcube_mining::parallel::run_chunks(
+    let report = flowcube_mining::parallel::run_chunks_counted(
         "build.materialize.chunk",
         work.len(),
         threads,
         |range| work[range].iter().map(&materialize).collect::<Vec<_>>(),
-    )
-    .into_iter()
-    .flatten()
-    .collect();
+    );
+    stats.chunk_retries = report.retried_chunks;
+    let results: Vec<(CuboidKey, CellKey, CellEntry)> =
+        report.results.into_iter().flatten().collect();
 
     let mut cuboids: FxHashMap<CuboidKey, Cuboid> = FxHashMap::default();
     for (ck, key, entry) in results {

@@ -22,6 +22,9 @@ pub enum CoreError {
     UnresolvedCell { spec: String },
     /// A dimension index is out of range for the schema.
     DimensionOutOfRange { dim: usize, num_dims: usize },
+    /// Source data failed to parse during ingestion (bad input, not a
+    /// bug — CLI maps this to `EX_DATAERR`).
+    Ingest { line: usize, detail: String },
 }
 
 impl fmt::Display for CoreError {
@@ -43,8 +46,20 @@ impl fmt::Display for CoreError {
             CoreError::DimensionOutOfRange { dim, num_dims } => {
                 write!(f, "dimension {dim} out of range (schema has {num_dims})")
             }
+            CoreError::Ingest { line, detail } => {
+                write!(f, "ingest failed at line {line}: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for CoreError {}
+
+impl From<flowcube_pathdb::io::ParseError> for CoreError {
+    fn from(e: flowcube_pathdb::io::ParseError) -> Self {
+        CoreError::Ingest {
+            line: e.line,
+            detail: e.message,
+        }
+    }
+}

@@ -31,6 +31,12 @@ pub struct BuildStats {
     /// the cutoff/clamp policy of `FlowCubeParams::threads_for`).
     #[serde(default)]
     pub threads_used: usize,
+    /// Materialization chunks whose worker panicked and were recomputed
+    /// serially (see `flowcube_mining::parallel::run_chunks_counted`).
+    /// Zero on a healthy build; any other value means a worker died and
+    /// the build self-healed without changing its output.
+    #[serde(default)]
+    pub chunk_retries: usize,
 }
 
 impl BuildStats {
@@ -49,7 +55,7 @@ impl BuildStats {
             "cells={} (pruned {} redundant), frequent patterns={}, \
              candidates counted={} in {} scans, candidates pruned \
              [subset={} ancestor={} unlinkable={} precount={}], threads={}, \
-             total {:?}",
+             chunk retries={}, total {:?}",
             self.cells_materialized,
             self.cells_pruned_redundant,
             self.mining.total_frequent(),
@@ -60,6 +66,7 @@ impl BuildStats {
             self.mining.pruned_unlinkable,
             self.mining.pruned_precount,
             self.threads_used,
+            self.chunk_retries,
             self.total_time(),
         )
     }
@@ -83,8 +90,10 @@ mod tests {
         s.mining.pruned_unlinkable = 1;
         s.mining.pruned_precount = 9;
         s.threads_used = 2;
+        s.chunk_retries = 1;
         assert_eq!(s.total_time(), Duration::from_millis(15));
         let summary = s.summary();
+        assert!(summary.contains("chunk retries=1"));
         assert!(summary.contains("cells=3"));
         assert!(summary.contains("in 4 scans"));
         assert!(summary.contains("subset=2"));

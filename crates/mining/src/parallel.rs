@@ -75,38 +75,115 @@ pub fn merge_counts(acc: &mut [u64], part: &[u64]) {
     }
 }
 
+/// Per-chunk results from [`run_chunks_counted`], in chunk order, plus
+/// how many chunks had their worker panic and were recomputed serially.
+#[derive(Debug)]
+pub struct ChunkReport<R> {
+    /// One result per chunk, **in chunk order** — identical to what the
+    /// serial run would produce, retries or not.
+    pub results: Vec<R>,
+    /// Chunks whose worker panicked and succeeded on the serial retry.
+    pub retried_chunks: usize,
+}
+
 /// Run `f` over the chunks of `0..n`, returning per-chunk results **in
 /// chunk order**. `threads <= 1` calls `f(0..n)` inline on the current
 /// thread — the serial and parallel paths share all counting code, they
 /// differ only in who runs it. Each worker opens a `name` span so the
 /// chunks render as concurrent lanes in a Chrome trace.
+///
+/// A worker that panics does not abort the phase: the panic is caught,
+/// and the chunk is recomputed serially on the calling thread (see
+/// [`run_chunks_counted`]). Use the counted variant when the caller
+/// wants to surface the retry count.
 pub fn run_chunks<R, F>(name: &'static str, n: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
+    run_chunks_counted(name, n, threads, f).results
+}
+
+/// [`run_chunks`], but reporting how many chunks were retried.
+///
+/// Each worker runs its chunk under `catch_unwind`; a panicking chunk's
+/// partial state is wholly private to the worker and is discarded, so
+/// after the scope joins, every failed range is recomputed serially on
+/// the calling thread — once. Because chunks are pure functions of their
+/// input range, the recomputed result is bit-identical to what the
+/// worker would have produced, and merge order is unchanged. A chunk
+/// that panics again on the serial retry propagates (a deterministic
+/// bug, not a transient fault). Retries increment the
+/// `mining.chunk.retries` obs counter.
+///
+/// The `mining.chunk` failpoint (`flowcube-testkit`) fires at the top
+/// of every chunk execution, including serial runs and retries — arming
+/// it with a one-shot panic exercises exactly this recovery path.
+pub fn run_chunks_counted<R, F>(
+    name: &'static str,
+    n: usize,
+    threads: usize,
+    f: F,
+) -> ChunkReport<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let run_one = |r: Range<usize>| {
+        flowcube_testkit::fail_point_unit("mining.chunk");
+        f(r)
+    };
     let ranges = chunk_ranges(n, threads);
     if threads <= 1 {
-        return ranges.into_iter().map(f).collect();
+        return ChunkReport {
+            results: ranges.into_iter().map(run_one).collect(),
+            retried_chunks: 0,
+        };
     }
-    let f = &f;
-    crossbeam::scope(|s| {
+    let run_one = &run_one;
+    let attempts: Vec<std::thread::Result<R>> = crossbeam::scope(|s| {
         let handles: Vec<_> = ranges
-            .into_iter()
+            .iter()
+            .cloned()
             .enumerate()
             .map(|(i, r)| {
                 s.spawn(move |_| {
                     let _span = flowcube_obs::span!(name, chunk = i, items = r.len());
-                    f(r)
+                    // AssertUnwindSafe: the closure only borrows `f` (Sync,
+                    // shared immutably) and owns `r`; a panicked chunk's
+                    // partial result is dropped and the range recomputed
+                    // from scratch, so no broken invariant can leak out.
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_one(r)))
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("mining worker panicked"))
+            .map(|h| {
+                h.join()
+                    .expect("mining worker panicked outside catch_unwind")
+            })
             .collect()
     })
-    .expect("crossbeam scope")
+    .expect("crossbeam scope");
+    let mut retried_chunks = 0usize;
+    let results = attempts
+        .into_iter()
+        .zip(ranges)
+        .map(|(attempt, r)| match attempt {
+            Ok(v) => v,
+            Err(_) => {
+                retried_chunks += 1;
+                flowcube_obs::counter_add("mining.chunk.retries", 1);
+                let _span = flowcube_obs::span!(name, retry_items = r.len());
+                run_one(r)
+            }
+        })
+        .collect();
+    ChunkReport {
+        results,
+        retried_chunks,
+    }
 }
 
 #[cfg(test)]
@@ -176,5 +253,43 @@ mod tests {
         let parts = run_chunks("test.chunk", 20, 6, |r| r.collect::<Vec<usize>>());
         let flat: Vec<usize> = parts.into_iter().flatten().collect();
         assert_eq!(flat, (0..20).collect::<Vec<_>>());
+    }
+
+    /// A chunk that panics mid-flight (injected, or via the `mining.chunk`
+    /// failpoint in the env-gated fault suite) is recomputed serially and
+    /// the merged output stays bit-identical to the clean run.
+    #[test]
+    fn panicking_chunk_is_retried_serially_with_identical_results() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let data: Vec<u64> = (0..103).collect();
+        let clean =
+            run_chunks_counted("test.chunk", data.len(), 4, |r| data[r].iter().sum::<u64>());
+        assert_eq!(clean.retried_chunks, 0);
+
+        // First execution of chunk 2 panics; the serial retry succeeds.
+        let boom = AtomicUsize::new(0);
+        let faulty = run_chunks_counted("test.chunk", data.len(), 4, |r| {
+            if r.start == 52 && boom.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected worker fault");
+            }
+            data[r].iter().sum::<u64>()
+        });
+        assert_eq!(faulty.retried_chunks, 1);
+        assert_eq!(faulty.results, clean.results);
+    }
+
+    /// Two consecutive panics on the same chunk (a deterministic bug,
+    /// not a transient fault) propagate instead of retrying forever.
+    #[test]
+    fn chunk_that_panics_twice_propagates() {
+        let outcome = std::panic::catch_unwind(|| {
+            run_chunks_counted("test.chunk", 40, 4, |r| {
+                if r.start == 0 {
+                    panic!("deterministic bug");
+                }
+                r.len()
+            })
+        });
+        assert!(outcome.is_err());
     }
 }

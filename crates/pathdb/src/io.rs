@@ -9,6 +9,25 @@
 //!
 //! Dimension values appear in schema order; stage locations are leaf names
 //! of the location hierarchy. Blank lines and `#` comments are skipped.
+//!
+//! ## Error handling modes
+//!
+//! Real RFID streams are dirty — misread tags, unknown locations,
+//! truncated lines. [`parse_text`] is **strict** (the first bad line
+//! aborts the whole document); [`parse_text_with`] adds two lenient
+//! modes that keep going:
+//!
+//! * [`IngestMode::Lenient`] — bad lines are skipped; their line numbers
+//!   and parse errors land in a capped [`QuarantineReport`].
+//! * [`IngestMode::Quarantine`] — like lenient, but the report also
+//!   retains the raw line text so the quarantined records can be
+//!   repaired and replayed.
+//!
+//! Every skipped line increments the `pathdb.ingest.bad_lines` counter
+//! (and `pathdb.ingest.quarantined` while under the report cap) in the
+//! `flowcube-obs` registry. The `pathdb.parse.line` failpoint
+//! (`flowcube-testkit`) forces individual lines to fail, so the lenient
+//! paths are testable against a clean document.
 
 use crate::path::{PathDatabase, PathRecord, Stage};
 use flowcube_hier::Schema;
@@ -36,9 +55,157 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
-/// Parse a whole text document into a [`PathDatabase`] over `schema`.
+/// How [`parse_text_with`] reacts to a line that does not parse.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IngestMode {
+    /// The first bad line aborts the whole document (the historical
+    /// [`parse_text`] behavior).
+    #[default]
+    Strict,
+    /// Bad lines are skipped; line numbers and messages are recorded in
+    /// a capped [`QuarantineReport`].
+    Lenient,
+    /// Like [`IngestMode::Lenient`], but the report also retains the raw
+    /// line text for repair-and-replay.
+    Quarantine,
+}
+
+impl std::str::FromStr for IngestMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "strict" => Ok(IngestMode::Strict),
+            "lenient" => Ok(IngestMode::Lenient),
+            "quarantine" => Ok(IngestMode::Quarantine),
+            other => Err(format!(
+                "unknown ingest mode {other:?} (expected strict, lenient, or quarantine)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for IngestMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IngestMode::Strict => "strict",
+            IngestMode::Lenient => "lenient",
+            IngestMode::Quarantine => "quarantine",
+        })
+    }
+}
+
+/// Knobs for [`parse_text_with`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseOptions {
+    pub mode: IngestMode,
+    /// Maximum entries retained in the quarantine report; bad lines past
+    /// the cap are still counted (and skipped) but carry no detail.
+    pub quarantine_cap: usize,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            mode: IngestMode::Strict,
+            quarantine_cap: 64,
+        }
+    }
+}
+
+impl ParseOptions {
+    pub fn strict() -> Self {
+        ParseOptions::default()
+    }
+
+    pub fn lenient() -> Self {
+        ParseOptions {
+            mode: IngestMode::Lenient,
+            ..Default::default()
+        }
+    }
+
+    pub fn quarantine() -> Self {
+        ParseOptions {
+            mode: IngestMode::Quarantine,
+            ..Default::default()
+        }
+    }
+}
+
+/// One skipped line in a lenient/quarantine parse.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct QuarantineEntry {
+    /// 1-based line number in the source document.
+    pub line: usize,
+    /// Why the line failed to parse.
+    pub message: String,
+    /// The raw line text ([`IngestMode::Quarantine`] only).
+    pub raw: Option<String>,
+}
+
+/// Everything a lenient parse skipped, capped at
+/// [`ParseOptions::quarantine_cap`] detailed entries.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct QuarantineReport {
+    /// Detailed entries for the first `quarantine_cap` bad lines.
+    pub entries: Vec<QuarantineEntry>,
+    /// Every bad line counts here, capped or not.
+    pub total_bad: usize,
+}
+
+impl QuarantineReport {
+    /// Bad lines beyond the cap, present only as a count.
+    pub fn dropped(&self) -> usize {
+        self.total_bad - self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total_bad == 0
+    }
+
+    /// One-line human summary (`3 bad lines (1 beyond report cap)`).
+    pub fn summary(&self) -> String {
+        if self.dropped() > 0 {
+            format!(
+                "{} bad lines ({} beyond report cap)",
+                self.total_bad,
+                self.dropped()
+            )
+        } else {
+            format!("{} bad lines", self.total_bad)
+        }
+    }
+}
+
+/// A parsed document plus what was skipped to produce it.
+#[derive(Clone, Debug)]
+pub struct ParseOutcome {
+    pub db: PathDatabase,
+    pub quarantine: QuarantineReport,
+}
+
+/// Parse a whole text document into a [`PathDatabase`] over `schema`,
+/// aborting on the first malformed line. Equivalent to
+/// [`parse_text_with`] under [`IngestMode::Strict`].
 pub fn parse_text(schema: Schema, text: &str) -> Result<PathDatabase, ParseError> {
+    parse_text_with(schema, text, &ParseOptions::strict()).map(|outcome| outcome.db)
+}
+
+/// Parse a whole text document under the given [`ParseOptions`].
+///
+/// Record ids are assigned `1..` in order of *successfully parsed*
+/// lines, so a lenient parse of a dirty document yields exactly the
+/// database a strict parse of the clean subset would (same records,
+/// same ids) — the property `crates/pathdb/tests/ingest_lenient.rs`
+/// holds us to.
+pub fn parse_text_with(
+    schema: Schema,
+    text: &str,
+    options: &ParseOptions,
+) -> Result<ParseOutcome, ParseError> {
     let mut db = PathDatabase::new(schema);
+    let mut quarantine = QuarantineReport::default();
     let mut next_id: u64 = 1;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -46,11 +213,38 @@ pub fn parse_text(schema: Schema, text: &str) -> Result<PathDatabase, ParseError
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let record = parse_line(db.schema(), next_id, line, lineno)?;
-        db.push(record).map_err(|e| err(lineno, e.to_string()))?;
-        next_id += 1;
+        // Fault injection: force this line to fail parse, so lenient
+        // recovery is testable against a clean document.
+        let parsed = match flowcube_testkit::fail_point("pathdb.parse.line") {
+            Some(flowcube_testkit::Fault::Error(msg)) => Err(err(lineno, msg)),
+            Some(flowcube_testkit::Fault::ShortRead(n)) => {
+                let cut = &line[..n.min(line.len())];
+                parse_line(db.schema(), next_id, cut, lineno)
+            }
+            None => parse_line(db.schema(), next_id, line, lineno),
+        };
+        let pushed =
+            parsed.and_then(|record| db.push(record).map_err(|e| err(lineno, e.to_string())));
+        match pushed {
+            Ok(()) => next_id += 1,
+            Err(e) => match options.mode {
+                IngestMode::Strict => return Err(e),
+                IngestMode::Lenient | IngestMode::Quarantine => {
+                    quarantine.total_bad += 1;
+                    flowcube_obs::counter_add("pathdb.ingest.bad_lines", 1);
+                    if quarantine.entries.len() < options.quarantine_cap {
+                        flowcube_obs::counter_add("pathdb.ingest.quarantined", 1);
+                        quarantine.entries.push(QuarantineEntry {
+                            line: e.line,
+                            message: e.message,
+                            raw: (options.mode == IngestMode::Quarantine).then(|| raw.to_string()),
+                        });
+                    }
+                }
+            },
+        }
     }
-    Ok(db)
+    Ok(ParseOutcome { db, quarantine })
 }
 
 fn parse_line(
@@ -140,6 +334,85 @@ mod tests {
         let text = "# header\n\n  tennis, nike : (factory,1)\n";
         let db = parse_text(samples::paper_schema(), text).unwrap();
         assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn lenient_skips_bad_lines_and_matches_clean_subset() {
+        let dirty = "tennis, nike : (factory,1)\n\
+                     garbage line\n\
+                     shirt, adidas : (factory,2)(shelf,3)\n\
+                     tennis, nike : (mars,9)\n\
+                     tennis, adidas : (factory,4)\n";
+        let clean = "tennis, nike : (factory,1)\n\
+                     shirt, adidas : (factory,2)(shelf,3)\n\
+                     tennis, adidas : (factory,4)\n";
+        let outcome =
+            parse_text_with(samples::paper_schema(), dirty, &ParseOptions::lenient()).unwrap();
+        let clean_db = parse_text(samples::paper_schema(), clean).unwrap();
+        assert_eq!(outcome.db.len(), clean_db.len());
+        for (a, b) in outcome.db.records().iter().zip(clean_db.records()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.dims, b.dims);
+            assert_eq!(a.stages, b.stages);
+        }
+        assert_eq!(outcome.quarantine.total_bad, 2);
+        let lines: Vec<usize> = outcome.quarantine.entries.iter().map(|e| e.line).collect();
+        assert_eq!(lines, vec![2, 4]);
+        // Lenient mode records messages but not raw text.
+        assert!(outcome.quarantine.entries.iter().all(|e| e.raw.is_none()));
+    }
+
+    #[test]
+    fn quarantine_mode_retains_raw_lines() {
+        let dirty = "tennis, nike : (factory,1)\nbroken stuff\n";
+        let outcome =
+            parse_text_with(samples::paper_schema(), dirty, &ParseOptions::quarantine()).unwrap();
+        assert_eq!(outcome.quarantine.total_bad, 1);
+        assert_eq!(
+            outcome.quarantine.entries[0].raw.as_deref(),
+            Some("broken stuff")
+        );
+    }
+
+    #[test]
+    fn quarantine_report_cap_bounds_entries_not_counts() {
+        let mut dirty = String::new();
+        for _ in 0..10 {
+            dirty.push_str("not a record\n");
+        }
+        let opts = ParseOptions {
+            mode: IngestMode::Lenient,
+            quarantine_cap: 3,
+        };
+        let outcome = parse_text_with(samples::paper_schema(), &dirty, &opts).unwrap();
+        assert_eq!(outcome.db.len(), 0);
+        assert_eq!(outcome.quarantine.total_bad, 10);
+        assert_eq!(outcome.quarantine.entries.len(), 3);
+        assert_eq!(outcome.quarantine.dropped(), 7);
+        assert!(outcome.quarantine.summary().contains("10 bad lines"));
+        assert!(outcome.quarantine.summary().contains("7 beyond"));
+    }
+
+    #[test]
+    fn strict_mode_via_options_matches_parse_text() {
+        let dirty = "tennis, nike : (factory,1)\nbad\n";
+        let e1 = parse_text(samples::paper_schema(), dirty).unwrap_err();
+        let e2 =
+            parse_text_with(samples::paper_schema(), dirty, &ParseOptions::strict()).unwrap_err();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn ingest_mode_round_trips_through_strings() {
+        for mode in [
+            IngestMode::Strict,
+            IngestMode::Lenient,
+            IngestMode::Quarantine,
+        ] {
+            let parsed: IngestMode = mode.to_string().parse().unwrap();
+            assert_eq!(parsed, mode);
+        }
+        assert!("bogus".parse::<IngestMode>().is_err());
     }
 
     #[test]

@@ -12,5 +12,9 @@ pub mod reading;
 pub mod samples;
 
 pub use aggregate::{aggregate_dims, aggregate_stages, AggStage, MergePolicy};
+pub use io::{
+    parse_text, parse_text_with, IngestMode, ParseError, ParseOptions, ParseOutcome,
+    QuarantineEntry, QuarantineReport,
+};
 pub use path::{PathDatabase, PathDbError, PathRecord, Stage};
 pub use reading::{clean_readings, stays_to_record, CleanerConfig, RawReading, Stay};

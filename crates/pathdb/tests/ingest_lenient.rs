@@ -1,0 +1,110 @@
+//! Property: a lenient parse of a dirty document recovers *exactly* the
+//! database a strict parse of the clean subset yields (same records,
+//! same ids), and the quarantine report names exactly the corrupt lines.
+
+use flowcube_pathdb::io::to_text;
+use flowcube_pathdb::{parse_text, parse_text_with, samples, IngestMode, ParseOptions};
+use proptest::prelude::*;
+
+/// The corruption kinds a document position can take. Each is derived
+/// from a known-good line so the *only* defect is the injected one.
+fn corrupt(clean: &str, kind: u8) -> String {
+    match kind {
+        // Drop the ':' — "missing ':' separating dimensions from path".
+        1 => clean.replace(':', " "),
+        // Unknown concept in the first dimension slot.
+        2 => format!("zzz-bogus{}", &clean[clean.find(',').unwrap_or(0)..]),
+        // A stage whose duration is not a number.
+        3 => {
+            let dims = &clean[..clean.find(':').unwrap_or(0)];
+            format!("{dims}: (factory,xx)")
+        }
+        // Truncate inside the last stage — "unterminated stage".
+        _ => clean[..clean.rfind('(').map_or(1, |i| i + 2)].to_string(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Interleave clean lines, corrupt lines, and comments in a random
+    /// order; lenient parsing must recover the clean subset exactly.
+    #[test]
+    fn lenient_recovers_clean_subset(plan in prop::collection::vec(0u8..6, 1..40)) {
+        let clean_lines: Vec<String> = to_text(&samples::paper_table1())
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let mut doc = Vec::new();
+        let mut clean_doc = Vec::new();
+        let mut expect_bad: Vec<(usize, String)> = Vec::new();
+        let mut next_clean = 0usize;
+        for &kind in &plan {
+            let template = clean_lines[next_clean % clean_lines.len()].clone();
+            match kind {
+                0 => {
+                    next_clean += 1;
+                    clean_doc.push(template.clone());
+                    doc.push(template);
+                }
+                5 => doc.push("# a comment line, never counted".to_string()),
+                k => {
+                    let bad = corrupt(&template, k);
+                    expect_bad.push((doc.len() + 1, bad.clone()));
+                    doc.push(bad);
+                }
+            }
+        }
+        let doc = doc.join("\n");
+        let clean_doc = clean_doc.join("\n");
+
+        let clean_db = parse_text(samples::paper_schema(), &clean_doc).unwrap();
+        let outcome = parse_text_with(
+            samples::paper_schema(),
+            &doc,
+            &ParseOptions { mode: IngestMode::Quarantine, quarantine_cap: 1000 },
+        )
+        .unwrap();
+
+        // Exactly the clean subset: same records, same ids, same render.
+        prop_assert_eq!(to_text(&outcome.db), to_text(&clean_db));
+        let ids: Vec<u64> = outcome.db.records().iter().map(|r| r.id).collect();
+        prop_assert_eq!(ids, (1..=clean_db.len() as u64).collect::<Vec<_>>());
+
+        // The quarantine names exactly the corrupt lines, in order, with
+        // their 1-based source line numbers and the raw text.
+        prop_assert_eq!(outcome.quarantine.total_bad, expect_bad.len());
+        prop_assert_eq!(outcome.quarantine.entries.len(), expect_bad.len());
+        for (entry, (line, raw)) in outcome.quarantine.entries.iter().zip(&expect_bad) {
+            prop_assert_eq!(entry.line, *line);
+            prop_assert_eq!(entry.raw.as_deref(), Some(raw.as_str()));
+        }
+    }
+
+    /// Lenient mode reports the same lines but retains no raw text, and
+    /// the cap drops detail entries without losing the count.
+    #[test]
+    fn lenient_cap_counts_all(n_bad in 1usize..20, cap in 0usize..8) {
+        let clean_lines: Vec<String> = to_text(&samples::paper_table1())
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let mut doc = Vec::new();
+        for i in 0..n_bad {
+            doc.push(clean_lines[i % clean_lines.len()].clone());
+            doc.push(corrupt(&clean_lines[i % clean_lines.len()], 1 + (i % 4) as u8));
+        }
+        let outcome = parse_text_with(
+            samples::paper_schema(),
+            &doc.join("\n"),
+            &ParseOptions { mode: IngestMode::Lenient, quarantine_cap: cap },
+        )
+        .unwrap();
+        prop_assert_eq!(outcome.quarantine.total_bad, n_bad);
+        prop_assert_eq!(outcome.quarantine.entries.len(), n_bad.min(cap));
+        prop_assert_eq!(outcome.quarantine.dropped(), n_bad.saturating_sub(cap));
+        prop_assert!(outcome.quarantine.entries.iter().all(|e| e.raw.is_none()));
+        // Every bad line we injected sits at an even 1-based line number.
+        prop_assert!(outcome.quarantine.entries.iter().all(|e| e.line % 2 == 0));
+    }
+}

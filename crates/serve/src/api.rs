@@ -16,7 +16,10 @@
 //! | `/exceptions`         | `cell`, `level`                             | cell exception list |
 //! | `/stats`              | —                                           | build stats + cube shape |
 //! | `/metrics`            | —                                           | `flowcube-obs` registry export |
-//! | `/healthz`            | —                                           | liveness |
+//! | `/healthz`            | —                                           | liveness + worker-crash health |
+//!
+//! One non-`GET` admin route: `POST /admin/reload` revalidates and
+//! atomically swaps the backing snapshot ([`AppState::reload`]).
 
 use crate::cache::{CachedResponse, ResponseCache};
 use crate::error::{ApiError, SnapshotError};
@@ -27,7 +30,10 @@ use flowcube_hier::{ConceptId, FxHashSet, ItemLevel, PathLevelId};
 use flowcube_pathdb::AggStage;
 use parking_lot::{Mutex, RwLock};
 use serde::Serialize;
-use std::time::Instant;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A cube being served: either fully in memory, or a snapshot-backed
 /// shell that hydrates cuboids from disk the first time a query touches
@@ -111,12 +117,153 @@ impl ServedCube {
             None => self.resident_cuboids(),
         }
     }
+
+    /// The snapshot file backing this cube, if any — the hot-reload
+    /// source.
+    pub fn snapshot_path(&self) -> Option<PathBuf> {
+        self.snapshot.as_ref().map(|s| s.path().to_path_buf())
+    }
 }
 
-/// Everything a worker needs to answer requests.
+/// Worker-pool health: crash counting and the degradation threshold.
+///
+/// A worker thread that panics is respawned by the server's supervisor,
+/// which records the crash here. `/healthz` reports `degraded` (with
+/// `ok: false`) once `degraded_after` crashes have accumulated — the
+/// server still answers, but an orchestrator watching health should
+/// recycle it.
+pub struct HealthState {
+    worker_crashes: AtomicU64,
+    /// Crash count at which health turns degraded; `0` disables.
+    degraded_after: AtomicU64,
+}
+
+impl Default for HealthState {
+    fn default() -> Self {
+        HealthState {
+            worker_crashes: AtomicU64::new(0),
+            degraded_after: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HealthState {
+    /// Record one worker panic; returns the new total.
+    pub fn record_worker_crash(&self) -> u64 {
+        flowcube_obs::counter_add("serve.worker.crashes", 1);
+        self.worker_crashes.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Worker panics observed since startup.
+    pub fn worker_crashes(&self) -> u64 {
+        self.worker_crashes.load(Ordering::SeqCst)
+    }
+
+    /// Set the degradation threshold (`0` = never degrade).
+    pub fn set_degraded_after(&self, n: u64) {
+        self.degraded_after.store(n, Ordering::SeqCst);
+    }
+
+    /// Whether accumulated crashes crossed the threshold.
+    pub fn degraded(&self) -> bool {
+        let threshold = self.degraded_after.load(Ordering::SeqCst);
+        threshold > 0 && self.worker_crashes() >= threshold
+    }
+}
+
+/// Per-request execution limits, carried from the worker into handlers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestCtx {
+    /// When set, the request must answer by this instant; past it the
+    /// response is `503 deadline exceeded`. The check is cooperative —
+    /// it runs before dispatch and again after the handler (which may
+    /// have hydrated cuboids from disk); a handler is never interrupted
+    /// mid-flight.
+    pub deadline: Option<Instant>,
+}
+
+impl RequestCtx {
+    /// A context whose deadline is `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        RequestCtx {
+            deadline: Some(Instant::now() + timeout),
+        }
+    }
+
+    fn check_deadline(&self) -> Result<(), ApiError> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(ApiError::Deadline),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Everything a worker needs to answer requests. The served cube sits
+/// behind an `RwLock<Arc<..>>` so a hot reload can atomically swap in a
+/// freshly validated snapshot while in-flight requests keep the cube
+/// they started with.
 pub struct AppState {
-    pub cube: ServedCube,
+    cube: RwLock<Arc<ServedCube>>,
     pub cache: ResponseCache,
+    pub health: HealthState,
+}
+
+impl AppState {
+    pub fn new(cube: ServedCube, cache: ResponseCache) -> Self {
+        AppState {
+            cube: RwLock::new(Arc::new(cube)),
+            cache,
+            health: HealthState::default(),
+        }
+    }
+
+    /// The cube requests currently answer from. Cloning the `Arc` means
+    /// a concurrent reload never invalidates a request mid-flight.
+    pub fn cube(&self) -> Arc<ServedCube> {
+        self.cube.read().clone()
+    }
+
+    /// Swap in a new cube and drop every cached response (they were
+    /// rendered from the old one).
+    pub fn install_cube(&self, cube: ServedCube) {
+        *self.cube.write() = Arc::new(cube);
+        self.cache.clear();
+    }
+
+    /// Hot-reload the snapshot backing this server.
+    ///
+    /// The replacement file (at the same path the server was started
+    /// from) is opened and **fully validated** — header, index, and a
+    /// CRC + decode pass over every section — before anything changes.
+    /// Only then is the live cube swapped; any failure leaves the old
+    /// cube serving untouched (rollback is the default, not an action).
+    pub fn reload(&self) -> Result<ReloadResponse, ApiError> {
+        let _span = flowcube_obs::span!("serve.reload");
+        let path = self
+            .cube()
+            .snapshot_path()
+            .ok_or_else(|| ApiError::BadRequest("server is not snapshot-backed".into()))?;
+        let reloaded = (|| -> Result<Snapshot, SnapshotError> {
+            let snapshot = Snapshot::open(&path)?;
+            snapshot.verify_all()?;
+            Ok(snapshot)
+        })();
+        match reloaded {
+            Ok(snapshot) => {
+                let cuboids = snapshot.num_cuboids();
+                self.install_cube(ServedCube::from_snapshot(snapshot));
+                flowcube_obs::counter_add("serve.reload.ok", 1);
+                Ok(ReloadResponse {
+                    reloaded: true,
+                    cuboids,
+                })
+            }
+            Err(e) => {
+                flowcube_obs::counter_add("serve.reload.failed", 1);
+                Err(e.into())
+            }
+        }
+    }
 }
 
 // ---- response shapes ----------------------------------------------------
@@ -209,6 +356,15 @@ struct StatsResponse {
 #[derive(Serialize)]
 struct HealthResponse {
     ok: bool,
+    status: &'static str,
+    worker_crashes: u64,
+}
+
+/// Body of a successful `POST /admin/reload`.
+#[derive(Serialize)]
+pub struct ReloadResponse {
+    pub reloaded: bool,
+    pub cuboids: usize,
 }
 
 fn json<T: Serialize>(value: &T) -> String {
@@ -307,10 +463,10 @@ fn location_names(cube: &FlowCube, ids: &[ConceptId]) -> Vec<String> {
 
 // ---- endpoint handlers --------------------------------------------------
 
-fn handle_cell(state: &AppState, req: &Request) -> Result<String, ApiError> {
-    let (key, pl) = state.cube.with_cube(|cube| resolve_cell(cube, req))?;
-    state.cube.ensure_path_level(pl)?;
-    state.cube.with_cube(|cube| {
+fn handle_cell(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
+    let (key, pl) = served.with_cube(|cube| resolve_cell(cube, req))?;
+    served.ensure_path_level(pl)?;
+    served.with_cube(|cube| {
         let lk = cube
             .lookup(&key, pl)
             .ok_or_else(|| ApiError::NotFound("no materialized cell or ancestor".into()))?;
@@ -327,8 +483,8 @@ fn handle_cell(state: &AppState, req: &Request) -> Result<String, ApiError> {
     })
 }
 
-fn handle_rollup(state: &AppState, req: &Request) -> Result<String, ApiError> {
-    let (key, pl, dim, parent_key) = state.cube.with_cube(|cube| {
+fn handle_rollup(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
+    let (key, pl, dim, parent_key) = served.with_cube(|cube| {
         let (key, pl) = resolve_cell(cube, req)?;
         let dim = parse_dim(cube, req)?;
         let level = level_of_key(&key, cube.schema());
@@ -349,8 +505,8 @@ fn handle_rollup(state: &AppState, req: &Request) -> Result<String, ApiError> {
             },
         ))
     })?;
-    state.cube.ensure([parent_key])?;
-    state.cube.with_cube(|cube| {
+    served.ensure([parent_key])?;
+    served.with_cube(|cube| {
         let (parent, entry) = cube
             .roll_up(&key, dim, pl)
             .ok_or_else(|| ApiError::NotFound("parent cell not materialized".into()))?;
@@ -363,8 +519,8 @@ fn handle_rollup(state: &AppState, req: &Request) -> Result<String, ApiError> {
     })
 }
 
-fn handle_drilldown(state: &AppState, req: &Request) -> Result<String, ApiError> {
-    let (key, pl, dim, child_key) = state.cube.with_cube(|cube| {
+fn handle_drilldown(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
+    let (key, pl, dim, child_key) = served.with_cube(|cube| {
         let (key, pl) = resolve_cell(cube, req)?;
         let dim = parse_dim(cube, req)?;
         let mut child_level = level_of_key(&key, cube.schema());
@@ -379,8 +535,8 @@ fn handle_drilldown(state: &AppState, req: &Request) -> Result<String, ApiError>
             },
         ))
     })?;
-    state.cube.ensure([child_key])?;
-    state.cube.with_cube(|cube| {
+    served.ensure([child_key])?;
+    served.with_cube(|cube| {
         let children = cube.drill_down(&key, dim, pl);
         Ok(json(&CellsResponse {
             count: children.len(),
@@ -397,8 +553,8 @@ fn handle_drilldown(state: &AppState, req: &Request) -> Result<String, ApiError>
     })
 }
 
-fn handle_slice(state: &AppState, req: &Request) -> Result<String, ApiError> {
-    let (item_level, pl, dim, value) = state.cube.with_cube(|cube| {
+fn handle_slice(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
+    let (item_level, pl, dim, value) = served.with_cube(|cube| {
         let item_level = parse_item_level(cube, req)?;
         let level_name = require_param(req, "level")?;
         let pl = cube.require_path_level(level_name)?;
@@ -409,11 +565,11 @@ fn handle_slice(state: &AppState, req: &Request) -> Result<String, ApiError> {
         })?;
         Ok::<_, ApiError>((item_level, pl, dim, value))
     })?;
-    state.cube.ensure([CuboidKey {
+    served.ensure([CuboidKey {
         item_level: item_level.clone(),
         path_level: pl,
     }])?;
-    state.cube.with_cube(|cube| {
+    served.with_cube(|cube| {
         let cells = cube.slice(&item_level, pl, dim, value);
         Ok(json(&CellsResponse {
             count: cells.len(),
@@ -430,8 +586,8 @@ fn handle_slice(state: &AppState, req: &Request) -> Result<String, ApiError> {
     })
 }
 
-fn handle_dice(state: &AppState, req: &Request) -> Result<String, ApiError> {
-    let (item_level, pl, constraints) = state.cube.with_cube(|cube| {
+fn handle_dice(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
+    let (item_level, pl, constraints) = served.with_cube(|cube| {
         let item_level = parse_item_level(cube, req)?;
         let level_name = require_param(req, "level")?;
         let pl = cube.require_path_level(level_name)?;
@@ -463,11 +619,11 @@ fn handle_dice(state: &AppState, req: &Request) -> Result<String, ApiError> {
         }
         Ok::<_, ApiError>((item_level, pl, constraints))
     })?;
-    state.cube.ensure([CuboidKey {
+    served.ensure([CuboidKey {
         item_level: item_level.clone(),
         path_level: pl,
     }])?;
-    state.cube.with_cube(|cube| {
+    served.with_cube(|cube| {
         let cells = cube.dice(&item_level, pl, |key| {
             constraints.iter().all(|&(d, v)| key[d] == v)
         });
@@ -486,11 +642,11 @@ fn handle_dice(state: &AppState, req: &Request) -> Result<String, ApiError> {
     })
 }
 
-fn handle_topk(state: &AppState, req: &Request) -> Result<String, ApiError> {
-    let (key, pl) = state.cube.with_cube(|cube| resolve_cell(cube, req))?;
+fn handle_topk(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
+    let (key, pl) = served.with_cube(|cube| resolve_cell(cube, req))?;
     let k: usize = parse_num(req, "k", 5)?;
-    state.cube.ensure_path_level(pl)?;
-    state.cube.with_cube(|cube| {
+    served.ensure_path_level(pl)?;
+    served.with_cube(|cube| {
         let lk = cube
             .lookup(&key, pl)
             .ok_or_else(|| ApiError::NotFound("no materialized cell or ancestor".into()))?;
@@ -508,10 +664,10 @@ fn handle_topk(state: &AppState, req: &Request) -> Result<String, ApiError> {
     })
 }
 
-fn handle_probability(state: &AppState, req: &Request) -> Result<String, ApiError> {
-    let (key, pl) = state.cube.with_cube(|cube| resolve_cell(cube, req))?;
-    state.cube.ensure_path_level(pl)?;
-    state.cube.with_cube(|cube| {
+fn handle_probability(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
+    let (key, pl) = served.with_cube(|cube| resolve_cell(cube, req))?;
+    served.ensure_path_level(pl)?;
+    served.with_cube(|cube| {
         let path = parse_path(cube, require_param(req, "path")?)?;
         let lk = cube
             .lookup(&key, pl)
@@ -523,10 +679,10 @@ fn handle_probability(state: &AppState, req: &Request) -> Result<String, ApiErro
     })
 }
 
-fn handle_exceptions(state: &AppState, req: &Request) -> Result<String, ApiError> {
-    let (key, pl) = state.cube.with_cube(|cube| resolve_cell(cube, req))?;
-    state.cube.ensure_path_level(pl)?;
-    state.cube.with_cube(|cube| {
+fn handle_exceptions(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
+    let (key, pl) = served.with_cube(|cube| resolve_cell(cube, req))?;
+    served.ensure_path_level(pl)?;
+    served.with_cube(|cube| {
         let lk = cube
             .lookup(&key, pl)
             .ok_or_else(|| ApiError::NotFound("no materialized cell or ancestor".into()))?;
@@ -559,14 +715,14 @@ fn handle_exceptions(state: &AppState, req: &Request) -> Result<String, ApiError
     })
 }
 
-fn handle_stats(state: &AppState) -> Result<String, ApiError> {
-    let cuboids = state.cube.total_cuboids();
-    state.cube.with_cube(|cube| {
+fn handle_stats(served: &ServedCube) -> Result<String, ApiError> {
+    let cuboids = served.total_cuboids();
+    served.with_cube(|cube| {
         Ok(json(&StatsResponse {
             cuboids,
             resident_cuboids: cube.num_cuboids(),
             resident_cells: cube.total_cells(),
-            snapshot_backed: state.cube.snapshot.is_some(),
+            snapshot_backed: served.snapshot.is_some(),
             summary: cube.stats().summary(),
             build: cube.stats().clone(),
         }))
@@ -609,16 +765,23 @@ fn endpoint_tag(path: &str) -> &'static str {
     }
 }
 
-/// Route and answer one request, recording latency/status metrics and
-/// consulting the response cache. Returns `(status, body)`.
+/// Route and answer one request with no deadline. See
+/// [`handle_request_ctx`].
 pub fn handle_request(state: &AppState, req: &Request) -> (u16, String) {
+    handle_request_ctx(state, req, &RequestCtx::default())
+}
+
+/// Route and answer one request under `ctx`'s limits, recording
+/// latency/status metrics and consulting the response cache. Returns
+/// `(status, body)`.
+pub fn handle_request_ctx(state: &AppState, req: &Request, ctx: &RequestCtx) -> (u16, String) {
     let start = Instant::now();
     let tag = endpoint_tag(&req.path);
     let _span = flowcube_obs::span!("serve.request");
     flowcube_obs::counter_add("serve.requests.total", 1);
     flowcube_obs::counter_add(&format!("serve.requests.{tag}"), 1);
 
-    let (status, body) = respond(state, req);
+    let (status, body) = respond(state, req, ctx);
 
     let us = start.elapsed().as_micros() as f64;
     flowcube_obs::histogram_record("serve.latency_us", us);
@@ -628,7 +791,22 @@ pub fn handle_request(state: &AppState, req: &Request) -> (u16, String) {
     (status, body)
 }
 
-fn respond(state: &AppState, req: &Request) -> (u16, String) {
+fn error_body(e: &ApiError) -> (u16, String) {
+    (
+        e.status(),
+        json(&ErrorResponse {
+            error: e.to_string(),
+        }),
+    )
+}
+
+fn respond(state: &AppState, req: &Request, ctx: &RequestCtx) -> (u16, String) {
+    if req.method == "POST" && req.path == "/admin/reload" {
+        return match state.reload() {
+            Ok(resp) => (200, json(&resp)),
+            Err(e) => error_body(&e),
+        };
+    }
     if req.method != "GET" {
         return (
             405,
@@ -646,29 +824,43 @@ fn respond(state: &AppState, req: &Request) -> (u16, String) {
         }
     }
 
+    // Fault injection: stall the request here (as a slow disk or a
+    // pathological query would) so the deadline checks are testable.
+    flowcube_testkit::fail_point_unit("serve.request");
+    if let Err(e) = ctx.check_deadline() {
+        return error_body(&e);
+    }
+
+    let served = state.cube();
     let result = match req.path.as_str() {
-        "/cell" => handle_cell(state, req),
-        "/rollup" => handle_rollup(state, req),
-        "/drilldown" => handle_drilldown(state, req),
-        "/slice" => handle_slice(state, req),
-        "/dice" => handle_dice(state, req),
-        "/paths/topk" => handle_topk(state, req),
-        "/paths/probability" => handle_probability(state, req),
-        "/exceptions" => handle_exceptions(state, req),
-        "/stats" => handle_stats(state),
+        "/cell" => handle_cell(&served, req),
+        "/rollup" => handle_rollup(&served, req),
+        "/drilldown" => handle_drilldown(&served, req),
+        "/slice" => handle_slice(&served, req),
+        "/dice" => handle_dice(&served, req),
+        "/paths/topk" => handle_topk(&served, req),
+        "/paths/probability" => handle_probability(&served, req),
+        "/exceptions" => handle_exceptions(&served, req),
+        "/stats" => handle_stats(&served),
         "/metrics" => handle_metrics(state),
-        "/healthz" => Ok(json(&HealthResponse { ok: true })),
+        "/healthz" => {
+            let degraded = state.health.degraded();
+            Ok(json(&HealthResponse {
+                ok: !degraded,
+                status: if degraded { "degraded" } else { "ok" },
+                worker_crashes: state.health.worker_crashes(),
+            }))
+        }
         other => Err(ApiError::NotFound(format!("no route {other:?}"))),
     };
+    // The handler may have hydrated cuboids from disk or walked a large
+    // flowgraph; re-check so a blown deadline reports 503 rather than
+    // pretending it answered in time.
+    let result = result.and_then(|body| ctx.check_deadline().map(|()| body));
 
     let (status, body) = match result {
         Ok(body) => (200, body),
-        Err(e) => (
-            e.status(),
-            json(&ErrorResponse {
-                error: e.to_string(),
-            }),
-        ),
+        Err(e) => error_body(&e),
     };
     if use_cache && status == 200 {
         state.cache.insert(

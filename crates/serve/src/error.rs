@@ -69,6 +69,8 @@ pub enum ApiError {
     Core(CoreError),
     /// The snapshot backing the cube failed mid-serve.
     Snapshot(SnapshotError),
+    /// The request's deadline elapsed before an answer was produced.
+    Deadline,
 }
 
 impl ApiError {
@@ -83,8 +85,12 @@ impl ApiError {
                 CoreError::UnknownPathLevel { .. } | CoreError::UnresolvedCell { .. } => 404,
                 CoreError::DimensionOutOfRange { .. } => 400,
                 CoreError::SchemaMismatch { .. } | CoreError::PathSpecMismatch { .. } => 409,
+                // Bad source data surfacing through a serving path is a
+                // malformed request from the server's point of view.
+                CoreError::Ingest { .. } => 400,
             },
             ApiError::Snapshot(_) => 500,
+            ApiError::Deadline => 503,
         }
     }
 }
@@ -96,6 +102,7 @@ impl fmt::Display for ApiError {
             ApiError::NotFound(m) => write!(f, "not found: {m}"),
             ApiError::Core(e) => write!(f, "{e}"),
             ApiError::Snapshot(e) => write!(f, "{e}"),
+            ApiError::Deadline => write!(f, "deadline exceeded"),
         }
     }
 }

@@ -20,6 +20,13 @@
 //! Every request is traced through `flowcube-obs` (`serve.requests.*`,
 //! `serve.latency_us*`, `serve.cache.*`) and the registry is exported
 //! over `/metrics`.
+//!
+//! Failure handling (panic-isolated workers, per-request deadlines,
+//! snapshot hot-reload with rollback) is described in `DESIGN.md` §10.
+//! This crate fronts the network, so sloppy error handling becomes an
+//! outage: `unwrap`/`expect` are denied outside tests — every failure
+//! must map to an HTTP status or a typed error.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod api;
 pub mod cache;
@@ -29,8 +36,11 @@ pub mod http;
 pub mod server;
 pub mod snapshot;
 
-pub use api::{handle_request, AppState, ServedCube};
+pub use api::{
+    handle_request, handle_request_ctx, AppState, HealthState, ReloadResponse, RequestCtx,
+    ServedCube,
+};
 pub use cache::{CachedResponse, ResponseCache};
 pub use error::{ApiError, SnapshotError};
-pub use server::{serve, serve_cube, ServerConfig, ServerHandle};
+pub use server::{serve, serve_cube, take_reload_request, ServerConfig, ServerHandle};
 pub use snapshot::{write_snapshot, Snapshot, SnapshotInfo, FORMAT_VERSION};

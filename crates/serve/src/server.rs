@@ -16,8 +16,21 @@
 //! `SIGTERM` via [`ServerHandle::wait_for_signals`]) flips a flag; the
 //! acceptor (polling with a short accept timeout) and the workers
 //! (polling the queue with a short wait timeout) notice it and drain.
+//!
+//! Fault tolerance:
+//!
+//! * workers run under a **supervisor** thread: a worker that panics is
+//!   joined, counted (`serve.worker.crashes`, surfaced on `/healthz`),
+//!   and respawned, so one poisonous request cannot shrink the pool;
+//!   past [`ServerConfig::degraded_after`] crashes `/healthz` reports
+//!   `degraded`;
+//! * [`ServerConfig::request_deadline`] bounds each request
+//!   cooperatively — blown deadlines answer `503`;
+//! * `SIGHUP` (or `POST /admin/reload`) hot-reloads the backing
+//!   snapshot: the replacement is fully validated before the cube is
+//!   swapped, and any validation failure leaves the old cube serving.
 
-use crate::api::{handle_request, AppState};
+use crate::api::{handle_request_ctx, AppState, RequestCtx};
 use crate::cache::ResponseCache;
 use crate::http::{read_request, write_response, HttpError};
 use std::collections::VecDeque;
@@ -43,6 +56,12 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
     pub write_timeout: Duration,
+    /// Cooperative per-request deadline; `None` disables. A request that
+    /// outlives it answers `503` instead of a result.
+    pub request_deadline: Option<Duration>,
+    /// Worker crashes after which `/healthz` reports `degraded`
+    /// (`0` disables).
+    pub degraded_after: u64,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +73,8 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            request_deadline: None,
+            degraded_after: 8,
         }
     }
 }
@@ -113,6 +134,7 @@ impl ConnQueue {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    state: Arc<AppState>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -120,6 +142,11 @@ impl ServerHandle {
     /// The actual bound address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The shared application state (health, cache, live cube).
+    pub fn state(&self) -> Arc<AppState> {
+        self.state.clone()
     }
 
     /// Request a graceful stop; returns immediately. A wake-up
@@ -130,7 +157,7 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
     }
 
-    /// Wait for the acceptor and all workers to exit.
+    /// Wait for the acceptor, supervisor, and all workers to exit.
     pub fn join(mut self) {
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -138,12 +165,19 @@ impl ServerHandle {
     }
 
     /// Block until `SIGINT`/`SIGTERM` (or a prior [`shutdown`] call),
-    /// then stop the server and join its threads.
+    /// then stop the server and join its threads. A `SIGHUP` received
+    /// while waiting triggers a snapshot hot-reload
+    /// ([`AppState::reload`]) instead of stopping.
     ///
     /// [`shutdown`]: ServerHandle::shutdown
     pub fn wait_for_signals(self) {
         install_signal_handlers();
         while !self.stop.load(Ordering::SeqCst) && !signal_received() {
+            if take_reload_request() {
+                // Failures keep the old cube; the outcome lands in the
+                // serve.reload.{ok,failed} counters either way.
+                let _ = self.state.reload();
+            }
             std::thread::sleep(Duration::from_millis(100));
         }
         self.shutdown();
@@ -159,9 +193,10 @@ pub fn serve(state: AppState, config: ServerConfig) -> io::Result<ServerHandle> 
 
     let stop = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(ConnQueue::new(config.queue_depth));
+    state.health.set_degraded_after(config.degraded_after);
     let state = Arc::new(state);
 
-    let mut threads = Vec::with_capacity(config.workers + 1);
+    let mut threads = Vec::with_capacity(2);
 
     // Acceptor.
     {
@@ -174,16 +209,16 @@ pub fn serve(state: AppState, config: ServerConfig) -> io::Result<ServerHandle> 
         );
     }
 
-    // Workers.
-    for i in 0..config.workers.max(1) {
+    // Supervisor — spawns the workers and respawns any that panic.
+    {
         let stop = stop.clone();
         let queue = queue.clone();
         let state = state.clone();
         let config = config.clone();
         threads.push(
             std::thread::Builder::new()
-                .name(format!("serve-worker-{i}"))
-                .spawn(move || worker_loop(state, queue, stop, config))?,
+                .name("serve-supervisor".into())
+                .spawn(move || supervisor_loop(state, queue, stop, config))?,
         );
     }
 
@@ -191,6 +226,7 @@ pub fn serve(state: AppState, config: ServerConfig) -> io::Result<ServerHandle> 
     Ok(ServerHandle {
         addr,
         stop,
+        state,
         threads,
     })
 }
@@ -198,7 +234,7 @@ pub fn serve(state: AppState, config: ServerConfig) -> io::Result<ServerHandle> 
 /// Convenience: build the [`AppState`] and start serving.
 pub fn serve_cube(cube: crate::api::ServedCube, config: ServerConfig) -> io::Result<ServerHandle> {
     let cache = ResponseCache::new(config.cache_capacity);
-    serve(AppState { cube, cache }, config)
+    serve(AppState::new(cube, cache), config)
 }
 
 fn acceptor_loop(listener: TcpListener, queue: Arc<ConnQueue>, stop: Arc<AtomicBool>) {
@@ -227,6 +263,61 @@ fn acceptor_loop(listener: TcpListener, queue: Arc<ConnQueue>, stop: Arc<AtomicB
     }
 }
 
+/// Keep the worker pool at full strength: spawn the workers, poll for
+/// finished handles, and respawn any that exited by panic. Worker
+/// crashes are recorded in [`AppState`]'s health state (`/healthz`
+/// surfaces them) and in the `serve.worker.crashes` counter. Workers
+/// that return normally (shutdown) are simply reaped.
+fn supervisor_loop(
+    state: Arc<AppState>,
+    queue: Arc<ConnQueue>,
+    stop: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let spawn_worker = |slot: usize, generation: u64| -> Option<JoinHandle<()>> {
+        let state = state.clone();
+        let queue = queue.clone();
+        let stop = stop.clone();
+        let config = config.clone();
+        std::thread::Builder::new()
+            .name(format!("serve-worker-{slot}.{generation}"))
+            .spawn(move || worker_loop(state, queue, stop, config))
+            .ok()
+    };
+    let workers = config.workers.max(1);
+    let mut generation = 0u64;
+    let mut pool: Vec<Option<JoinHandle<()>>> =
+        (0..workers).map(|slot| spawn_worker(slot, 0)).collect();
+    loop {
+        std::thread::sleep(Duration::from_millis(20));
+        let stopping = stop.load(Ordering::SeqCst);
+        for (slot, entry) in pool.iter_mut().enumerate() {
+            // Only reap handles that actually finished — `take` on a
+            // live worker would detach it from supervision.
+            if !matches!(entry, Some(h) if h.is_finished()) {
+                continue;
+            }
+            if let Some(handle) = entry.take() {
+                let crashed = handle.join().is_err();
+                if crashed {
+                    state.health.record_worker_crash();
+                    if !stopping {
+                        generation += 1;
+                        *entry = spawn_worker(slot, generation);
+                    }
+                }
+                // A clean return means shutdown: leave the slot empty.
+            }
+        }
+        if stopping {
+            for handle in pool.iter_mut().filter_map(Option::take) {
+                let _ = handle.join();
+            }
+            return;
+        }
+    }
+}
+
 fn worker_loop(
     state: Arc<AppState>,
     queue: Arc<ConnQueue>,
@@ -240,11 +331,19 @@ fn worker_loop(
             }
             continue;
         };
+        // Fault injection: kill this worker after it claimed a
+        // connection — the harshest spot, since the stream dies with it.
+        // The supervisor respawns the pool slot.
+        flowcube_testkit::fail_point_unit("serve.worker.request");
         let _ = stream.set_read_timeout(Some(config.read_timeout));
         let _ = stream.set_write_timeout(Some(config.write_timeout));
         match read_request(&mut stream) {
             Ok(req) => {
-                let (status, body) = handle_request(&state, &req);
+                let ctx = match config.request_deadline {
+                    Some(timeout) => RequestCtx::with_timeout(timeout),
+                    None => RequestCtx::default(),
+                };
+                let (status, body) = handle_request_ctx(&state, &req, &ctx);
                 let _ = write_response(&mut stream, status, &body);
             }
             Err(HttpError::Malformed(detail)) => {
@@ -270,12 +369,14 @@ fn worker_loop(
 // ---- signals ------------------------------------------------------------
 
 static SIGNAL_RECEIVED: AtomicBool = AtomicBool::new(false);
+static RELOAD_REQUESTED: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod sig {
-    use super::SIGNAL_RECEIVED;
+    use super::{RELOAD_REQUESTED, SIGNAL_RECEIVED};
     use std::sync::atomic::Ordering;
 
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
 
@@ -287,17 +388,23 @@ mod sig {
         SIGNAL_RECEIVED.store(true, Ordering::SeqCst);
     }
 
+    extern "C" fn on_reload(_signum: i32) {
+        RELOAD_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
     pub fn install() {
         // std already links libc on unix; `signal(2)` with a flag-setting
         // handler is the only async-signal-safe thing we need.
         unsafe {
             signal(SIGINT, on_signal as *const () as usize);
             signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGHUP, on_reload as *const () as usize);
         }
     }
 }
 
-/// Install `SIGINT`/`SIGTERM` handlers that flip a process-wide flag.
+/// Install `SIGINT`/`SIGTERM` (stop) and `SIGHUP` (reload) handlers
+/// that flip process-wide flags.
 pub fn install_signal_handlers() {
     #[cfg(unix)]
     sig::install();
@@ -306,4 +413,9 @@ pub fn install_signal_handlers() {
 /// Whether a termination signal has been observed.
 pub fn signal_received() -> bool {
     SIGNAL_RECEIVED.load(Ordering::SeqCst)
+}
+
+/// Consume a pending `SIGHUP` reload request, if one arrived.
+pub fn take_reload_request() -> bool {
+    RELOAD_REQUESTED.swap(false, Ordering::SeqCst)
 }

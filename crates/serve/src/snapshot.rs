@@ -107,6 +107,9 @@ fn canonical_stats(stats: &flowcube_core::BuildStats) -> flowcube_core::BuildSta
     s.materialize_time = Default::default();
     s.redundancy_time = Default::default();
     s.threads_used = 0;
+    // Retries are a property of one execution (a transient worker fault),
+    // not of the cube; a self-healed build snapshots identically.
+    s.chunk_retries = 0;
     s
 }
 
@@ -201,7 +204,19 @@ impl Snapshot {
         let path = path.as_ref();
         let _span = flowcube_obs::span!("serve.snapshot.open");
         let mut file = File::open(path).map_err(|e| io_err(path, e))?;
-        let file_len = file.metadata().map_err(|e| io_err(path, e))?.len();
+        let mut file_len = file.metadata().map_err(|e| io_err(path, e))?.len();
+        // Fault injection: pretend the file ends early (a torn copy /
+        // partial download) or that the open itself failed.
+        match flowcube_testkit::fail_point("serve.snapshot.open") {
+            Some(flowcube_testkit::Fault::Error(detail)) => {
+                return Err(SnapshotError::Io {
+                    path: path.display().to_string(),
+                    detail,
+                });
+            }
+            Some(flowcube_testkit::Fault::ShortRead(n)) => file_len = file_len.min(n as u64),
+            None => {}
+        }
         if file_len < HEADER_LEN {
             return Err(SnapshotError::Truncated { what: "header" });
         }
@@ -210,15 +225,15 @@ impl Snapshot {
         if header[0..8] != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
-        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let version = u32::from_le_bytes(le_array(&header[8..12]));
         if version != FORMAT_VERSION {
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
             });
         }
-        let index_len = u64::from_le_bytes(header[12..20].try_into().unwrap());
-        let index_crc = u32::from_le_bytes(header[20..24].try_into().unwrap());
+        let index_len = u64::from_le_bytes(le_array(&header[12..20]));
+        let index_crc = u32::from_le_bytes(le_array(&header[20..24]));
         if HEADER_LEN + index_len > file_len {
             return Err(SnapshotError::Truncated { what: "index" });
         }
@@ -285,6 +300,39 @@ impl Snapshot {
         &self.shell
     }
 
+    /// The file this snapshot was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Exhaustively validate the snapshot: every section's payload is
+    /// read and CRC-checked, and every cuboid section is test-decoded.
+    /// [`Snapshot::open`] only validates the header, index, and metadata
+    /// sections (cuboids stay lazy); hot-reload calls this first so a
+    /// corrupt replacement file is rejected *before* the live cube is
+    /// swapped out.
+    pub fn verify_all(&self) -> Result<(), SnapshotError> {
+        let _span = flowcube_obs::span!("serve.snapshot.verify_all");
+        for desc in &self.sections {
+            if desc.kind == KIND_CUBOID {
+                let _cuboid: Cuboid = self.read_section(desc)?;
+            } else {
+                let mut file = self.file.lock();
+                let mut bytes = vec![0u8; desc.len as usize];
+                file.seek(SeekFrom::Start(self.data_start + desc.offset))
+                    .map_err(|e| io_err(&self.path, e))?;
+                file.read_exact(&mut bytes)
+                    .map_err(|e| io_err(&self.path, e))?;
+                if crc32(&bytes) != desc.crc {
+                    return Err(SnapshotError::ChecksumMismatch {
+                        section: section_label(desc),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Addresses of every cuboid stored in the snapshot.
     pub fn cuboid_keys(&self) -> impl Iterator<Item = &CuboidKey> {
         self.sections.iter().filter_map(|s| s.cuboid.as_ref())
@@ -330,6 +378,15 @@ impl Snapshot {
     }
 }
 
+/// Copy a header slice into a fixed-size array for `from_le_bytes`.
+/// The caller passes slices of exactly `N` bytes out of the fixed-length
+/// header, so the length check can only fail on a programming error.
+fn le_array<const N: usize>(slice: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(slice);
+    out
+}
+
 fn section_label(desc: &SectionDesc) -> String {
     match &desc.cuboid {
         Some(key) => format!("cuboid {:?}@{}", key.item_level, key.path_level),
@@ -348,6 +405,18 @@ fn decode_section<T: for<'de> Deserialize<'de>>(
     file.seek(SeekFrom::Start(data_start + desc.offset))
         .map_err(|e| io_err(path, e))?;
     file.read_exact(&mut bytes).map_err(|e| io_err(path, e))?;
+    // Fault injection: lose the payload's tail (torn write / bad disk) —
+    // the CRC below then fails exactly as it would on real corruption.
+    match flowcube_testkit::fail_point("serve.snapshot.section") {
+        Some(flowcube_testkit::Fault::ShortRead(n)) => bytes.truncate(n.min(bytes.len())),
+        Some(flowcube_testkit::Fault::Error(detail)) => {
+            return Err(SnapshotError::Io {
+                path: path.display().to_string(),
+                detail,
+            });
+        }
+        None => {}
+    }
     if crc32(&bytes) != desc.crc {
         return Err(SnapshotError::ChecksumMismatch {
             section: section_label(desc),

@@ -12,7 +12,8 @@
 //! * [`core`] — the flowcube model with OLAP navigation;
 //! * [`datagen`] — the synthetic retail path generator;
 //! * [`obs`] — structured tracing, metrics, and profiling exporters;
-//! * [`serve`] — versioned binary snapshots and the HTTP query server.
+//! * [`serve`] — versioned binary snapshots and the HTTP query server;
+//! * [`testkit`] — deterministic failpoints for fault-injection tests.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -24,6 +25,7 @@ pub use flowcube_mining as mining;
 pub use flowcube_obs as obs;
 pub use flowcube_pathdb as pathdb;
 pub use flowcube_serve as serve;
+pub use flowcube_testkit as testkit;
 
 pub use flowcube_core::{Algorithm, FlowCube, FlowCubeParams, ItemPlan};
 pub use flowcube_flowgraph::FlowGraph;
