@@ -1,0 +1,149 @@
+//! Overhead of the flight recorder (`flowcube_obs::flight`).
+//!
+//! The contract (`crates/obs`): a disabled recorder costs **one relaxed
+//! atomic load** per `record` call — the same budget as a quiet
+//! failpoint site, which this bench measures side by side as the
+//! reference point. The acceptance gate is `disabled_record_ns` within
+//! 2x of `failpoint_disabled_ns`. The enabled cost (claim + four
+//! relaxed stores + one release store) is reported for context; it is
+//! the always-on price a serving process pays per request event.
+//!
+//! Medians land in `BENCH_flight_overhead.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flowcube_obs::flight::{self, FlightKind};
+use std::time::Instant;
+
+#[derive(serde::Serialize)]
+struct FlightOverheadResult {
+    /// Nanoseconds per `record` call with the recorder disabled
+    /// (median over batches) — the production cost when nobody is
+    /// looking.
+    disabled_record_ns: f64,
+    /// Nanoseconds per `record` call with the recorder enabled.
+    enabled_record_ns: f64,
+    /// Nanoseconds per quiet `fail_point` call — the established
+    /// one-relaxed-load reference the disabled cost is gated against.
+    failpoint_disabled_ns: f64,
+    /// `disabled_record_ns / failpoint_disabled_ns`; the acceptance
+    /// criterion is <= 2.0.
+    disabled_vs_failpoint_ratio: f64,
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Median ns/call of `f` over `batches` batches of `iters` calls.
+fn ns_per_call(batches: usize, iters: u32, mut f: impl FnMut()) -> f64 {
+    let samples: Vec<f64> = (0..batches)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    median(samples)
+}
+
+fn bench(c: &mut Criterion) {
+    let label = flight::intern("bench");
+
+    let mut group = c.benchmark_group("flight_overhead");
+    group.sample_size(10);
+
+    flight::disable();
+    group.bench_function("record_disabled_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                flight::record(
+                    black_box(FlightKind::Mark),
+                    black_box(i),
+                    black_box(label),
+                    0,
+                    black_box(i),
+                );
+            }
+        })
+    });
+
+    flight::enable();
+    group.bench_function("record_enabled_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                flight::record(
+                    black_box(FlightKind::Mark),
+                    black_box(i),
+                    black_box(label),
+                    0,
+                    black_box(i),
+                );
+            }
+        })
+    });
+    flight::disable();
+
+    flowcube_testkit::reset();
+    group.bench_function("failpoint_disabled_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000u32 {
+                black_box(flowcube_testkit::fail_point(black_box("bench.noop")));
+            }
+        })
+    });
+    group.finish();
+
+    // Direct wall-clock medians for the JSON artifact.
+    flight::disable();
+    let disabled_record_ns = ns_per_call(9, 100_000, || {
+        flight::record(
+            black_box(FlightKind::Mark),
+            black_box(7),
+            black_box(label),
+            0,
+            black_box(9),
+        );
+    });
+    flight::enable();
+    let enabled_record_ns = ns_per_call(9, 100_000, || {
+        flight::record(
+            black_box(FlightKind::Mark),
+            black_box(7),
+            black_box(label),
+            0,
+            black_box(9),
+        );
+    });
+    flight::disable();
+    flight::clear();
+    flowcube_testkit::reset();
+    let failpoint_disabled_ns = ns_per_call(9, 100_000, || {
+        black_box(flowcube_testkit::fail_point(black_box("bench.noop")));
+    });
+
+    let result = FlightOverheadResult {
+        disabled_record_ns,
+        enabled_record_ns,
+        failpoint_disabled_ns,
+        disabled_vs_failpoint_ratio: disabled_record_ns / failpoint_disabled_ns,
+    };
+    std::fs::write(
+        "BENCH_flight_overhead.json",
+        serde_json::to_string_pretty(&result).expect("serialize"),
+    )
+    .expect("write BENCH_flight_overhead.json");
+    println!(
+        "\nwrote BENCH_flight_overhead.json: disabled {:.2}ns, enabled {:.2}ns, \
+         failpoint reference {:.2}ns ({:.3}x)",
+        result.disabled_record_ns,
+        result.enabled_record_ns,
+        result.failpoint_disabled_ns,
+        result.disabled_vs_failpoint_ratio
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

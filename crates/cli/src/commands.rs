@@ -30,7 +30,7 @@ USAGE:
                     (or --cube cube.json --out cube.snap to convert)
   flowcube serve    --snapshot cube.snap [--addr HOST:PORT] [--workers N]
                     [--queue-depth N] [--cache N] [--deadline-ms MS]
-                    [--degraded-after N]
+                    [--degraded-after N] [--access-log FILE|-] [--slow-ms MS]
                     (or --cube cube.json to serve a JSON cube directly)
   flowcube ingest   --text paths.txt --schema-from db.json --out clean.json
                     [--on-error strict|lenient|quarantine]
@@ -46,6 +46,15 @@ SERVING:
   --deadline-ms MS     per-request deadline; slow requests answer 503
   --degraded-after N   /healthz reports degraded after N worker crashes
                        (0 disables; default 8)
+  --access-log DEST    structured JSON access log: '-' for stdout, else a
+                       file to append to; one object per request, carrying
+                       the X-Request-Id echoed to the client
+  --slow-ms MS         requests slower than MS log with the flight-recorder
+                       window attached (requires --access-log); 5xx always
+                       dump the flight window
+  GET /metrics answers JSON by default; ?format=prometheus (or an Accept
+  header naming text/plain) selects Prometheus text exposition. GET
+  /debug/flight dumps the in-memory flight recorder ring.
   SIGHUP or POST /admin/reload re-opens the snapshot file, verifies every
   section checksum, and swaps it in atomically; a corrupt file is rejected
   and the server keeps serving the old cube.
@@ -432,6 +441,11 @@ pub fn serve_with_handle(args: &Args) -> Result<flowcube_serve::ServerHandle, St
             ms => Some(std::time::Duration::from_millis(ms)),
         },
         degraded_after: args.num("degraded-after", 8u64)?,
+        access_log: args.get("access-log").map(|s| s.to_string()),
+        slow_request_ms: match args.num("slow-ms", 0u64)? {
+            0 => None,
+            ms => Some(ms),
+        },
         ..Default::default()
     };
     let handle = flowcube_serve::serve_cube(served, config).map_err(|e| e.to_string())?;

@@ -65,6 +65,403 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
     serde_json::to_string_pretty(snapshot).expect("snapshot always serializes")
 }
 
+// ---- Prometheus text exposition -----------------------------------------
+
+/// Split a registry key into `(base_name, label_block)` where the label
+/// block is the canonical `k="v",…` inner string built by
+/// [`crate::metrics::labeled`] (empty for unlabeled metrics).
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(open) if name.ends_with('}') => (&name[..open], &name[open + 1..name.len() - 1]),
+        _ => (name, ""),
+    }
+}
+
+/// Map an arbitrary dotted registry name onto the Prometheus metric-name
+/// alphabet `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if valid {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Format a sample value the way Prometheus parsers expect (plain
+/// decimal; integral floats without a trailing `.0`).
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_sample(out: &mut String, name: &str, labels: &str, extra: Option<&str>, value: &str) {
+    out.push_str(name);
+    match (labels.is_empty(), extra) {
+        (true, None) => {}
+        (true, Some(extra)) => {
+            out.push('{');
+            out.push_str(extra);
+            out.push('}');
+        }
+        (false, None) => {
+            out.push('{');
+            out.push_str(labels);
+            out.push('}');
+        }
+        (false, Some(extra)) => {
+            out.push('{');
+            out.push_str(labels);
+            out.push(',');
+            out.push_str(extra);
+            out.push('}');
+        }
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Render a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as single samples, histograms as
+/// cumulative `_bucket{le=…}` series plus `_sum` and `_count`.
+///
+/// Registry keys built with [`crate::metrics::labeled`] become properly
+/// labeled series; other keys are flat. Dotted names are sanitized to
+/// the Prometheus alphabet. Series sharing a base name are grouped under
+/// one `# TYPE` header, as the format requires.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    // family name -> (type, sample lines) in first-seen order per kind.
+    let mut out = String::new();
+
+    let mut families: BTreeMap<String, (&'static str, Vec<String>)> = BTreeMap::new();
+    for (name, &value) in &snapshot.counters {
+        let (base, labels) = split_labels(name);
+        let fam = sanitize_name(base);
+        let mut line = String::new();
+        push_sample(&mut line, &fam, labels, None, &fmt_value(value as f64));
+        families
+            .entry(fam)
+            .or_insert(("counter", Vec::new()))
+            .1
+            .push(line);
+    }
+    for (name, &value) in &snapshot.gauges {
+        let (base, labels) = split_labels(name);
+        let fam = sanitize_name(base);
+        let mut line = String::new();
+        push_sample(&mut line, &fam, labels, None, &fmt_value(value));
+        families
+            .entry(fam)
+            .or_insert(("gauge", Vec::new()))
+            .1
+            .push(line);
+    }
+    for (name, summary) in &snapshot.histograms {
+        let (base, labels) = split_labels(name);
+        let fam = sanitize_name(base);
+        let mut lines = String::new();
+        for bucket in &summary.buckets {
+            push_sample(
+                &mut lines,
+                &format!("{fam}_bucket"),
+                labels,
+                Some(&format!("le=\"{}\"", fmt_value(bucket.le))),
+                &fmt_value(bucket.count as f64),
+            );
+        }
+        push_sample(
+            &mut lines,
+            &format!("{fam}_bucket"),
+            labels,
+            Some("le=\"+Inf\""),
+            &fmt_value(summary.count as f64),
+        );
+        push_sample(
+            &mut lines,
+            &format!("{fam}_sum"),
+            labels,
+            None,
+            &fmt_value(summary.sum),
+        );
+        push_sample(
+            &mut lines,
+            &format!("{fam}_count"),
+            labels,
+            None,
+            &fmt_value(summary.count as f64),
+        );
+        families
+            .entry(fam)
+            .or_insert(("histogram", Vec::new()))
+            .1
+            .push(lines);
+    }
+
+    for (fam, (kind, lines)) in &families {
+        out.push_str(&format!("# TYPE {fam} {kind}\n"));
+        for line in lines {
+            out.push_str(line);
+        }
+    }
+    out
+}
+
+/// One parsed sample from a Prometheus text page.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    /// Full sample name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Parse one `k="v",…` label block, undoing exposition escapes.
+fn parse_label_block(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = block.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() || !valid_metric_name(&key) {
+            return Err(format!("bad label name {key:?} in {block:?}"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key} not quoted in {block:?}"));
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape \\{other:?} in {block:?}")),
+                },
+                '\n' => return Err(format!("raw newline in label value in {block:?}")),
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated label value in {block:?}"));
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => return Ok(labels),
+            Some(',') => continue,
+            Some(c) => {
+                return Err(format!(
+                    "expected ',' between labels, got {c:?} in {block:?}"
+                ))
+            }
+        }
+    }
+}
+
+fn parse_sample_line(line: &str) -> Result<PromSample, String> {
+    let (name_part, value_part) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label block: {line:?}"))?;
+            if close < open {
+                return Err(format!("mismatched braces: {line:?}"));
+            }
+            let labels = parse_label_block(&line[open + 1..close])?;
+            return Ok(PromSample {
+                name: {
+                    let name = &line[..open];
+                    if !valid_metric_name(name) {
+                        return Err(format!("invalid metric name {name:?}"));
+                    }
+                    name.to_string()
+                },
+                labels,
+                value: parse_value(line[close + 1..].trim())?,
+            });
+        }
+        None => {
+            let mut parts = line.splitn(2, ' ');
+            (
+                parts.next().unwrap_or_default(),
+                parts.next().unwrap_or_default(),
+            )
+        }
+    };
+    if !valid_metric_name(name_part) {
+        return Err(format!("invalid metric name {name_part:?}"));
+    }
+    Ok(PromSample {
+        name: name_part.to_string(),
+        labels: Vec::new(),
+        value: parse_value(value_part.trim())?,
+    })
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        s => s.parse().map_err(|_| format!("bad sample value {s:?}")),
+    }
+}
+
+/// Conformance-check a Prometheus text page and return its parsed
+/// samples. Verifies what a scraper relies on:
+///
+/// * every non-comment line parses as `name[{labels}] value`, with valid
+///   metric/label names and fully escaped, quoted label values;
+/// * every sample belongs to a `# TYPE`-declared family (histogram
+///   samples may carry `_bucket`/`_sum`/`_count` suffixes);
+/// * per histogram series (grouped by its non-`le` labels): `le` bounds
+///   strictly increase, cumulative counts never decrease, an `+Inf`
+///   bucket exists, and it equals the `_count` sample — i.e.
+///   `_count == sum(per-bucket increments)`;
+/// * histogram series have a `_sum`.
+pub fn check_prometheus_text(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples: Vec<PromSample> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = (
+                parts.next().unwrap_or_default(),
+                parts.next().unwrap_or_default(),
+            );
+            if !valid_metric_name(name) {
+                return Err(format!("TYPE line with invalid name: {line:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("TYPE line with unknown type: {line:?}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("duplicate TYPE declaration for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        samples.push(parse_sample_line(line)?);
+    }
+
+    // Family membership: strip histogram suffixes when the base family
+    // is declared as a histogram.
+    let family_of = |name: &str| -> Option<String> {
+        if types.contains_key(name) {
+            return Some(name.to_string());
+        }
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if types.get(base).is_some_and(|t| t == "histogram") {
+                    return Some(base.to_string());
+                }
+            }
+        }
+        None
+    };
+
+    // Histogram invariants, grouped by family + non-le labels.
+    let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut sums: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for sample in &samples {
+        let family = family_of(&sample.name)
+            .ok_or_else(|| format!("sample {} has no TYPE declaration", sample.name))?;
+        if types[&family] != "histogram" {
+            continue;
+        }
+        let series_labels: Vec<String> = sample
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let key = (family.clone(), series_labels.join(","));
+        if sample.name.ends_with("_bucket") {
+            let le = sample
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("bucket sample without le label: {}", sample.name))?;
+            let bound = parse_value(&le.1)?;
+            buckets.entry(key).or_default().push((bound, sample.value));
+        } else if sample.name.ends_with("_count") {
+            counts.insert(key, sample.value);
+        } else if sample.name.ends_with("_sum") {
+            sums.insert(key, sample.value);
+        }
+    }
+    for (key, series) in &buckets {
+        for pair in series.windows(2) {
+            if pair[0].0 >= pair[1].0 {
+                return Err(format!("{key:?}: le bounds not increasing"));
+            }
+            if pair[0].1 > pair[1].1 {
+                return Err(format!("{key:?}: cumulative bucket counts decrease"));
+            }
+        }
+        let last = series.last().expect("non-empty series");
+        if last.0.is_finite() {
+            return Err(format!("{key:?}: missing +Inf bucket"));
+        }
+        let count = counts
+            .get(key)
+            .ok_or_else(|| format!("{key:?}: histogram without _count"))?;
+        if last.1 != *count {
+            return Err(format!("{key:?}: +Inf bucket {} != _count {count}", last.1));
+        }
+        if !sums.contains_key(key) {
+            return Err(format!("{key:?}: histogram without _sum"));
+        }
+    }
+    for key in counts.keys() {
+        if !buckets.contains_key(key) {
+            return Err(format!("{key:?}: histogram _count without buckets"));
+        }
+    }
+    Ok(samples)
+}
+
 /// Render the trace buffer as an indented per-thread tree with durations —
 /// the `--verbose` console view.
 pub fn tree_summary() -> String {
@@ -211,6 +608,99 @@ mod tests {
             "children indent deeper than parents:\n{tree}"
         );
         reset();
+    }
+
+    #[test]
+    fn prometheus_text_passes_its_own_conformance_checker() {
+        let _guard = TEST_LOCK.lock();
+        reset();
+        enable();
+        crate::counter_add("serve.requests.total", 3);
+        crate::counter_add(&crate::labeled("serve.responses", &[("status", "2xx")]), 2);
+        crate::gauge_set("serve.queue.depth", 4.0);
+        for us in [3.0, 90.0, 1500.0, 40_000.0] {
+            crate::histogram_record(
+                &crate::labeled(
+                    "serve.request.latency_us",
+                    &[("endpoint", "cell"), ("status", "2xx")],
+                ),
+                us,
+            );
+        }
+        let text = prometheus_text(&crate::snapshot());
+        disable();
+        reset();
+
+        let samples = check_prometheus_text(&text).expect("conformant exposition");
+        assert!(
+            text.contains("# TYPE serve_requests_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE serve_request_latency_us histogram"));
+        assert!(
+            text.contains("serve_request_latency_us_bucket{endpoint=\"cell\",status=\"2xx\",le="),
+            "{text}"
+        );
+        assert!(text.contains("le=\"+Inf\""), "{text}");
+        let count = samples
+            .iter()
+            .find(|s| s.name == "serve_request_latency_us_count")
+            .expect("_count sample");
+        assert_eq!(count.value, 4.0);
+        let total = samples
+            .iter()
+            .find(|s| s.name == "serve_requests_total")
+            .expect("counter sample");
+        assert_eq!(total.value, 3.0);
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped_and_recovered() {
+        let snapshot = crate::MetricsSnapshot {
+            counters: [(
+                crate::labeled("odd.metric", &[("path", "a\"b\\c\nd")]),
+                1u64,
+            )]
+            .into_iter()
+            .collect(),
+            ..Default::default()
+        };
+        let text = prometheus_text(&snapshot);
+        assert!(
+            text.contains("odd_metric{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            "{text}"
+        );
+        let samples = check_prometheus_text(&text).expect("escaped page parses");
+        assert_eq!(
+            samples[0].labels,
+            vec![("path".into(), "a\"b\\c\nd".into())]
+        );
+    }
+
+    #[test]
+    fn conformance_checker_rejects_broken_pages() {
+        // Sample without a TYPE declaration.
+        assert!(check_prometheus_text("lonely_metric 1\n").is_err());
+        // Non-cumulative buckets.
+        let shrinking = "# TYPE h histogram\n\
+                         h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+                         h_sum 9\nh_count 5\n";
+        assert!(check_prometheus_text(shrinking).is_err());
+        // Missing +Inf bucket.
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(check_prometheus_text(no_inf).is_err());
+        // +Inf disagrees with _count.
+        let bad_count = "# TYPE h histogram\n\
+                         h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n";
+        assert!(check_prometheus_text(bad_count).is_err());
+        // Unescaped quote in a label value.
+        assert!(check_prometheus_text("# TYPE c counter\nc{k=\"a\"b\"} 1\n").is_err());
+        // Invalid metric name.
+        assert!(check_prometheus_text("# TYPE c counter\n9bad.name 1\n").is_err());
+        // A correct minimal page passes.
+        let ok = "# TYPE h histogram\n\
+                  h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 4\n";
+        assert!(check_prometheus_text(ok).is_ok());
     }
 
     #[test]

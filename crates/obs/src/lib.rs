@@ -17,15 +17,21 @@
 //! evaluated. [`Timer`] is the exception — it always measures (the build
 //! pipeline needs wall-clock durations whether or not tracing is on) and
 //! only *publishes* the begin/end pair when enabled.
+//!
+//! The [`flight`] recorder is a fourth face with its own switch: a
+//! lock-free ring buffer holding the most recent request events, meant
+//! to stay on in production even when span tracing is off, so the last
+//! few thousand events are always reconstructible after a bad request.
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod rss;
 pub mod trace;
 
 pub use metrics::{
-    counter_add, gauge_set, histogram_record, snapshot, Histogram, HistogramSummary,
-    MetricsSnapshot,
+    counter_add, gauge_set, histogram_record, labeled, snapshot, BucketCount, Histogram,
+    HistogramSummary, MetricsSnapshot,
 };
 pub use trace::{lane_count, ArgValue, Event, Phase};
 

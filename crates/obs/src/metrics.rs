@@ -38,7 +38,9 @@ impl Default for Histogram {
 
 impl Histogram {
     pub fn record(&mut self, value: f64) {
-        let value = value.max(0.0);
+        // NaN would poison `sum` and make every later quantile NaN;
+        // clamp it (and negatives) to the zero bucket instead.
+        let value = if value.is_nan() { 0.0 } else { value.max(0.0) };
         self.counts[Self::bucket(value)] += 1;
         self.count += 1;
         self.sum += value;
@@ -64,7 +66,8 @@ impl Histogram {
     }
 
     /// Estimate the `q`-quantile (`q` in `[0, 1]`) as the geometric
-    /// midpoint of the bucket containing that rank.
+    /// midpoint of the bucket containing that rank. Well-defined on an
+    /// empty histogram: every quantile of no data is `0`, never NaN.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -86,6 +89,27 @@ impl Histogram {
         self.max
     }
 
+    /// Cumulative bucket counts up to the highest non-empty bucket.
+    /// `le` is the bucket's (exclusive) upper bound `2^i`; counts are
+    /// cumulative, so the last entry equals [`Histogram::count`]. Empty
+    /// histogram ⇒ no buckets.
+    pub fn cumulative_buckets(&self) -> Vec<BucketCount> {
+        let last = match self.counts.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut cumulative = 0u64;
+        (0..=last)
+            .map(|i| {
+                cumulative += self.counts[i];
+                BucketCount {
+                    le: f64::powi(2.0, i as i32),
+                    count: cumulative,
+                }
+            })
+            .collect()
+    }
+
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count,
@@ -95,8 +119,16 @@ impl Histogram {
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            buckets: self.cumulative_buckets(),
         }
     }
+}
+
+/// One cumulative histogram bucket: observations `< le` (log₂ bound).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketCount {
+    pub le: f64,
+    pub count: u64,
 }
 
 /// Frozen percentile summary of one histogram.
@@ -109,6 +141,10 @@ pub struct HistogramSummary {
     pub p50: f64,
     pub p90: f64,
     pub p99: f64,
+    /// Cumulative log₂ buckets (absent in pre-exposition snapshots, so
+    /// old metrics JSON still deserializes).
+    #[serde(default)]
+    pub buckets: Vec<BucketCount>,
 }
 
 /// Frozen state of the whole registry; serializes to the metrics JSON
@@ -152,6 +188,42 @@ pub fn gauge_set(name: &str, value: f64) {
     });
 }
 
+/// Build a canonical labeled metric name: `name{k="v",k2="v2"}`.
+///
+/// The registry itself is flat — a labeled series is just a distinct
+/// string key — but using this canonical encoding lets
+/// [`crate::export::prometheus_text`] split the base name from the label
+/// set and emit proper Prometheus series. Label *values* are escaped
+/// here (`\` → `\\`, `"` → `\"`, newline → `\n`), exactly the escaping
+/// the exposition format requires, so the stored key is already
+/// exposition-safe.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// Record one observation into a named histogram (no-op while disabled).
 pub fn histogram_record(name: &str, value: f64) {
     if !is_enabled() {
@@ -188,4 +260,68 @@ pub fn snapshot() -> MetricsSnapshot {
 
 pub(crate) fn clear() {
     *REGISTRY.lock() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_not_nan() {
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert_eq!(v, 0.0, "quantile({q}) on empty histogram");
+            assert!(!v.is_nan());
+        }
+        let s = h.summary();
+        for v in [s.sum, s.min, s.max, s.p50, s.p90, s.p99] {
+            assert_eq!(v, 0.0);
+            assert!(!v.is_nan());
+        }
+        assert!(s.buckets.is_empty(), "empty histogram has no buckets");
+    }
+
+    #[test]
+    fn nan_and_negative_observations_land_in_bucket_zero() {
+        let mut h = Histogram::default();
+        h.record(f64::NAN);
+        h.record(-5.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 0.0);
+        let s = h.summary();
+        assert!(!s.p50.is_nan() && !s.sum.is_nan());
+        assert_eq!(s.buckets, vec![BucketCount { le: 1.0, count: 2 }]);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let mut h = Histogram::default();
+        for v in [0.5, 1.0, 3.0, 3.5, 100.0] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        for pair in buckets.windows(2) {
+            assert!(pair[0].le < pair[1].le, "le strictly increasing");
+            assert!(pair[0].count <= pair[1].count, "counts cumulative");
+        }
+        assert_eq!(buckets.last().unwrap().count, h.count());
+        // 0.5 lands below 1; 1.0 and 3.x below 4; 100 below 128.
+        assert_eq!(buckets[0], BucketCount { le: 1.0, count: 1 });
+        assert_eq!(buckets.last().unwrap().le, 128.0);
+    }
+
+    #[test]
+    fn labeled_builds_canonical_escaped_names() {
+        assert_eq!(labeled("a.b", &[]), "a.b");
+        assert_eq!(
+            labeled("serve.latency", &[("endpoint", "cell"), ("status", "2xx")]),
+            "serve.latency{endpoint=\"cell\",status=\"2xx\"}"
+        );
+        assert_eq!(
+            labeled("m", &[("k", "a\"b\\c\nd")]),
+            "m{k=\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
 }

@@ -1,0 +1,175 @@
+//! Structured access logging: one JSON object per request, with an
+//! optional flight-recorder dump attached to requests that went bad.
+//!
+//! The log is newline-delimited JSON (`jq`-able, `grep`-able). Every
+//! entry carries the request's trace id — the same id echoed to the
+//! client in `X-Request-Id` — so a client-reported failure can be joined
+//! against the server's view of it. Entries for slow requests (past the
+//! configured `--slow-ms` threshold), 5xx responses, and deadline misses
+//! additionally embed the flight recorder's recent window: the last few
+//! thousand events of *everything* the server was doing, which is
+//! usually the difference between "it was slow" and knowing why.
+
+use flowcube_obs::flight::FlightEvent;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::io::Write;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One access-log line.
+#[derive(Debug, Serialize)]
+pub struct AccessEntry {
+    /// Milliseconds since the Unix epoch when the response was sent.
+    pub ts_ms: u64,
+    /// The request's trace id (echoed to the client as `X-Request-Id`).
+    pub id: String,
+    pub method: String,
+    pub path: String,
+    /// Raw query pairs, in request order.
+    pub query: Vec<(String, String)>,
+    /// The endpoint tag latency metrics are recorded under.
+    pub endpoint: String,
+    pub status: u16,
+    pub latency_us: u64,
+    /// Why this entry carries a flight dump (`"slow"`, `"5xx"`), empty
+    /// for routine entries.
+    pub dump_reason: String,
+    /// The flight recorder's window at response time; `null` unless
+    /// `dump_reason` is set.
+    pub flight: Option<Vec<FlightEvent>>,
+}
+
+/// A shared, line-oriented JSON access log.
+pub struct AccessLog {
+    out: Mutex<Box<dyn Write + Send>>,
+    /// Latency threshold past which a request is "slow" and dumps the
+    /// flight recorder; `None` disables slow dumps.
+    slow_us: Option<u64>,
+}
+
+impl AccessLog {
+    /// Open the log: `-` for stdout, anything else appends to a file.
+    pub fn open(spec: &str, slow_ms: Option<u64>) -> std::io::Result<AccessLog> {
+        let out: Box<dyn Write + Send> = if spec == "-" {
+            Box::new(std::io::stdout())
+        } else {
+            Box::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(spec)?,
+            )
+        };
+        Ok(AccessLog {
+            out: Mutex::new(out),
+            slow_us: slow_ms.map(|ms| ms.saturating_mul(1000)),
+        })
+    }
+
+    /// An in-memory sink for tests.
+    #[cfg(test)]
+    pub fn to_sink(sink: Box<dyn Write + Send>, slow_ms: Option<u64>) -> AccessLog {
+        AccessLog {
+            out: Mutex::new(sink),
+            slow_us: slow_ms.map(|ms| ms.saturating_mul(1000)),
+        }
+    }
+
+    /// Whether a request at this latency crosses the slow threshold.
+    pub fn is_slow(&self, latency_us: u64) -> bool {
+        self.slow_us.is_some_and(|t| latency_us >= t)
+    }
+
+    /// Append one entry. Write failures are counted
+    /// (`serve.access_log.errors`), never propagated — losing a log line
+    /// must not fail the request it describes.
+    pub fn log(&self, entry: &AccessEntry) {
+        let line = match serde_json::to_string(entry) {
+            Ok(line) => line,
+            Err(_) => return,
+        };
+        let mut out = self.out.lock();
+        let ok = out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .and_then(|()| out.flush());
+        if ok.is_err() {
+            flowcube_obs::counter_add("serve.access_log.errors", 1);
+        }
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before 1970).
+pub fn unix_millis() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A `Write` that appends into a shared buffer.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn entry(status: u16, latency_us: u64) -> AccessEntry {
+        AccessEntry {
+            ts_ms: unix_millis(),
+            id: "abc123".into(),
+            method: "GET".into(),
+            path: "/cell".into(),
+            query: vec![("cell".into(), "*,*".into())],
+            endpoint: "cell".into(),
+            status,
+            latency_us,
+            dump_reason: String::new(),
+            flight: None,
+        }
+    }
+
+    #[test]
+    fn writes_one_json_line_per_entry() {
+        let buf = SharedBuf::default();
+        let log = AccessLog::to_sink(Box::new(buf.clone()), None);
+        log.log(&entry(200, 42));
+        log.log(&entry(404, 7));
+        let text = String::from_utf8(buf.0.lock().clone()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v = serde_json::parse_value_str(line).expect("valid json line");
+            let obj = match v {
+                serde_json::Value::Object(fields) => fields,
+                other => panic!("expected object, got {other:?}"),
+            };
+            for key in ["ts_ms", "id", "method", "path", "status", "latency_us"] {
+                assert!(obj.iter().any(|(k, _)| k == key), "missing {key}: {line}");
+            }
+        }
+        assert!(lines[0].contains("\"status\":200"), "{}", lines[0]);
+        assert!(lines[1].contains("\"status\":404"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn slow_threshold_is_inclusive_and_optional() {
+        let log = AccessLog::to_sink(Box::new(std::io::sink()), Some(250));
+        assert!(!log.is_slow(249_999));
+        assert!(log.is_slow(250_000));
+        let off = AccessLog::to_sink(Box::new(std::io::sink()), None);
+        assert!(!off.is_slow(u64::MAX));
+    }
+}

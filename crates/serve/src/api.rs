@@ -15,24 +15,27 @@
 //! | `/paths/probability`  | `cell`, `level`, `path`                     | `flowgraph::path_probability` |
 //! | `/exceptions`         | `cell`, `level`                             | cell exception list |
 //! | `/stats`              | —                                           | build stats + cube shape |
-//! | `/metrics`            | —                                           | `flowcube-obs` registry export |
+//! | `/metrics`            | `format` (`prometheus` or JSON default)     | `flowcube-obs` registry export |
 //! | `/healthz`            | —                                           | liveness + worker-crash health |
+//! | `/debug/flight`       | —                                           | flight-recorder ring dump |
 //!
 //! One non-`GET` admin route: `POST /admin/reload` revalidates and
 //! atomically swaps the backing snapshot ([`AppState::reload`]).
 
+use crate::access::{unix_millis, AccessEntry, AccessLog};
 use crate::cache::{CachedResponse, ResponseCache};
 use crate::error::{ApiError, SnapshotError};
 use crate::http::Request;
 use crate::snapshot::Snapshot;
 use flowcube_core::{display_key, level_of_key, CellKey, CuboidKey, FlowCube};
 use flowcube_hier::{ConceptId, FxHashSet, ItemLevel, PathLevelId};
+use flowcube_obs::flight::{self, FlightKind};
 use flowcube_pathdb::AggStage;
 use parking_lot::{Mutex, RwLock};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A cube being served: either fully in memory, or a snapshot-backed
@@ -151,6 +154,7 @@ impl HealthState {
     /// Record one worker panic; returns the new total.
     pub fn record_worker_crash(&self) -> u64 {
         flowcube_obs::counter_add("serve.worker.crashes", 1);
+        flight::record(FlightKind::WorkerCrash, 0, 0, 0, 0);
         self.worker_crashes.fetch_add(1, Ordering::SeqCst) + 1
     }
 
@@ -180,6 +184,9 @@ pub struct RequestCtx {
     /// have hydrated cuboids from disk); a handler is never interrupted
     /// mid-flight.
     pub deadline: Option<Instant>,
+    /// Microseconds the connection sat in the accept queue before a
+    /// worker picked it up (0 when unknown / direct dispatch).
+    pub queue_wait_us: u64,
 }
 
 impl RequestCtx {
@@ -187,6 +194,7 @@ impl RequestCtx {
     pub fn with_timeout(timeout: Duration) -> Self {
         RequestCtx {
             deadline: Some(Instant::now() + timeout),
+            ..Default::default()
         }
     }
 
@@ -206,6 +214,8 @@ pub struct AppState {
     cube: RwLock<Arc<ServedCube>>,
     pub cache: ResponseCache,
     pub health: HealthState,
+    /// Structured JSON access log; `None` disables request logging.
+    pub access: Option<AccessLog>,
 }
 
 impl AppState {
@@ -214,7 +224,14 @@ impl AppState {
             cube: RwLock::new(Arc::new(cube)),
             cache,
             health: HealthState::default(),
+            access: None,
         }
+    }
+
+    /// Attach a structured access log (builder style).
+    pub fn with_access_log(mut self, log: AccessLog) -> Self {
+        self.access = Some(log);
+        self
     }
 
     /// The cube requests currently answer from. Cloning the `Arc` means
@@ -253,6 +270,7 @@ impl AppState {
                 let cuboids = snapshot.num_cuboids();
                 self.install_cube(ServedCube::from_snapshot(snapshot));
                 flowcube_obs::counter_add("serve.reload.ok", 1);
+                flight::record(FlightKind::Reload, 0, 0, 0, cuboids as u64);
                 Ok(ReloadResponse {
                     reloaded: true,
                     cuboids,
@@ -260,6 +278,7 @@ impl AppState {
             }
             Err(e) => {
                 flowcube_obs::counter_add("serve.reload.failed", 1);
+                flight::record(FlightKind::Reload, 0, 0, 1, 0);
                 Err(e.into())
             }
         }
@@ -729,11 +748,46 @@ fn handle_stats(served: &ServedCube) -> Result<String, ApiError> {
     })
 }
 
-fn handle_metrics(state: &AppState) -> Result<String, ApiError> {
+/// `/metrics` with format negotiation: Prometheus text exposition when
+/// the client asks for it (`?format=prometheus`, or an `Accept` header
+/// naming `text/plain`), the original JSON export otherwise — existing
+/// scrapers keep working unchanged.
+fn metrics_response(state: &AppState, req: &Request) -> HttpResponse {
     flowcube_obs::gauge_set("serve.cache.hit_rate", state.cache.hit_rate());
     flowcube_obs::gauge_set("serve.cache.entries", state.cache.len() as f64);
     let snapshot = flowcube_obs::snapshot();
-    Ok(flowcube_obs::export::metrics_json(&snapshot))
+    let accept = req.header("accept").unwrap_or("");
+    let prometheus = match req.param("format") {
+        Some(fmt) => fmt == "prometheus",
+        None => accept.contains("text/plain"),
+    };
+    if prometheus {
+        HttpResponse {
+            status: 200,
+            body: flowcube_obs::export::prometheus_text(&snapshot),
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+        }
+    } else {
+        HttpResponse::json(200, flowcube_obs::export::metrics_json(&snapshot))
+    }
+}
+
+#[derive(Serialize)]
+struct FlightResponse {
+    enabled: bool,
+    capacity: usize,
+    recorded_total: u64,
+    events: Vec<flight::FlightEvent>,
+}
+
+fn handle_flight() -> Result<String, ApiError> {
+    Ok(json(&FlightResponse {
+        enabled: flight::is_enabled(),
+        capacity: flight::CAPACITY,
+        recorded_total: flight::recorded_total(),
+        events: flight::snapshot(),
+    }))
 }
 
 // ---- dispatch -----------------------------------------------------------
@@ -761,7 +815,151 @@ fn endpoint_tag(path: &str) -> &'static str {
         "/stats" => "stats",
         "/metrics" => "metrics",
         "/healthz" => "healthz",
+        "/debug/flight" => "debug_flight",
+        "/admin/reload" => "admin_reload",
         _ => "other",
+    }
+}
+
+/// Every routable `GET` endpoint tag. A scrape conformance check walks
+/// this list and fails if any of them is missing a per-endpoint latency
+/// histogram after traffic — so a new route can't silently ship without
+/// observability.
+pub fn registered_endpoints() -> &'static [&'static str] {
+    &[
+        "cell",
+        "rollup",
+        "drilldown",
+        "slice",
+        "dice",
+        "paths_topk",
+        "paths_probability",
+        "exceptions",
+        "stats",
+        "metrics",
+        "healthz",
+        "debug_flight",
+    ]
+}
+
+/// The flight-recorder label id for an endpoint tag. Interning happens
+/// once per process (first request); after that the lookup is a scan of
+/// a ~14-entry table with no locks on the record path.
+fn flight_label(tag: &'static str) -> u16 {
+    static TABLE: OnceLock<Vec<(&'static str, u16)>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t: Vec<(&'static str, u16)> = registered_endpoints()
+            .iter()
+            .map(|&tag| (tag, flight::intern(tag)))
+            .collect();
+        for tag in ["admin_reload", "other"] {
+            t.push((tag, flight::intern(tag)));
+        }
+        t
+    });
+    table
+        .iter()
+        .find(|(t, _)| *t == tag)
+        .map(|&(_, id)| id)
+        .unwrap_or(0)
+}
+
+fn status_class(status: u16) -> &'static str {
+    match status / 100 {
+        1 => "1xx",
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        5 => "5xx",
+        _ => "other",
+    }
+}
+
+// ---- request identity ---------------------------------------------------
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a client-supplied request id — the numeric trace id that
+/// flight events carry for it.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-process seed mixed into generated request ids so two servers
+/// started in the same instant don't mint colliding ids.
+fn trace_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        splitmix64(nanos ^ ((std::process::id() as u64) << 32))
+    })
+}
+
+/// An inbound `X-Request-Id` is honored only when it is shaped like an
+/// id — bounded length, token characters. Anything else (header
+/// smuggling attempts, binary noise) gets a fresh server-minted id.
+fn valid_request_id(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 128
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b':'))
+}
+
+static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
+
+/// The request's identity: honor a well-formed inbound `X-Request-Id`,
+/// mint one otherwise. Returns the string id (echoed to the client on
+/// every response) and the numeric trace id recorded on flight events.
+pub fn assign_request_id(req: &Request) -> (String, u64) {
+    if let Some(id) = req.header("x-request-id") {
+        if valid_request_id(id) {
+            return (id.to_string(), fnv1a(id));
+        }
+    }
+    let n = NEXT_REQUEST.fetch_add(1, Ordering::Relaxed);
+    let trace = splitmix64(trace_seed() ^ n);
+    (format!("{trace:016x}"), trace)
+}
+
+/// A fully-rendered response: status, body, content type, and any extra
+/// headers (`X-Request-Id`, `Retry-After`) to emit alongside it.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub body: String,
+    pub content_type: &'static str,
+    pub headers: Vec<(String, String)>,
+}
+
+impl HttpResponse {
+    fn json(status: u16, body: String) -> Self {
+        HttpResponse {
+            status,
+            body,
+            content_type: "application/json",
+            headers: Vec::new(),
+        }
+    }
+
+    /// First value of a response header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -771,44 +969,109 @@ pub fn handle_request(state: &AppState, req: &Request) -> (u16, String) {
     handle_request_ctx(state, req, &RequestCtx::default())
 }
 
-/// Route and answer one request under `ctx`'s limits, recording
-/// latency/status metrics and consulting the response cache. Returns
-/// `(status, body)`.
+/// Route and answer one request under `ctx`'s limits. Returns
+/// `(status, body)` — the body-only view of [`handle_request_full`] for
+/// callers that don't write headers (tests, embedding).
 pub fn handle_request_ctx(state: &AppState, req: &Request, ctx: &RequestCtx) -> (u16, String) {
+    let resp = handle_request_full(state, req, ctx);
+    (resp.status, resp.body)
+}
+
+/// Route and answer one request under `ctx`'s limits, with the full
+/// observability pipeline around the handler:
+///
+/// - assigns the request id (honoring inbound `X-Request-Id`) and
+///   echoes it back on the response,
+/// - records flight `RequestStart`/`RequestEnd` events keyed by the
+///   numeric trace id,
+/// - records latency into the flat histograms and into the labeled
+///   `serve.request.latency_us{endpoint=..,status=..}` family,
+/// - records queue-wait and attaches `Retry-After` to retryable errors,
+/// - appends a structured access-log entry, embedding the flight
+///   recorder window when the response is 5xx or past the slow
+///   threshold.
+pub fn handle_request_full(state: &AppState, req: &Request, ctx: &RequestCtx) -> HttpResponse {
     let start = Instant::now();
     let tag = endpoint_tag(&req.path);
+    let label = flight_label(tag);
+    let (id, trace) = assign_request_id(req);
+    flight::record(FlightKind::RequestStart, trace, label, 0, ctx.queue_wait_us);
     let _span = flowcube_obs::span!("serve.request");
     flowcube_obs::counter_add("serve.requests.total", 1);
     flowcube_obs::counter_add(&format!("serve.requests.{tag}"), 1);
+    flowcube_obs::histogram_record("serve.queue.wait_us", ctx.queue_wait_us as f64);
 
-    let (status, body) = respond(state, req, ctx);
+    let mut resp = respond(state, req, ctx, trace);
 
-    let us = start.elapsed().as_micros() as f64;
+    let latency_us = start.elapsed().as_micros() as u64;
+    let us = latency_us as f64;
     flowcube_obs::histogram_record("serve.latency_us", us);
     flowcube_obs::histogram_record(&format!("serve.latency_us.{tag}"), us);
-    flowcube_obs::counter_add(&format!("serve.responses.{}xx", status / 100), 1);
+    flowcube_obs::histogram_record(
+        &flowcube_obs::labeled(
+            "serve.request.latency_us",
+            &[("endpoint", tag), ("status", status_class(resp.status))],
+        ),
+        us,
+    );
+    flowcube_obs::counter_add(&format!("serve.responses.{}xx", resp.status / 100), 1);
     flowcube_obs::gauge_set("serve.cache.hit_rate", state.cache.hit_rate());
-    (status, body)
+    flight::record(
+        FlightKind::RequestEnd,
+        trace,
+        label,
+        resp.status,
+        latency_us,
+    );
+    resp.headers.push(("X-Request-Id".to_string(), id.clone()));
+
+    if let Some(log) = &state.access {
+        let dump_reason = if resp.status >= 500 {
+            "5xx"
+        } else if log.is_slow(latency_us) {
+            "slow"
+        } else {
+            ""
+        };
+        log.log(&AccessEntry {
+            ts_ms: unix_millis(),
+            id,
+            method: req.method.clone(),
+            path: req.path.clone(),
+            query: req.query.clone(),
+            endpoint: tag.to_string(),
+            status: resp.status,
+            latency_us,
+            dump_reason: dump_reason.to_string(),
+            flight: (!dump_reason.is_empty()).then(flight::snapshot),
+        });
+    }
+    resp
 }
 
-fn error_body(e: &ApiError) -> (u16, String) {
-    (
+fn error_response(e: &ApiError) -> HttpResponse {
+    let mut resp = HttpResponse::json(
         e.status(),
         json(&ErrorResponse {
             error: e.to_string(),
         }),
-    )
+    );
+    if let Some(secs) = e.retry_after_secs() {
+        resp.headers
+            .push(("Retry-After".to_string(), secs.to_string()));
+    }
+    resp
 }
 
-fn respond(state: &AppState, req: &Request, ctx: &RequestCtx) -> (u16, String) {
+fn respond(state: &AppState, req: &Request, ctx: &RequestCtx, trace: u64) -> HttpResponse {
     if req.method == "POST" && req.path == "/admin/reload" {
         return match state.reload() {
-            Ok(resp) => (200, json(&resp)),
-            Err(e) => error_body(&e),
+            Ok(resp) => HttpResponse::json(200, json(&resp)),
+            Err(e) => error_response(&e),
         };
     }
     if req.method != "GET" {
-        return (
+        return HttpResponse::json(
             405,
             json(&ErrorResponse {
                 error: format!("method {} not allowed", req.method),
@@ -816,19 +1079,35 @@ fn respond(state: &AppState, req: &Request, ctx: &RequestCtx) -> (u16, String) {
         );
     }
 
+    let tag = endpoint_tag(&req.path);
     let use_cache = cacheable(&req.path);
     let cache_key = req.cache_key();
     if use_cache {
         if let Some(hit) = state.cache.get(&cache_key) {
-            return (hit.status, hit.body.clone());
+            flight::record(
+                FlightKind::CacheHit,
+                trace,
+                flight_label(tag),
+                hit.status,
+                0,
+            );
+            return HttpResponse::json(hit.status, hit.body.clone());
         }
+        flight::record(FlightKind::CacheMiss, trace, flight_label(tag), 0, 0);
     }
 
     // Fault injection: stall the request here (as a slow disk or a
     // pathological query would) so the deadline checks are testable.
     flowcube_testkit::fail_point_unit("serve.request");
     if let Err(e) = ctx.check_deadline() {
-        return error_body(&e);
+        flight::record(
+            FlightKind::Deadline,
+            trace,
+            flight_label(tag),
+            e.status(),
+            0,
+        );
+        return error_response(&e);
     }
 
     let served = state.cube();
@@ -842,7 +1121,8 @@ fn respond(state: &AppState, req: &Request, ctx: &RequestCtx) -> (u16, String) {
         "/paths/probability" => handle_probability(&served, req),
         "/exceptions" => handle_exceptions(&served, req),
         "/stats" => handle_stats(&served),
-        "/metrics" => handle_metrics(state),
+        "/metrics" => return metrics_response(state, req),
+        "/debug/flight" => handle_flight(),
         "/healthz" => {
             let degraded = state.health.degraded();
             Ok(json(&HealthResponse {
@@ -858,18 +1138,30 @@ fn respond(state: &AppState, req: &Request, ctx: &RequestCtx) -> (u16, String) {
     // pretending it answered in time.
     let result = result.and_then(|body| ctx.check_deadline().map(|()| body));
 
-    let (status, body) = match result {
-        Ok(body) => (200, body),
-        Err(e) => error_body(&e),
-    };
-    if use_cache && status == 200 {
-        state.cache.insert(
-            cache_key,
-            CachedResponse {
-                status,
-                body: body.clone(),
-            },
-        );
+    match result {
+        Ok(body) => {
+            if use_cache {
+                state.cache.insert(
+                    cache_key,
+                    CachedResponse {
+                        status: 200,
+                        body: body.clone(),
+                    },
+                );
+            }
+            HttpResponse::json(200, body)
+        }
+        Err(e) => {
+            if matches!(e, ApiError::Deadline) {
+                flight::record(
+                    FlightKind::Deadline,
+                    trace,
+                    flight_label(tag),
+                    e.status(),
+                    0,
+                );
+            }
+            error_response(&e)
+        }
     }
-    (status, body)
 }

@@ -93,6 +93,18 @@ impl ApiError {
             ApiError::Deadline => 503,
         }
     }
+
+    /// Seconds a client should wait before retrying, for errors where a
+    /// retry can reasonably succeed (emitted as a `Retry-After` header).
+    /// Overload-shaped failures (`429` load shed, `503` deadline) are
+    /// transient; everything else is the client's request being wrong,
+    /// where retrying as-is only adds load.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        match self {
+            ApiError::Deadline => Some(1),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ApiError {

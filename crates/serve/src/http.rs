@@ -33,6 +33,14 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
+    /// First value of a header (names are lowercased during parsing).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Canonical cache key: path plus sorted query pairs, so equivalent
     /// requests written in different parameter orders share an entry.
     pub fn cache_key(&self) -> String {
@@ -208,12 +216,35 @@ pub fn status_text(status: u16) -> &'static str {
 /// Write a complete response and flush. `Connection: close` is always
 /// sent — the server serves one request per connection.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, "application/json", &[], body)
+}
+
+/// [`write_response`] with an explicit content type and extra headers
+/// (`X-Request-Id`, `Retry-After`, …). Header values must not contain
+/// CR/LF — anything after one is dropped rather than injected.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    headers: &[(String, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         status_text(status),
+        content_type,
         body.len()
     );
+    for (name, value) in headers {
+        let name = name.split(['\r', '\n']).next().unwrap_or_default();
+        let value = value.split(['\r', '\n']).next().unwrap_or_default();
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

@@ -18,8 +18,14 @@
 //!    endpoints, and graceful shutdown on `SIGINT`/`SIGTERM`.
 //!
 //! Every request is traced through `flowcube-obs` (`serve.requests.*`,
-//! `serve.latency_us*`, `serve.cache.*`) and the registry is exported
-//! over `/metrics`.
+//! `serve.latency_us*`, `serve.cache.*`, per-endpoint × status-class
+//! `serve.request.latency_us{endpoint=…,status=…}` histograms) and the
+//! registry is exported over `/metrics` — JSON by default, Prometheus
+//! text with `?format=prometheus`. Each request carries an
+//! `X-Request-Id` (inbound honored, minted otherwise, always echoed),
+//! feeds the in-memory flight recorder (`/debug/flight`), and can be
+//! logged to a structured JSON access log ([`access::AccessLog`]) that
+//! attaches the flight window to 5xx and slow responses.
 //!
 //! Failure handling (panic-isolated workers, per-request deadlines,
 //! snapshot hot-reload with rollback) is described in `DESIGN.md` §10.
@@ -28,6 +34,7 @@
 //! must map to an HTTP status or a typed error.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod access;
 pub mod api;
 pub mod cache;
 pub mod crc;
@@ -36,8 +43,10 @@ pub mod http;
 pub mod server;
 pub mod snapshot;
 
+pub use access::{AccessEntry, AccessLog};
 pub use api::{
-    handle_request, handle_request_ctx, AppState, HealthState, ReloadResponse, RequestCtx,
+    assign_request_id, handle_request, handle_request_ctx, handle_request_full,
+    registered_endpoints, AppState, HealthState, HttpResponse, ReloadResponse, RequestCtx,
     ServedCube,
 };
 pub use cache::{CachedResponse, ResponseCache};

@@ -30,16 +30,18 @@
 //!   snapshot: the replacement is fully validated before the cube is
 //!   swapped, and any validation failure leaves the old cube serving.
 
-use crate::api::{handle_request_ctx, AppState, RequestCtx};
+use crate::access::AccessLog;
+use crate::api::{handle_request_full, AppState, RequestCtx};
 use crate::cache::ResponseCache;
-use crate::http::{read_request, write_response, HttpError};
+use crate::http::{read_request, write_response, write_response_with, HttpError};
+use flowcube_obs::flight::{self, FlightKind};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tunables; `Default` is sized for tests and small deployments.
 #[derive(Clone, Debug)]
@@ -62,6 +64,12 @@ pub struct ServerConfig {
     /// Worker crashes after which `/healthz` reports `degraded`
     /// (`0` disables).
     pub degraded_after: u64,
+    /// Structured JSON access log destination: `-` for stdout, any other
+    /// value appends to that file; `None` disables request logging.
+    pub access_log: Option<String>,
+    /// Requests slower than this (milliseconds) log with the flight
+    /// recorder window attached; `None` disables slow dumps.
+    pub slow_request_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +83,8 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             request_deadline: None,
             degraded_after: 8,
+            access_log: None,
+            slow_request_ms: None,
         }
     }
 }
@@ -84,7 +94,9 @@ impl Default for ServerConfig {
 /// poisoning is recovered because a panicking worker must not wedge the
 /// accept path.)
 struct ConnQueue {
-    queue: std::sync::Mutex<VecDeque<TcpStream>>,
+    /// Each connection carries its enqueue instant so the worker that
+    /// picks it up can report how long it waited.
+    queue: std::sync::Mutex<VecDeque<(TcpStream, Instant)>>,
     ready: std::sync::Condvar,
     depth: usize,
 }
@@ -98,7 +110,7 @@ impl ConnQueue {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<(TcpStream, Instant)>> {
         self.queue.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -109,14 +121,16 @@ impl ConnQueue {
         if q.len() >= self.depth {
             return Err(stream);
         }
-        q.push_back(stream);
+        q.push_back((stream, Instant::now()));
+        flowcube_obs::gauge_set("serve.queue.depth", q.len() as f64);
         drop(q);
         self.ready.notify_one();
         Ok(())
     }
 
-    /// Pop with a bounded wait so workers can observe shutdown.
-    fn pop(&self, wait: Duration) -> Option<TcpStream> {
+    /// Pop with a bounded wait so workers can observe shutdown. Returns
+    /// the stream and the microseconds it sat queued.
+    fn pop(&self, wait: Duration) -> Option<(TcpStream, u64)> {
         let mut q = self.lock();
         if q.is_empty() {
             let (guard, _timeout) = self
@@ -125,7 +139,12 @@ impl ConnQueue {
                 .unwrap_or_else(|e| e.into_inner());
             q = guard;
         }
-        q.pop_front()
+        let item = q.pop_front();
+        if item.is_some() {
+            flowcube_obs::gauge_set("serve.queue.depth", q.len() as f64);
+        }
+        drop(q);
+        item.map(|(stream, enqueued)| (stream, enqueued.elapsed().as_micros() as u64))
     }
 }
 
@@ -187,9 +206,19 @@ impl ServerHandle {
 
 /// Start serving `state` per `config`. Returns once the listener is
 /// bound and the worker pool is running.
-pub fn serve(state: AppState, config: ServerConfig) -> io::Result<ServerHandle> {
+pub fn serve(mut state: AppState, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+
+    // The flight recorder runs for the life of the server: it is the
+    // always-on black box that slow-request and 5xx access-log entries
+    // dump, and `/debug/flight` exposes.
+    flight::enable();
+    if state.access.is_none() {
+        if let Some(spec) = &config.access_log {
+            state.access = Some(AccessLog::open(spec, config.slow_request_ms)?);
+        }
+    }
 
     let stop = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(ConnQueue::new(config.queue_depth));
@@ -247,10 +276,18 @@ fn acceptor_loop(listener: TcpListener, queue: Arc<ConnQueue>, stop: Arc<AtomicB
                     return; // the wake-up connection (or late traffic)
                 }
                 if let Err(mut shed) = queue.push(stream) {
-                    // Queue full: shed at the door.
+                    // Queue full: shed at the door, telling the client
+                    // when to come back.
                     flowcube_obs::counter_add("serve.shed", 1);
+                    flight::record(FlightKind::Shed, 0, 0, 429, 0);
                     let _ = shed.set_write_timeout(Some(Duration::from_millis(500)));
-                    let _ = write_response(&mut shed, 429, "{\"error\":\"server overloaded\"}");
+                    let _ = write_response_with(
+                        &mut shed,
+                        429,
+                        "application/json",
+                        &[("Retry-After".to_string(), "1".to_string())],
+                        "{\"error\":\"server overloaded\"}",
+                    );
                 }
             }
             Err(_) => {
@@ -325,7 +362,7 @@ fn worker_loop(
     config: ServerConfig,
 ) {
     loop {
-        let Some(mut stream) = queue.pop(Duration::from_millis(100)) else {
+        let Some((mut stream, queue_wait_us)) = queue.pop(Duration::from_millis(100)) else {
             if stop.load(Ordering::SeqCst) {
                 return;
             }
@@ -339,12 +376,19 @@ fn worker_loop(
         let _ = stream.set_write_timeout(Some(config.write_timeout));
         match read_request(&mut stream) {
             Ok(req) => {
-                let ctx = match config.request_deadline {
+                let mut ctx = match config.request_deadline {
                     Some(timeout) => RequestCtx::with_timeout(timeout),
                     None => RequestCtx::default(),
                 };
-                let (status, body) = handle_request_ctx(&state, &req, &ctx);
-                let _ = write_response(&mut stream, status, &body);
+                ctx.queue_wait_us = queue_wait_us;
+                let resp = handle_request_full(&state, &req, &ctx);
+                let _ = write_response_with(
+                    &mut stream,
+                    resp.status,
+                    resp.content_type,
+                    &resp.headers,
+                    &resp.body,
+                );
             }
             Err(HttpError::Malformed(detail)) => {
                 flowcube_obs::counter_add("serve.malformed", 1);

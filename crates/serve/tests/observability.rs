@@ -1,0 +1,313 @@
+//! Request-level observability, end to end: request-id echo, Prometheus
+//! exposition conformance, per-endpoint latency histograms, Retry-After
+//! on overload-shaped errors, the flight-recorder debug endpoint, and
+//! structured access logging with flight dumps.
+
+use flowcube_core::{FlowCube, FlowCubeParams, ItemPlan};
+use flowcube_datagen::{generate, DimShape, GeneratorConfig};
+use flowcube_hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel};
+use flowcube_obs::flight;
+use flowcube_serve::http::Request;
+use flowcube_serve::{
+    handle_request_full, serve_cube, AccessLog, AppState, RequestCtx, ResponseCache, ServedCube,
+    ServerConfig, ServerHandle,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn small_cube() -> FlowCube {
+    let config = GeneratorConfig {
+        num_paths: 120,
+        dims: vec![DimShape::new(vec![2, 3], 0.7); 2],
+        num_sequences: 5,
+        seed: 11,
+        ..Default::default()
+    };
+    let db = generate(&config).db;
+    let loc = db.schema().locations();
+    let spec = PathLatticeSpec::new(vec![PathLevel::new(
+        "fine",
+        LocationCut::uniform_level(loc, loc.max_level()),
+        DurationLevel::Raw,
+    )]);
+    FlowCube::build(&db, spec, FlowCubeParams::new(8), ItemPlan::All)
+}
+
+fn start(config: ServerConfig) -> ServerHandle {
+    serve_cube(ServedCube::from_cube(small_cube()), config).expect("server starts")
+}
+
+fn default_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_millis(500),
+        ..Default::default()
+    }
+}
+
+/// GET with optional extra request headers; returns status, response
+/// headers, and body.
+fn get_full(
+    addr: std::net::SocketAddr,
+    target: &str,
+    extra_headers: &[(&str, &str)],
+) -> (u16, Vec<(String, String)>, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut req = format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n");
+    for (k, v) in extra_headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str("\r\n");
+    s.write_all(req.as_bytes()).expect("write");
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    let text = String::from_utf8_lossy(&out).into_owned();
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((&text, ""));
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(0);
+    let headers: Vec<(String, String)> = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn plain_request(path: &str, query: &[(&str, &str)], headers: &[(&str, &str)]) -> Request {
+    Request {
+        method: "GET".to_string(),
+        path: path.to_string(),
+        query: query
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        headers: headers
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        body: Vec::new(),
+    }
+}
+
+#[test]
+fn request_ids_are_honored_generated_and_echoed() {
+    let handle = start(default_config());
+    let addr = handle.addr();
+
+    // A well-formed inbound id is echoed verbatim.
+    let (status, headers, _) = get_full(addr, "/healthz", &[("X-Request-Id", "trace-42.a")]);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-request-id"), Some("trace-42.a"));
+
+    // No inbound id: the server mints one (16 hex chars), distinct per
+    // request, echoed even on errors.
+    let (_, h1, _) = get_full(addr, "/healthz", &[]);
+    let (s2, h2, _) = get_full(addr, "/no/such/route", &[]);
+    let id1 = header(&h1, "x-request-id")
+        .expect("generated id")
+        .to_string();
+    let id2 = header(&h2, "x-request-id")
+        .expect("id on errors too")
+        .to_string();
+    assert_eq!(s2, 404);
+    assert_ne!(id1, id2);
+    for id in [&id1, &id2] {
+        assert_eq!(id.len(), 16, "hex id, got {id:?}");
+        assert!(id.bytes().all(|b| b.is_ascii_hexdigit()), "got {id:?}");
+    }
+
+    // A hostile inbound id (header-injection shaped) is replaced.
+    let (_, h3, _) = get_full(addr, "/healthz", &[("X-Request-Id", "a b\tc")]);
+    let id3 = header(&h3, "x-request-id").expect("replacement id");
+    assert_ne!(id3, "a b\tc");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn prometheus_scrape_is_conformant_with_per_endpoint_histograms() {
+    flowcube_obs::enable();
+    let handle = start(default_config());
+    let addr = handle.addr();
+
+    // Mixed traffic: successes, a 404, and a repeated cacheable query.
+    let (s, _, _) = get_full(addr, "/cell?cell=*,*&level=fine", &[]);
+    assert_eq!(s, 200);
+    get_full(addr, "/stats", &[]);
+    get_full(addr, "/healthz", &[]);
+    get_full(addr, "/paths/topk?cell=*,*&level=fine&k=3", &[]);
+    get_full(addr, "/paths/topk?cell=*,*&level=fine&k=3", &[]); // cache hit
+    get_full(addr, "/no/such/route", &[]);
+
+    // Default stays JSON — existing scrapers keep working.
+    let (s, headers, body) = get_full(addr, "/metrics", &[]);
+    assert_eq!(s, 200);
+    assert!(header(&headers, "content-type").is_some_and(|ct| ct.contains("application/json")));
+    assert!(body.trim_start().starts_with('{'), "got {body:?}");
+
+    // ?format=prometheus selects the text exposition.
+    let (s, headers, text) = get_full(addr, "/metrics?format=prometheus", &[]);
+    assert_eq!(s, 200);
+    assert!(
+        header(&headers, "content-type").is_some_and(|ct| ct.contains("text/plain")),
+        "got {headers:?}"
+    );
+    let samples =
+        flowcube_obs::export::check_prometheus_text(&text).expect("conformant exposition");
+
+    // Per-endpoint × status-class histograms exist for the traffic above.
+    for (endpoint, class) in [("cell", "2xx"), ("paths_topk", "2xx"), ("other", "4xx")] {
+        assert!(
+            samples.iter().any(|smp| {
+                smp.name == "serve_request_latency_us_bucket"
+                    && smp.labels.contains(&("endpoint".into(), endpoint.into()))
+                    && smp.labels.contains(&("status".into(), class.into()))
+            }),
+            "missing latency histogram for {endpoint}/{class}:\n{text}"
+        );
+    }
+    // Cache and queue series are exposed.
+    assert!(samples.iter().any(|smp| smp.name == "serve_cache_hits"));
+    assert!(samples
+        .iter()
+        .any(|smp| smp.name == "serve_queue_wait_us_count"));
+    assert!(samples.iter().any(|smp| smp.name == "serve_queue_depth"));
+
+    // An Accept header naming text/plain also selects the exposition.
+    let (_, _, via_accept) = get_full(addr, "/metrics", &[("Accept", "text/plain")]);
+    assert!(via_accept.contains("# TYPE"), "got {via_accept:?}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn deadline_503_carries_retry_after_and_request_id() {
+    let state = AppState::new(ServedCube::from_cube(small_cube()), ResponseCache::new(8));
+    let req = plain_request("/cell", &[("cell", "*,*"), ("level", "fine")], &[]);
+    let ctx = RequestCtx::with_timeout(Duration::ZERO);
+    let resp = handle_request_full(&state, &req, &ctx);
+    assert_eq!(resp.status, 503, "got {}", resp.body);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert!(resp.header("x-request-id").is_some());
+
+    // Client-error statuses are not retryable: no Retry-After.
+    let req = plain_request("/cell", &[], &[]);
+    let resp = handle_request_full(&state, &req, &RequestCtx::default());
+    assert_eq!(resp.status, 400);
+    assert_eq!(resp.header("retry-after"), None);
+}
+
+#[test]
+fn shed_429_carries_retry_after() {
+    // One worker, queue depth one: occupy the worker with a silent
+    // connection (it blocks in read until the socket timeout), fill the
+    // queue with a second, and the third is shed at the door.
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_millis(500),
+        ..Default::default()
+    });
+    let addr = handle.addr();
+
+    let hold_worker = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(200));
+    let hold_queue = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut shed = TcpStream::connect(addr).expect("connect");
+    shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut out = Vec::new();
+    let _ = shed.read_to_end(&mut out);
+    let text = String::from_utf8_lossy(&out).into_owned();
+    assert!(text.starts_with("HTTP/1.1 429"), "got {text:?}");
+    assert!(
+        text.to_ascii_lowercase().contains("retry-after: 1"),
+        "got {text:?}"
+    );
+
+    drop(hold_worker);
+    drop(hold_queue);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn debug_flight_exposes_recent_events() {
+    let handle = start(default_config());
+    let addr = handle.addr();
+
+    let (s, _, _) = get_full(addr, "/healthz", &[("X-Request-Id", "flight-probe")]);
+    assert_eq!(s, 200);
+    let (s, _, body) = get_full(addr, "/debug/flight", &[]);
+    assert_eq!(s, 200);
+    assert!(body.contains("\"enabled\":true"), "got {body:?}");
+    assert!(body.contains("\"capacity\":4096"), "got {body:?}");
+    assert!(body.contains("RequestEnd"), "got {body:?}");
+    assert!(body.contains("healthz"), "got {body:?}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn access_log_writes_entries_and_dumps_flight_when_bad() {
+    flight::enable();
+    let path = std::env::temp_dir().join(format!("flowcube-access-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let log =
+        AccessLog::open(path.to_str().expect("utf8 path"), Some(10_000)).expect("open access log");
+    let state = AppState::new(ServedCube::from_cube(small_cube()), ResponseCache::new(8))
+        .with_access_log(log);
+
+    // A routine 200: logged without a flight dump.
+    let ok = handle_request_full(
+        &state,
+        &plain_request("/healthz", &[], &[("x-request-id", "routine-1")]),
+        &RequestCtx::default(),
+    );
+    assert_eq!(ok.status, 200);
+    // A 503 deadline miss: logged with the flight window attached.
+    let bad = handle_request_full(
+        &state,
+        &plain_request("/cell", &[("cell", "*,*"), ("level", "fine")], &[]),
+        &RequestCtx::with_timeout(Duration::ZERO),
+    );
+    assert_eq!(bad.status, 503);
+    let bad_id = bad.header("x-request-id").expect("id").to_string();
+
+    let text = std::fs::read_to_string(&path).expect("read access log");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "got {text:?}");
+    assert!(lines[0].contains("\"id\":\"routine-1\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"status\":200"), "{}", lines[0]);
+    assert!(lines[0].contains("\"dump_reason\":\"\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"flight\":null"), "{}", lines[0]);
+    assert!(
+        lines[1].contains(&format!("\"id\":\"{bad_id}\"")),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[1].contains("\"status\":503"), "{}", lines[1]);
+    assert!(lines[1].contains("\"dump_reason\":\"5xx\""), "{}", lines[1]);
+    // The dump carries actual flight events, including this request's.
+    assert!(lines[1].contains("\"RequestStart\""), "{}", lines[1]);
+    let _ = std::fs::remove_file(&path);
+}
