@@ -35,12 +35,26 @@ USAGE:
   flowcube ingest   --text paths.txt --schema-from db.json --out clean.json
                     [--on-error strict|lenient|quarantine]
                     [--quarantine-cap N] [--quarantine-out FILE]
+  flowcube ingest   --follow readings.log --db db.json [--out deltas.jsonl]
+                    [--post http://HOST:PORT/admin/ingest] [--once]
+                    [--poll-ms MS] [--gap N] [--unit N] [build flags]
   flowcube tables   (reproduce the paper's Tables 1-4 examples)
 
 INGESTION (--on-error):
   strict      stop at the first malformed line (exit code 65)
   lenient     skip malformed lines, report line numbers and messages
   quarantine  like lenient, but also retain the raw text of bad lines
+
+INCREMENTAL INGESTION (--follow):
+  Tails a line-oriented readings log (`item EPC d1..dm` registrations,
+  `read EPC loc time` readings, `commit` to close a micro-batch, `end`
+  to finish) through the stream cleaner, and emits one cube delta per
+  commit. Deltas append to --out as JSON lines and/or POST to a running
+  server's /admin/ingest, which merges counts live (Lemma 4.2) without
+  going offline; the server persists them in a <snapshot>.deltas sidecar
+  replayed on restart and reload. An item's readings must not span
+  commits. --once polls a single time instead of looping; --gap/--unit
+  are the cleaner's same-location gap and duration unit.
 
 SERVING:
   --deadline-ms MS     per-request deadline; slow requests answer 503
@@ -420,12 +434,15 @@ pub fn serve_with_handle(args: &Args) -> Result<flowcube_serve::ServerHandle, St
     let served = if args.get("snapshot").is_some() {
         let path: &std::path::Path = args.require("snapshot")?.as_ref();
         let snap = flowcube_serve::Snapshot::open(path).map_err(|e| e.to_string())?;
+        let deltas = flowcube_serve::read_deltas(&flowcube_serve::deltalog_path(path))
+            .map_err(|e| e.to_string())?;
         println!(
-            "opened snapshot {} ({} cuboids, lazy)",
+            "opened snapshot {} ({} cuboids, lazy, {} sidecar deltas)",
             path.display(),
-            snap.num_cuboids()
+            snap.num_cuboids(),
+            deltas.len()
         );
-        flowcube_serve::ServedCube::from_snapshot(snap)
+        flowcube_serve::ServedCube::from_snapshot_with_deltas(snap, deltas)
     } else if args.get("cube").is_some() {
         flowcube_serve::ServedCube::from_cube(read_cube(args.require("cube")?)?)
     } else {
@@ -464,10 +481,13 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `flowcube ingest` — parse a line-oriented path text file into a path
-/// database JSON, with `--on-error` selecting how malformed lines are
-/// handled (see [`flowcube_pathdb::IngestMode`]).
+/// `flowcube ingest` — either parse a path text file into a database
+/// JSON (batch mode, `--text`), or tail a live readings log into
+/// micro-batch cube deltas (incremental mode, `--follow`).
 pub fn ingest(args: &Args) -> Result<(), CliError> {
+    if args.get("follow").is_some() {
+        return ingest_follow(args);
+    }
     let text_path = args.require("text")?;
     let schema_from = args.require("schema-from")?;
     let out = args.require("out")?;
@@ -512,6 +532,133 @@ pub fn ingest(args: &Args) -> Result<(), CliError> {
         println!("wrote quarantine report to {qpath}");
     }
     Ok(())
+}
+
+/// `flowcube ingest --follow` — tail a readings log through the cleaner
+/// and emit one [`flowcube_core::CubeDelta`] per committed micro-batch:
+/// appended as JSON lines to `--out`, and/or POSTed to a live server's
+/// `/admin/ingest` with `--post`.
+fn ingest_follow(args: &Args) -> Result<(), CliError> {
+    obs_setup(args);
+    let log_path = args.require("follow")?;
+    let schema = read_db(args.require("db")?)?.schema().clone();
+
+    // Delta parameters mirror the *base cube's* build flags — the delta
+    // itself is always computed at δ = 1 (CubeDelta::compute).
+    let mut params = FlowCubeParams::new(args.num("min-support", 100u64)?);
+    params.exception_deviation = args.num("eps", params.exception_deviation)?;
+    if let Some(tau) = args.get("tau") {
+        params.redundancy_tau = Some(
+            tau.parse()
+                .map_err(|_| format!("--tau: bad value {tau:?}"))?,
+        );
+    }
+    params.threads = args.num("threads", 0usize)?;
+    let spec = default_spec(&schema);
+
+    let config = flowcube_pathdb::CleanerConfig {
+        max_same_location_gap: args.num("gap", u64::MAX)?,
+        duration_unit: args.num("unit", 1u32)?,
+    };
+    let mut follower = flowcube_pathdb::Follower::new(schema, config);
+    let poll = std::time::Duration::from_millis(args.num("poll-ms", 500u64)?);
+    let once = args.flag("once");
+    let out_path = args.get("out");
+    let post_url = args.get("post");
+    // Reject an unusable URL before any log lines are consumed — a late
+    // failure would leave batches already emitted to --out.
+    if let Some(url) = post_url {
+        if !url.starts_with("http://") {
+            return Err(CliError::from(format!(
+                "--post {url:?}: only http:// URLs are supported"
+            )));
+        }
+    }
+
+    let mut emitted = 0usize;
+    loop {
+        let batches = follower.poll_file(log_path).map_err(|e| e.to_string())?;
+        for batch in &batches {
+            let delta = flowcube_core::CubeDelta::compute(batch, &spec, &params, &ItemPlan::All);
+            let json = serde_json::to_string(&delta).map_err(|e| e.to_string())?;
+            if let Some(path) = out_path {
+                use std::io::Write;
+                let mut file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                writeln!(file, "{json}").map_err(|e| format!("{path}: {e}"))?;
+            }
+            if let Some(url) = post_url {
+                let (status, body) = http_post(url, &json)?;
+                if status != 200 {
+                    return Err(CliError::from(format!(
+                        "POST {url} answered {status}: {body}"
+                    )));
+                }
+            }
+            emitted += 1;
+            println!(
+                "delta {emitted}: {} paths, {} cells ({} cuboids)",
+                delta.paths,
+                delta.total_cells(),
+                delta.cuboids.len()
+            );
+        }
+        if follower.finished() || once {
+            break;
+        }
+        std::thread::sleep(poll);
+    }
+    println!(
+        "follow done: {emitted} deltas, {} bytes of log consumed{}",
+        follower.offset(),
+        if follower.finished() {
+            " (log ended)"
+        } else {
+            ""
+        }
+    );
+    obs_finish(args)
+}
+
+/// Minimal `POST` over a plain TCP stream (`http://host:port/path` only)
+/// — enough to push deltas at a local `/admin/ingest` without an HTTP
+/// client dependency.
+fn http_post(url: &str, body: &str) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("--post {url:?}: only http:// URLs are supported"))?;
+    let (host, path) = match rest.split_once('/') {
+        Some((h, p)) => (h, format!("/{p}")),
+        None => (rest, "/".to_string()),
+    };
+    let mut stream =
+        std::net::TcpStream::connect(host).map_err(|e| format!("connect {host}: {e}"))?;
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send to {host}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read from {host}: {e}"))?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response from {host}: {response:?}"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
 }
 
 pub fn tables(_args: &Args) -> Result<(), CliError> {

@@ -254,7 +254,13 @@ pub(crate) fn build(
             .iter()
             .map(|&t| agg_paths[w.path_level as usize][t as usize].as_slice())
             .collect();
-        let graph = FlowGraph::build(paths.iter().copied());
+        let mut graph = FlowGraph::build(paths.iter().copied());
+        // Canonical node order (pre-order DFS, children by location): the
+        // same cell content yields the same node table whether it was
+        // batch-built here or assembled by delta merges, making the two
+        // byte-comparable. Must happen *before* segments are translated
+        // onto node ids.
+        graph.canonicalize();
         let exceptions = if let Some(dict) = dict_opt {
             // Reuse the shared mining output: the cell's frequent segments
             // at this path level, translated onto the graph's nodes.

@@ -89,6 +89,42 @@ impl Cuboid {
     pub fn iter(&self) -> impl Iterator<Item = (&CellKey, &CellEntry)> {
         self.cells.iter()
     }
+
+    /// Merge another cuboid's cells into this one by Lemma 4.2 count
+    /// addition, returning the keys that were touched (their exceptions
+    /// are now stale — Lemma 4.3 — and have been cleared).
+    ///
+    /// Merged graphs are re-canonicalized so the node table stays a pure
+    /// function of the cell's content regardless of merge order.
+    pub fn merge_from(&mut self, other: &Cuboid) -> Vec<CellKey> {
+        let mut dirty = Vec::with_capacity(other.len());
+        for (key, entry) in other.iter() {
+            match self.cells.get_mut(key) {
+                Some(existing) => {
+                    existing.graph.merge(&entry.graph);
+                    existing.graph.canonicalize();
+                    existing.support += entry.support;
+                    existing.exceptions.clear();
+                }
+                None => {
+                    let mut cloned = entry.clone();
+                    cloned.graph.canonicalize();
+                    cloned.exceptions.clear();
+                    self.cells.insert(key.clone(), cloned);
+                }
+            }
+            dirty.push(key.clone());
+        }
+        dirty
+    }
+
+    /// Drop cells whose support fell below the iceberg threshold,
+    /// returning how many were removed.
+    pub fn enforce_min_support(&mut self, min_support: u64) -> usize {
+        let before = self.cells.len();
+        self.cells.retain(|_, e| e.support >= min_support);
+        before - self.cells.len()
+    }
 }
 
 /// Address of a cuboid within the cube.

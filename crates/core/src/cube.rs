@@ -101,6 +101,18 @@ impl FlowCube {
         &self.stats
     }
 
+    pub(crate) fn cuboids_map(&self) -> &FxHashMap<CuboidKey, Cuboid> {
+        &self.cuboids
+    }
+
+    pub(crate) fn cuboids_map_mut(&mut self) -> &mut FxHashMap<CuboidKey, Cuboid> {
+        &mut self.cuboids
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut BuildStats {
+        &mut self.stats
+    }
+
     /// Number of non-empty cuboids.
     pub fn num_cuboids(&self) -> usize {
         self.cuboids.len()
@@ -318,10 +330,19 @@ impl FlowCube {
     /// Two caveats, by design:
     /// * exceptions are **holistic** (Lemma 4.3) and cannot be merged —
     ///   merged cells get their exception lists cleared; re-mine them
-    ///   where needed;
+    ///   where needed ([`FlowCube::remine_exceptions`]);
     /// * the iceberg condition was applied per partition, so a cell
     ///   frequent only in the union may be missing from both inputs.
     ///   Build partitions with δ = 1 for an exact merge.
+    ///
+    /// After merging, this cube's iceberg threshold is re-enforced: cells
+    /// below `params.min_support` in the union are dropped rather than
+    /// left as sub-threshold residue.
+    ///
+    /// The merged [`BuildStats`] describe the total construction work
+    /// across both operands (see [`BuildStats::absorb`]): counters and
+    /// phase timings add, `threads_used` takes the maximum, and
+    /// `cells_materialized` is recomputed from the merged cube.
     ///
     /// # Errors
     /// Returns [`CoreError`] when the schemas or path-level specs are
@@ -346,24 +367,31 @@ impl FlowCube {
             }
         }
         for (ck, cuboid) in &other.cuboids {
-            let mine = self.cuboids.entry(ck.clone()).or_default();
-            for (key, entry) in cuboid.iter() {
-                match mine.cells.get_mut(key) {
-                    Some(existing) => {
-                        existing.graph.merge(&entry.graph);
-                        existing.support += entry.support;
-                        existing.exceptions.clear();
-                    }
-                    None => {
-                        let mut cloned = entry.clone();
-                        cloned.exceptions.clear();
-                        mine.cells.insert(key.clone(), cloned);
-                    }
-                }
-            }
+            self.cuboids
+                .entry(ck.clone())
+                .or_default()
+                .merge_from(cuboid);
         }
+        self.enforce_min_support(self.params.min_support);
+        self.stats.absorb(&other.stats);
         self.stats.cells_materialized = self.total_cells();
         Ok(())
+    }
+
+    /// Re-apply the iceberg condition: drop every cell whose support is
+    /// below `min_support` and every cuboid that becomes empty. Returns
+    /// the number of cells removed.
+    ///
+    /// Needed after [`FlowCube::merge_from`] / [`FlowCube::apply_delta`]
+    /// when the operands were built at a lower δ than this cube enforces
+    /// (partition builds use δ = 1 for exactness).
+    pub fn enforce_min_support(&mut self, min_support: u64) -> usize {
+        let mut removed = 0;
+        for cuboid in self.cuboids.values_mut() {
+            removed += cuboid.enforce_min_support(min_support);
+        }
+        self.cuboids.retain(|_, c| !c.is_empty());
+        removed
     }
 
     /// Human-readable cell description.

@@ -29,6 +29,7 @@
 mod build;
 pub mod cell;
 pub mod cube;
+pub mod delta;
 pub mod error;
 pub mod params;
 pub(crate) mod serde_map;
@@ -36,6 +37,7 @@ pub mod stats;
 
 pub use cell::{aggregate_key, display_key, level_of_key, CellEntry, CellKey, Cuboid, CuboidKey};
 pub use cube::{FlowCube, Lookup};
+pub use delta::{CubeDelta, DeltaReport};
 pub use error::CoreError;
 pub use params::{Algorithm, FlowCubeParams, ItemPlan};
 pub use stats::BuildStats;

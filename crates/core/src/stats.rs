@@ -37,6 +37,13 @@ pub struct BuildStats {
     /// the build self-healed without changing its output.
     #[serde(default)]
     pub chunk_retries: usize,
+    /// Micro-batch deltas merged into this cube since it was built
+    /// (`FlowCube::apply_delta`). Zero for a pure batch build.
+    #[serde(default)]
+    pub deltas_applied: usize,
+    /// Paths contributed by those deltas.
+    #[serde(default)]
+    pub delta_paths: u64,
 }
 
 impl BuildStats {
@@ -49,13 +56,46 @@ impl BuildStats {
             + self.redundancy_time
     }
 
+    /// Fold another build's statistics into this one, as when merging
+    /// partition cubes (`FlowCube::merge_from`) or applying micro-batch
+    /// deltas (`FlowCube::apply_delta`).
+    ///
+    /// Semantics: the result describes the **total work across both
+    /// constructions** — counters and timings add (total CPU spent, not
+    /// wall clock), `threads_used` takes the maximum (a capability, not a
+    /// count), and `cells_materialized` is left alone because only the
+    /// caller knows the merged cell count (cells present in both operands
+    /// must not be double-counted; callers recompute it from the cube).
+    pub fn absorb(&mut self, other: &BuildStats) {
+        self.mining.absorb(&other.mining);
+        self.encode_time += other.encode_time;
+        self.mining_time += other.mining_time;
+        self.prepare_time += other.prepare_time;
+        self.materialize_time += other.materialize_time;
+        self.redundancy_time += other.redundancy_time;
+        self.frequent_cells += other.frequent_cells;
+        self.cells_pruned_redundant += other.cells_pruned_redundant;
+        self.threads_used = self.threads_used.max(other.threads_used);
+        self.chunk_retries += other.chunk_retries;
+        self.deltas_applied += other.deltas_applied;
+        self.delta_paths += other.delta_paths;
+    }
+
     /// One-line human summary.
     pub fn summary(&self) -> String {
+        let deltas = if self.deltas_applied > 0 {
+            format!(
+                ", deltas={} (+{} paths)",
+                self.deltas_applied, self.delta_paths
+            )
+        } else {
+            String::new()
+        };
         format!(
             "cells={} (pruned {} redundant), frequent patterns={}, \
              candidates counted={} in {} scans, candidates pruned \
              [subset={} ancestor={} unlinkable={} precount={}], threads={}, \
-             chunk retries={}, total {:?}",
+             chunk retries={}{deltas}, total {:?}",
             self.cells_materialized,
             self.cells_pruned_redundant,
             self.mining.total_frequent(),
@@ -101,5 +141,42 @@ mod tests {
         assert!(summary.contains("unlinkable=1"));
         assert!(summary.contains("precount=9"));
         assert!(summary.contains("threads=2"));
+        assert!(!summary.contains("deltas="));
+        s.deltas_applied = 3;
+        s.delta_paths = 40;
+        assert!(s.summary().contains("deltas=3 (+40 paths)"));
+    }
+
+    #[test]
+    fn absorb_combines_both_operands() {
+        let mut a = BuildStats {
+            encode_time: Duration::from_millis(5),
+            frequent_cells: 2,
+            cells_materialized: 10,
+            threads_used: 2,
+            chunk_retries: 1,
+            ..Default::default()
+        };
+        a.mining.scans = 3;
+        let mut b = BuildStats {
+            encode_time: Duration::from_millis(7),
+            frequent_cells: 4,
+            cells_materialized: 99,
+            threads_used: 8,
+            deltas_applied: 1,
+            delta_paths: 12,
+            ..Default::default()
+        };
+        b.mining.scans = 2;
+        a.absorb(&b);
+        assert_eq!(a.mining.scans, 5);
+        assert_eq!(a.encode_time, Duration::from_millis(12));
+        assert_eq!(a.frequent_cells, 6);
+        assert_eq!(a.threads_used, 8);
+        assert_eq!(a.chunk_retries, 1);
+        assert_eq!(a.deltas_applied, 1);
+        assert_eq!(a.delta_paths, 12);
+        // cells_materialized is the caller's job — untouched.
+        assert_eq!(a.cells_materialized, 10);
     }
 }

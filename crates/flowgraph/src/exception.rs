@@ -43,7 +43,7 @@ pub type Constraint = (NodeId, u32);
 pub type Segment = Vec<Constraint>;
 
 /// What deviates under the condition.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ExceptionDetail {
     /// The duration distribution at the target node shifts.
     Duration { observed: CountDist<DurValue> },
@@ -54,7 +54,7 @@ pub enum ExceptionDetail {
 }
 
 /// An exception entry of a flowgraph.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Exception {
     /// The conditioning constraints (root-to-leaf order).
     pub condition: Segment,
@@ -306,6 +306,17 @@ pub fn exceptions_from_segments(
             }
         }
     }
+    // Canonical order: the list must be a pure function of the cell's
+    // content, not of which miner enumerated the segments — the shared
+    // batch scan and targeted re-mining (incremental maintenance) walk
+    // them differently, and `predict_next` breaks ties by list position.
+    out.sort_by(|a, b| {
+        let rank = |d: &ExceptionDetail| match d {
+            ExceptionDetail::Transition { .. } => 0u8,
+            ExceptionDetail::Duration { .. } => 1,
+        };
+        (&a.condition, a.node, rank(&a.detail)).cmp(&(&b.condition, b.node, rank(&b.detail)))
+    });
     out
 }
 

@@ -248,35 +248,87 @@ impl FlowGraph {
     /// lower-level ones without revisiting the path database).
     pub fn merge(&mut self, other: &FlowGraph) {
         self.total_paths += other.total_paths;
-        self.merge_node(NodeId::ROOT, other, NodeId::ROOT);
+        // Explicit pre-order worklist instead of recursion: a flowgraph is
+        // as deep as its longest path, and a pathological reading stream
+        // (one item pinging between two antennas) produces paths far
+        // deeper than the call stack tolerates.
+        // Entries are `(my parent, their node)`: the matching node on our
+        // side is resolved (or created) at pop time, and children are
+        // pushed in reverse, so the LIFO pop sequence — and therefore the
+        // node-creation order — is exactly the old recursive traversal's.
+        let mut work: Vec<(NodeId, NodeId)> = vec![(NodeId::ROOT, NodeId::ROOT)];
+        while let Some((my_parent, theirs)) = work.pop() {
+            let mine = if theirs == NodeId::ROOT {
+                NodeId::ROOT
+            } else {
+                let loc = other.nodes[theirs.index()].loc;
+                self.child_at(my_parent, loc).unwrap_or_else(|| {
+                    let id = NodeId(self.nodes.len() as u32);
+                    self.nodes.push(Node {
+                        loc,
+                        parent: my_parent,
+                        children: Vec::new(),
+                        count: 0,
+                        terminate: 0,
+                        durations: CountDist::new(),
+                    });
+                    let idx = my_parent.index();
+                    self.nodes[idx].children.push(id);
+                    id
+                })
+            };
+            {
+                let o = &other.nodes[theirs.index()];
+                let m = &mut self.nodes[mine.index()];
+                m.count += o.count;
+                m.terminate += o.terminate;
+                m.durations.merge(&o.durations);
+            }
+            let kids = &other.nodes[theirs.index()].children;
+            work.extend(kids.iter().rev().map(|&oc| (mine, oc)));
+        }
     }
 
-    fn merge_node(&mut self, mine: NodeId, other: &FlowGraph, theirs: NodeId) {
-        {
-            let o = &other.nodes[theirs.index()];
-            let m = &mut self.nodes[mine.index()];
-            m.count += o.count;
-            m.terminate += o.terminate;
-            m.durations.merge(&o.durations);
+    /// Renumber nodes into the canonical order: pre-order DFS with
+    /// children visited in ascending location order. Returns the
+    /// old-id → new-id map so callers holding [`NodeId`]s (mined
+    /// exceptions, caches) can be remapped.
+    ///
+    /// Two graphs summarizing the same multiset of paths — whatever
+    /// insertion or merge order produced them — canonicalize to
+    /// byte-identical node tables, which is what makes incremental
+    /// delta application provably equal to a batch rebuild (Lemma 4.2)
+    /// at the serialization level, not just semantically. Idempotent.
+    pub fn canonicalize(&mut self) -> Vec<NodeId> {
+        // Old ids in canonical visit order (iterative DFS; see `merge`
+        // for why recursion is off the table here).
+        let mut order: Vec<NodeId> = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![NodeId::ROOT];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            let node = &self.nodes[n.index()];
+            let mut kids = node.children.clone();
+            kids.sort_unstable_by_key(|&c| self.nodes[c.index()].loc);
+            stack.extend(kids.into_iter().rev());
         }
-        for &oc in &other.nodes[theirs.index()].children {
-            let loc = other.nodes[oc.index()].loc;
-            let mc = self.child_at(mine, loc).unwrap_or_else(|| {
-                let id = NodeId(self.nodes.len() as u32);
-                self.nodes.push(Node {
-                    loc,
-                    parent: mine,
-                    children: Vec::new(),
-                    count: 0,
-                    terminate: 0,
-                    durations: CountDist::new(),
-                });
-                let idx = mine.index();
-                self.nodes[idx].children.push(id);
-                id
-            });
-            self.merge_node(mc, other, oc);
+        let mut remap = vec![NodeId::ROOT; self.nodes.len()];
+        for (new_idx, &old) in order.iter().enumerate() {
+            remap[old.index()] = NodeId(new_idx as u32);
         }
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for &old in &order {
+            let mut node = self.nodes[old.index()].clone();
+            node.parent = remap[node.parent.index()];
+            for c in &mut node.children {
+                *c = remap[c.index()];
+            }
+            // Siblings sorted by location get consecutive DFS subtrees,
+            // so sorting by new id *is* sorting by location.
+            node.children.sort_unstable();
+            nodes.push(node);
+        }
+        self.nodes = nodes;
+        remap
     }
 
     /// Pretty-print in the style of Figure 3, resolving location names via
@@ -443,6 +495,79 @@ mod tests {
             assert_eq!(left.count(m), full.count(n));
             assert_eq!(left.terminate_count(m), full.terminate_count(n));
             assert_eq!(left.durations(m), full.durations(n));
+        }
+    }
+
+    /// Regression: `merge` used to recurse once per path depth, so a
+    /// ~100k-stage path (an item oscillating between two readers) blew
+    /// the stack. The worklist rewrite must handle it.
+    #[test]
+    fn merge_survives_pathologically_deep_graphs() {
+        const DEPTH: usize = 100_000;
+        let deep: Vec<AggStage> = (0..DEPTH)
+            .map(|i| AggStage {
+                loc: ConceptId(1 + (i % 2) as u32),
+                dur: Some(1),
+            })
+            .collect();
+        let a = FlowGraph::build([deep.as_slice()]);
+        let mut b = FlowGraph::build([deep.as_slice()]);
+        b.merge(&a);
+        assert_eq!(b.total_paths(), 2);
+        assert_eq!(b.len(), DEPTH + 1);
+        let tip = NodeId((DEPTH) as u32);
+        assert_eq!(b.count(tip), 2);
+        assert_eq!(b.terminate_count(tip), 2);
+        // Merging into an empty graph exercises the node-creation arm at
+        // full depth, and canonicalize must be iterative too.
+        let mut c = FlowGraph::new();
+        c.merge(&b);
+        assert_eq!(c.len(), DEPTH + 1);
+        c.canonicalize();
+        assert_eq!(c.len(), DEPTH + 1);
+    }
+
+    #[test]
+    fn canonicalize_is_order_independent_and_idempotent() {
+        let mk = |order: &[usize]| {
+            let paths: Vec<Vec<AggStage>> = order
+                .iter()
+                .map(|&i| {
+                    vec![
+                        AggStage {
+                            loc: ConceptId(1 + (i % 3) as u32),
+                            dur: Some(i as u32),
+                        },
+                        AggStage {
+                            loc: ConceptId(5 - (i % 2) as u32),
+                            dur: Some(1),
+                        },
+                    ]
+                })
+                .collect();
+            FlowGraph::build(paths.iter().map(|p| p.as_slice()))
+        };
+        let mut a = mk(&[0, 1, 2, 3, 4, 5]);
+        let mut b = mk(&[5, 3, 1, 4, 2, 0]);
+        a.canonicalize();
+        b.canonicalize();
+        let enc = |g: &FlowGraph| serde_json::to_string(g).unwrap();
+        assert_eq!(enc(&a), enc(&b));
+        // Idempotent: a second pass is the identity remap.
+        let before = enc(&a);
+        let remap = a.canonicalize();
+        assert_eq!(enc(&a), before);
+        assert!(remap
+            .iter()
+            .enumerate()
+            .all(|(i, &n)| n == NodeId(i as u32)));
+        // The remap is usable: prefixes resolve to the remapped ids.
+        let mut c = mk(&[2, 0, 1]);
+        let prefixes: Vec<(Vec<ConceptId>, NodeId)> =
+            c.node_ids().map(|n| (c.prefix_of(n), n)).collect();
+        let remap = c.canonicalize();
+        for (prefix, old) in prefixes {
+            assert_eq!(c.node_by_prefix(&prefix), Some(remap[old.index()]));
         }
     }
 

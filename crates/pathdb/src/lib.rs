@@ -6,12 +6,14 @@
 //! 2 & 5) lives in [`samples`] and is reused throughout the workspace.
 
 pub mod aggregate;
+pub mod follow;
 pub mod io;
 pub mod path;
 pub mod reading;
 pub mod samples;
 
 pub use aggregate::{aggregate_dims, aggregate_stages, AggStage, MergePolicy};
+pub use follow::{FollowError, Follower};
 pub use io::{
     parse_text, parse_text_with, IngestMode, ParseError, ParseOptions, ParseOutcome,
     QuarantineEntry, QuarantineReport,

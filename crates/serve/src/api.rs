@@ -19,15 +19,19 @@
 //! | `/healthz`            | —                                           | liveness + worker-crash health |
 //! | `/debug/flight`       | —                                           | flight-recorder ring dump |
 //!
-//! One non-`GET` admin route: `POST /admin/reload` revalidates and
-//! atomically swaps the backing snapshot ([`AppState::reload`]).
+//! Two non-`GET` admin routes: `POST /admin/reload` revalidates and
+//! atomically swaps the backing snapshot ([`AppState::reload`]), and
+//! `POST /admin/ingest` accepts a JSON [`CubeDelta`] micro-batch and
+//! merges it into the live cube without a restart
+//! ([`AppState::ingest`]).
 
 use crate::access::{unix_millis, AccessEntry, AccessLog};
 use crate::cache::{CachedResponse, ResponseCache};
+use crate::deltalog;
 use crate::error::{ApiError, SnapshotError};
 use crate::http::Request;
 use crate::snapshot::Snapshot;
-use flowcube_core::{display_key, level_of_key, CellKey, CuboidKey, FlowCube};
+use flowcube_core::{display_key, level_of_key, CellKey, CubeDelta, Cuboid, CuboidKey, FlowCube};
 use flowcube_hier::{ConceptId, FxHashSet, ItemLevel, PathLevelId};
 use flowcube_obs::flight::{self, FlightKind};
 use flowcube_pathdb::AggStage;
@@ -45,6 +49,10 @@ use std::time::{Duration, Instant};
 pub struct ServedCube {
     cube: RwLock<FlowCube>,
     snapshot: Option<Snapshot>,
+    /// Ingested micro-batch deltas (sidecar replay), overlaid on each
+    /// snapshot cuboid as it hydrates. Empty for in-memory cubes, whose
+    /// deltas are applied directly by [`AppState::ingest`].
+    deltas: Vec<CubeDelta>,
     /// Cuboid keys already probed against the snapshot (present or not),
     /// so each section is read at most once.
     hydrated: Mutex<FxHashSet<CuboidKey>>,
@@ -56,21 +64,58 @@ impl ServedCube {
         ServedCube {
             cube: RwLock::new(cube),
             snapshot: None,
+            deltas: Vec::new(),
             hydrated: Mutex::new(FxHashSet::default()),
         }
     }
 
     /// Serve lazily from an opened snapshot.
     pub fn from_snapshot(snapshot: Snapshot) -> Self {
+        Self::from_snapshot_with_deltas(snapshot, Vec::new())
+    }
+
+    /// Serve lazily from a snapshot plus a sequence of ingested deltas
+    /// (typically the replayed `<snapshot>.deltas` sidecar). Deltas are
+    /// merged per cuboid at hydration time — counts add per Lemma 4.2;
+    /// delta-touched cells carry no exceptions until the next fully
+    /// re-mined snapshot, since mining them needs the path database the
+    /// server does not have.
+    pub fn from_snapshot_with_deltas(snapshot: Snapshot, deltas: Vec<CubeDelta>) -> Self {
         let shell = snapshot.shell().clone();
         ServedCube {
             cube: RwLock::new(shell),
             snapshot: Some(snapshot),
+            deltas,
             hydrated: Mutex::new(FxHashSet::default()),
         }
     }
 
-    /// Hydrate the given cuboids from the snapshot if not yet loaded.
+    /// Overlay every delta's cuboid at `key` onto `base`, re-enforcing
+    /// the cube's iceberg δ. `None` when nothing at this key survives.
+    fn overlay_deltas(&self, key: &CuboidKey, base: Option<Cuboid>) -> Option<Cuboid> {
+        let patches: Vec<&Cuboid> = self
+            .deltas
+            .iter()
+            .filter_map(|d| {
+                d.cuboids
+                    .binary_search_by(|(k, _)| k.cmp(key))
+                    .ok()
+                    .map(|i| &d.cuboids[i].1)
+            })
+            .collect();
+        if patches.is_empty() {
+            return base;
+        }
+        let mut cuboid = base.unwrap_or_default();
+        for patch in patches {
+            cuboid.merge_from(patch);
+        }
+        cuboid.enforce_min_support(self.cube.read().params().min_support);
+        (!cuboid.is_empty()).then_some(cuboid)
+    }
+
+    /// Hydrate the given cuboids from the snapshot (plus any ingested
+    /// deltas) if not yet loaded.
     fn ensure(&self, keys: impl IntoIterator<Item = CuboidKey>) -> Result<(), SnapshotError> {
         let Some(snapshot) = &self.snapshot else {
             return Ok(());
@@ -80,7 +125,8 @@ impl ServedCube {
             if hydrated.contains(&key) {
                 continue;
             }
-            if let Some(cuboid) = snapshot.load_cuboid(&key)? {
+            let base = snapshot.load_cuboid(&key)?;
+            if let Some(cuboid) = self.overlay_deltas(&key, base) {
                 self.cube.write().insert_cuboid(key.clone(), cuboid);
             }
             hydrated.insert(key);
@@ -88,17 +134,24 @@ impl ServedCube {
         Ok(())
     }
 
-    /// Hydrate every snapshot cuboid at one path level (needed by
-    /// `lookup`'s ancestor walk, which may probe any item level).
+    /// Hydrate every snapshot or delta cuboid at one path level (needed
+    /// by `lookup`'s ancestor walk, which may probe any item level).
     fn ensure_path_level(&self, path_level: PathLevelId) -> Result<(), SnapshotError> {
         let Some(snapshot) = &self.snapshot else {
             return Ok(());
         };
-        let keys: Vec<CuboidKey> = snapshot
+        let mut keys: Vec<CuboidKey> = snapshot
             .cuboid_keys()
             .filter(|k| k.path_level == path_level)
             .cloned()
             .collect();
+        for delta in &self.deltas {
+            for (k, _) in &delta.cuboids {
+                if k.path_level == path_level && !keys.contains(k) {
+                    keys.push(k.clone());
+                }
+            }
+        }
         self.ensure(keys)
     }
 
@@ -112,13 +165,31 @@ impl ServedCube {
         self.cube.read().num_cuboids()
     }
 
-    /// Total cuboids in the served cube (snapshot total when
+    /// Total cuboids in the served cube (snapshot ∪ delta keys when
     /// snapshot-backed, resident count otherwise).
     pub fn total_cuboids(&self) -> usize {
         match &self.snapshot {
-            Some(s) => s.num_cuboids(),
+            Some(s) => {
+                let mut keys: FxHashSet<&CuboidKey> = s.cuboid_keys().collect();
+                for delta in &self.deltas {
+                    keys.extend(delta.cuboids.iter().map(|(k, _)| k));
+                }
+                keys.len()
+            }
             None => self.resident_cuboids(),
         }
+    }
+
+    /// Ingested deltas pending in this served cube's overlay (sidecar
+    /// replay); always 0 for in-memory cubes, which fold deltas in
+    /// directly.
+    pub fn pending_deltas(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Total paths contributed by the pending deltas.
+    pub fn pending_delta_paths(&self) -> u64 {
+        self.deltas.iter().map(|d| d.paths).sum()
     }
 
     /// The snapshot file backing this cube, if any — the hot-reload
@@ -260,26 +331,105 @@ impl AppState {
             .cube()
             .snapshot_path()
             .ok_or_else(|| ApiError::BadRequest("server is not snapshot-backed".into()))?;
-        let reloaded = (|| -> Result<Snapshot, SnapshotError> {
+        let reloaded = (|| -> Result<(Snapshot, Vec<CubeDelta>), SnapshotError> {
             let snapshot = Snapshot::open(&path)?;
             snapshot.verify_all()?;
-            Ok(snapshot)
+            let deltas = deltalog::read_deltas(&deltalog::deltalog_path(&path))?;
+            Ok((snapshot, deltas))
         })();
         match reloaded {
-            Ok(snapshot) => {
+            Ok((snapshot, deltas)) => {
                 let cuboids = snapshot.num_cuboids();
-                self.install_cube(ServedCube::from_snapshot(snapshot));
+                let pending = deltas.len();
+                self.install_cube(ServedCube::from_snapshot_with_deltas(snapshot, deltas));
                 flowcube_obs::counter_add("serve.reload.ok", 1);
                 flight::record(FlightKind::Reload, 0, 0, 0, cuboids as u64);
                 Ok(ReloadResponse {
                     reloaded: true,
                     cuboids,
+                    deltas: pending,
                 })
             }
             Err(e) => {
                 flowcube_obs::counter_add("serve.reload.failed", 1);
                 flight::record(FlightKind::Reload, 0, 0, 1, 0);
                 Err(e.into())
+            }
+        }
+    }
+
+    /// Ingest one micro-batch delta (the JSON body of
+    /// `POST /admin/ingest`) into the live cube, without ever taking the
+    /// server offline.
+    ///
+    /// Snapshot-backed servers append the (validated) delta to the
+    /// `<snapshot>.deltas` sidecar first — making it durable across
+    /// restarts and reloads — then swap in a fresh [`ServedCube`] that
+    /// overlays the full sidecar; in-flight requests keep the cube they
+    /// started with (`Arc` swap), new requests see the merged counts.
+    /// In-memory servers apply the delta directly under the cube's write
+    /// lock. Either way the response cache is dropped.
+    ///
+    /// Exceptions on delta-touched cells are *cleared*, not re-mined —
+    /// mining is holistic (Lemma 4.3) and needs the path database, which
+    /// the serving tier does not carry. They return with the next fully
+    /// mined snapshot (`flowcube ingest` + `/admin/reload`).
+    pub fn ingest(&self, body: &[u8]) -> Result<IngestResponse, ApiError> {
+        let _span = flowcube_obs::span!("serve.ingest");
+        let timer = flowcube_obs::Timer::start("serve.ingest");
+        let result = self.ingest_inner(body);
+        let elapsed = timer.stop();
+        flowcube_obs::histogram_record("serve.ingest.apply_us", elapsed.as_secs_f64() * 1e6);
+        match &result {
+            Ok(resp) => {
+                flowcube_obs::counter_add("serve.ingest.ok", 1);
+                flight::record(FlightKind::Reload, 0, 0, 0, resp.paths);
+            }
+            Err(_) => {
+                flowcube_obs::counter_add("serve.ingest.failed", 1);
+                flight::record(FlightKind::Reload, 0, 0, 1, 0);
+            }
+        }
+        result
+    }
+
+    fn ingest_inner(&self, body: &[u8]) -> Result<IngestResponse, ApiError> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| ApiError::BadRequest("delta body is not UTF-8".into()))?;
+        let delta: CubeDelta = serde_json::from_str(text)
+            .map_err(|e| ApiError::BadRequest(format!("delta body: {e}")))?;
+        let served = self.cube();
+        // Reject a structurally incompatible delta *before* it is made
+        // durable or touches the cube.
+        served.with_cube(|cube| delta.validate_against(cube))?;
+        let paths = delta.paths;
+        let delta_cells = delta.total_cells();
+        match served.snapshot_path() {
+            Some(path) => {
+                let log = deltalog::deltalog_path(&path);
+                deltalog::append_delta(&log, &delta)?;
+                let snapshot = Snapshot::open(&path)?;
+                let deltas = deltalog::read_deltas(&log)?;
+                let pending = deltas.len();
+                self.install_cube(ServedCube::from_snapshot_with_deltas(snapshot, deltas));
+                Ok(IngestResponse {
+                    ingested: true,
+                    paths,
+                    delta_cells,
+                    mode: "sidecar",
+                    pending_deltas: pending,
+                })
+            }
+            None => {
+                served.cube.write().apply_delta(&delta)?;
+                self.cache.clear();
+                Ok(IngestResponse {
+                    ingested: true,
+                    paths,
+                    delta_cells,
+                    mode: "in-memory",
+                    pending_deltas: 0,
+                })
             }
         }
     }
@@ -368,6 +518,10 @@ struct StatsResponse {
     resident_cuboids: usize,
     resident_cells: usize,
     snapshot_backed: bool,
+    /// Sidecar deltas overlaid on the snapshot (0 for in-memory cubes,
+    /// whose applied deltas show up in `build.deltas_applied` instead).
+    pending_deltas: usize,
+    pending_delta_paths: u64,
     summary: String,
     build: flowcube_core::BuildStats,
 }
@@ -384,6 +538,23 @@ struct HealthResponse {
 pub struct ReloadResponse {
     pub reloaded: bool,
     pub cuboids: usize,
+    /// Sidecar deltas replayed on top of the reloaded snapshot.
+    pub deltas: usize,
+}
+
+/// Body of a successful `POST /admin/ingest`.
+#[derive(Serialize)]
+pub struct IngestResponse {
+    pub ingested: bool,
+    /// Paths the ingested delta contributed.
+    pub paths: u64,
+    /// Cells carried by the delta (before iceberg re-enforcement).
+    pub delta_cells: usize,
+    /// `"sidecar"` (snapshot-backed: durable, overlaid lazily) or
+    /// `"in-memory"` (applied directly to the live cube).
+    pub mode: &'static str,
+    /// Deltas now pending in the sidecar overlay (0 for in-memory).
+    pub pending_deltas: usize,
 }
 
 fn json<T: Serialize>(value: &T) -> String {
@@ -742,6 +913,8 @@ fn handle_stats(served: &ServedCube) -> Result<String, ApiError> {
             resident_cuboids: cube.num_cuboids(),
             resident_cells: cube.total_cells(),
             snapshot_backed: served.snapshot.is_some(),
+            pending_deltas: served.pending_deltas(),
+            pending_delta_paths: served.pending_delta_paths(),
             summary: cube.stats().summary(),
             build: cube.stats().clone(),
         }))
@@ -817,6 +990,7 @@ fn endpoint_tag(path: &str) -> &'static str {
         "/healthz" => "healthz",
         "/debug/flight" => "debug_flight",
         "/admin/reload" => "admin_reload",
+        "/admin/ingest" => "admin_ingest",
         _ => "other",
     }
 }
@@ -852,7 +1026,7 @@ fn flight_label(tag: &'static str) -> u16 {
             .iter()
             .map(|&tag| (tag, flight::intern(tag)))
             .collect();
-        for tag in ["admin_reload", "other"] {
+        for tag in ["admin_reload", "admin_ingest", "other"] {
             t.push((tag, flight::intern(tag)));
         }
         t
@@ -1066,6 +1240,12 @@ fn error_response(e: &ApiError) -> HttpResponse {
 fn respond(state: &AppState, req: &Request, ctx: &RequestCtx, trace: u64) -> HttpResponse {
     if req.method == "POST" && req.path == "/admin/reload" {
         return match state.reload() {
+            Ok(resp) => HttpResponse::json(200, json(&resp)),
+            Err(e) => error_response(&e),
+        };
+    }
+    if req.method == "POST" && req.path == "/admin/ingest" {
+        return match state.ingest(&req.body) {
             Ok(resp) => HttpResponse::json(200, json(&resp)),
             Err(e) => error_response(&e),
         };

@@ -1,0 +1,233 @@
+//! The delta sidecar: a crash-tolerant append-only log of
+//! [`CubeDelta`]s riding alongside a snapshot file.
+//!
+//! `POST /admin/ingest` on a snapshot-backed server cannot rewrite the
+//! snapshot (the build pipeline owns that file), so accepted deltas are
+//! appended to `<snapshot>.deltas` and replayed — at startup, on
+//! hot-reload, and on every cube swap — on top of the snapshot's
+//! cuboids. Writing a fresh snapshot that already folds the deltas in
+//! and deleting the sidecar is the compaction story (the `ingest`
+//! CLI's job, not the server's).
+//!
+//! ## Record layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     payload length in bytes, u64 LE
+//! 8       4     CRC-32 of the payload bytes, u32 LE
+//! 12      n     payload: JSON-encoded CubeDelta
+//! ```
+//!
+//! Records repeat until end-of-file. A torn tail — a record whose
+//! header or payload ends past the file — is *tolerated*: replay stops
+//! at the last complete record, because a crash mid-append must not
+//! take the server down. A CRC mismatch on a *complete* record is real
+//! corruption and is an error.
+
+use crate::crc::crc32;
+use crate::error::SnapshotError;
+use flowcube_core::CubeDelta;
+use std::fs::OpenOptions;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Per-record header: payload length + payload CRC.
+const RECORD_HEADER_LEN: usize = 12;
+/// Upper bound on one record's payload — a decode guard against a
+/// corrupt length prefix, not a practical limit (deltas are micro-batch
+/// sized).
+const MAX_RECORD_BYTES: u64 = 256 * 1024 * 1024;
+
+/// The sidecar path for a snapshot: `<snapshot>.deltas`.
+pub fn deltalog_path(snapshot: &Path) -> PathBuf {
+    let mut name = snapshot.file_name().unwrap_or_default().to_os_string();
+    name.push(".deltas");
+    snapshot.with_file_name(name)
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> SnapshotError {
+    SnapshotError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// Append one delta to the sidecar at `path`, creating the file if
+/// absent. The record is written with a single `write_all` and flushed,
+/// so a crash leaves at worst a torn tail that [`read_deltas`] skips.
+pub fn append_delta(path: &Path, delta: &CubeDelta) -> Result<(), SnapshotError> {
+    let _span = flowcube_obs::span!("serve.deltalog.append");
+    let payload = serde_json::to_string(delta)
+        .map(String::into_bytes)
+        .map_err(|e| SnapshotError::Corrupt {
+            detail: format!("encoding delta: {e}"),
+        })?;
+    let mut record = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    record.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    record.extend_from_slice(&crc32(&payload).to_le_bytes());
+    record.extend_from_slice(&payload);
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| io_err(path, e))?;
+    file.write_all(&record).map_err(|e| io_err(path, e))?;
+    file.flush().map_err(|e| io_err(path, e))?;
+    flowcube_obs::counter_add("serve.deltalog.appended", 1);
+    Ok(())
+}
+
+/// Read every complete delta record from the sidecar at `path`.
+///
+/// A missing file is an empty log (the common case: no deltas ingested
+/// yet). A torn tail is silently dropped — replay covers everything the
+/// last successful append made durable. A CRC mismatch inside a
+/// complete record is [`SnapshotError::ChecksumMismatch`].
+pub fn read_deltas(path: &Path) -> Result<Vec<CubeDelta>, SnapshotError> {
+    let _span = flowcube_obs::span!("serve.deltalog.read");
+    let mut file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err(path, e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(|e| io_err(path, e))?;
+
+    let mut deltas = Vec::new();
+    let mut at = 0usize;
+    while bytes.len() - at >= RECORD_HEADER_LEN {
+        let mut len_le = [0u8; 8];
+        len_le.copy_from_slice(&bytes[at..at + 8]);
+        let len = u64::from_le_bytes(len_le);
+        if len > MAX_RECORD_BYTES {
+            return Err(SnapshotError::Corrupt {
+                detail: format!("delta record at byte {at} declares {len} bytes"),
+            });
+        }
+        let mut crc_le = [0u8; 4];
+        crc_le.copy_from_slice(&bytes[at + 8..at + RECORD_HEADER_LEN]);
+        let crc = u32::from_le_bytes(crc_le);
+        let start = at + RECORD_HEADER_LEN;
+        let Some(end) = start
+            .checked_add(len as usize)
+            .filter(|&e| e <= bytes.len())
+        else {
+            break; // torn tail: header landed, payload didn't
+        };
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            return Err(SnapshotError::ChecksumMismatch {
+                section: format!("delta record {} (byte {at})", deltas.len()),
+            });
+        }
+        let text = std::str::from_utf8(payload).map_err(|_| SnapshotError::Corrupt {
+            detail: format!("delta record {} (byte {at}) is not UTF-8", deltas.len()),
+        })?;
+        let delta: CubeDelta = serde_json::from_str(text).map_err(|e| SnapshotError::Corrupt {
+            detail: format!("delta record {} (byte {at}): {e}", deltas.len()),
+        })?;
+        deltas.push(delta);
+        at = end;
+    }
+    if at < bytes.len() {
+        flowcube_obs::counter_add("serve.deltalog.torn_tail_bytes", (bytes.len() - at) as u64);
+    }
+    Ok(deltas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcube_core::{CubeDelta, FlowCubeParams, ItemPlan};
+    use flowcube_hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel};
+    use flowcube_pathdb::samples;
+
+    fn sample_delta() -> CubeDelta {
+        let db = samples::paper_table1();
+        let loc = db.schema().locations();
+        let spec = PathLatticeSpec::new(vec![PathLevel::new(
+            "base",
+            LocationCut::uniform_level(loc, 2),
+            DurationLevel::Raw,
+        )]);
+        CubeDelta::compute(&db, &spec, &FlowCubeParams::new(2), &ItemPlan::All)
+    }
+
+    /// A per-test scratch file, removed on drop.
+    struct Scratch(PathBuf);
+    impl Scratch {
+        fn new(name: &str) -> Scratch {
+            let path = std::env::temp_dir().join(format!(
+                "flowcube-deltalog-test-{}-{name}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            Scratch(path)
+        }
+    }
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn sidecar_path_appends_extension() {
+        assert_eq!(
+            deltalog_path(Path::new("/x/cube.snap")),
+            PathBuf::from("/x/cube.snap.deltas")
+        );
+    }
+
+    #[test]
+    fn roundtrips_multiple_records() {
+        let scratch = Scratch::new("roundtrip");
+        let path = scratch.0.clone();
+        let delta = sample_delta();
+        assert_eq!(
+            read_deltas(&path).unwrap().len(),
+            0,
+            "missing file is empty"
+        );
+        append_delta(&path, &delta).unwrap();
+        append_delta(&path, &delta).unwrap();
+        let back = read_deltas(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        for d in &back {
+            assert_eq!(d.paths, delta.paths);
+            assert_eq!(d.total_cells(), delta.total_cells());
+            assert_eq!(
+                serde_json::to_string(d).unwrap(),
+                serde_json::to_string(&delta).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_but_corruption_is_an_error() {
+        let scratch = Scratch::new("torn");
+        let path = scratch.0.clone();
+        let delta = sample_delta();
+        append_delta(&path, &delta).unwrap();
+        append_delta(&path, &delta).unwrap();
+
+        // Tear the second record's payload: only the first survives.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        assert_eq!(read_deltas(&path).unwrap().len(), 1);
+
+        // Tear mid-header: same story.
+        let first_len = RECORD_HEADER_LEN + serde_json::to_string(&delta).unwrap().len();
+        std::fs::write(&path, &full[..first_len + 6]).unwrap();
+        assert_eq!(read_deltas(&path).unwrap().len(), 1);
+
+        // Flip a byte inside a *complete* record: that is corruption.
+        let mut bad = full.clone();
+        bad[RECORD_HEADER_LEN + 3] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            read_deltas(&path),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+}

@@ -9,8 +9,9 @@ use std::net::TcpStream;
 
 /// Largest accepted request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Largest accepted request body.
-pub const MAX_BODY_BYTES: usize = 64 * 1024;
+/// Largest accepted request body — sized for `POST /admin/ingest`,
+/// whose body is a JSON-encoded micro-batch delta.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
 /// A parsed request.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -38,6 +38,7 @@ pub mod access;
 pub mod api;
 pub mod cache;
 pub mod crc;
+pub mod deltalog;
 pub mod error;
 pub mod http;
 pub mod server;
@@ -46,10 +47,11 @@ pub mod snapshot;
 pub use access::{AccessEntry, AccessLog};
 pub use api::{
     assign_request_id, handle_request, handle_request_ctx, handle_request_full,
-    registered_endpoints, AppState, HealthState, HttpResponse, ReloadResponse, RequestCtx,
-    ServedCube,
+    registered_endpoints, AppState, HealthState, HttpResponse, IngestResponse, ReloadResponse,
+    RequestCtx, ServedCube,
 };
 pub use cache::{CachedResponse, ResponseCache};
+pub use deltalog::{append_delta, deltalog_path, read_deltas};
 pub use error::{ApiError, SnapshotError};
 pub use server::{serve, serve_cube, take_reload_request, ServerConfig, ServerHandle};
 pub use snapshot::{write_snapshot, Snapshot, SnapshotInfo, FORMAT_VERSION};

@@ -110,6 +110,12 @@ fn canonical_stats(stats: &flowcube_core::BuildStats) -> flowcube_core::BuildSta
     // Retries are a property of one execution (a transient worker fault),
     // not of the cube; a self-healed build snapshots identically.
     s.chunk_retries = 0;
+    // How the cube was maintained (one batch build vs. a build plus k
+    // delta applications) must not change what it *is*: at δ = 1 an
+    // incrementally maintained cube snapshots byte-identically to a
+    // batch rebuild over the union of the streams.
+    s.deltas_applied = 0;
+    s.delta_paths = 0;
     s
 }
 

@@ -1,0 +1,293 @@
+//! End-to-end `POST /admin/ingest`: live delta ingestion over HTTP for
+//! both backing modes, with the availability guarantee the design
+//! demands — the server keeps answering queries while deltas land, and a
+//! restart from the same snapshot replays the sidecar.
+
+use flowcube_core::{CubeDelta, FlowCube, FlowCubeParams, ItemPlan};
+use flowcube_datagen::{generate, DimShape, GeneratorConfig};
+use flowcube_hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel};
+use flowcube_pathdb::PathDatabase;
+use flowcube_serve::{
+    deltalog_path, read_deltas, serve_cube, write_snapshot, ServedCube, ServerConfig, ServerHandle,
+    Snapshot,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A generated db split into a base (first 100 paths) and a stream tail
+/// (the rest) that arrives later as micro-batch deltas.
+fn base_and_batches(seed: u64, batches: usize) -> (PathDatabase, Vec<PathDatabase>) {
+    let config = GeneratorConfig {
+        num_paths: 100 + batches * 10,
+        dims: vec![DimShape::new(vec![2, 3], 0.7); 2],
+        num_sequences: 5,
+        seed,
+        ..Default::default()
+    };
+    let db = generate(&config).db;
+    let records = db.records();
+    let base = PathDatabase::from_records(db.schema().clone(), records[..100].to_vec()).unwrap();
+    let tail: Vec<PathDatabase> = records[100..]
+        .chunks(10)
+        .map(|c| PathDatabase::from_records(db.schema().clone(), c.to_vec()).unwrap())
+        .collect();
+    (base, tail)
+}
+
+fn spec_for(db: &PathDatabase) -> PathLatticeSpec {
+    let loc = db.schema().locations();
+    PathLatticeSpec::new(vec![PathLevel::new(
+        "fine",
+        LocationCut::uniform_level(loc, loc.max_level()),
+        DurationLevel::Raw,
+    )])
+}
+
+fn params() -> FlowCubeParams {
+    FlowCubeParams::new(4).with_exceptions(false)
+}
+
+fn start(served: ServedCube) -> ServerHandle {
+    serve_cube(
+        served,
+        ServerConfig {
+            workers: 2,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            ..Default::default()
+        },
+    )
+    .expect("server starts")
+}
+
+fn request(addr: std::net::SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(
+        format!(
+            "{method} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .expect("write");
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    let status: u16 = out
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let payload = out
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
+    request(addr, "GET", target, "")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "flowcube-ingest-http-{}-{name}",
+        std::process::id()
+    ))
+}
+
+/// In-memory backing: the delta is applied directly to the live cube —
+/// queries answer before, after, and with the merged counts; malformed
+/// and mismatched deltas are rejected without hurting the server.
+#[test]
+fn in_memory_ingest_applies_and_rejects_bad_deltas() {
+    let (base, batches) = base_and_batches(31, 2);
+    let spec = spec_for(&base);
+    let cube = FlowCube::build(&base, spec.clone(), params(), ItemPlan::All);
+    let handle = start(ServedCube::from_cube(cube));
+    let addr = handle.addr();
+
+    let (status, stats_before) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(stats_before.contains("\"pending_deltas\":0"));
+
+    let delta = CubeDelta::compute(&batches[0], &spec, &params(), &ItemPlan::All);
+    let body = serde_json::to_string(&delta).unwrap();
+    let (status, resp) = request(addr, "POST", "/admin/ingest", &body);
+    assert_eq!(status, 200, "got {resp:?}");
+    assert!(resp.contains("\"ingested\":true"), "got {resp:?}");
+    assert!(resp.contains("\"mode\":\"in-memory\""), "got {resp:?}");
+    assert!(resp.contains("\"paths\":10"), "got {resp:?}");
+
+    // The apply shows up in the build stats, not as a pending overlay.
+    let (status, stats_after) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(stats_after.contains("\"pending_deltas\":0"));
+    assert!(
+        stats_after.contains("\"deltas_applied\":1"),
+        "got {stats_after:?}"
+    );
+    assert!(
+        stats_after.contains("\"delta_paths\":10"),
+        "got {stats_after:?}"
+    );
+
+    // Queries still answer.
+    let (status, _) = get(addr, "/cell?cell=*,*&level=fine");
+    assert_eq!(status, 200);
+
+    // Malformed JSON → 400; a delta with a foreign fingerprint → 409.
+    let (status, _) = request(addr, "POST", "/admin/ingest", "{not json");
+    assert_eq!(status, 400);
+    let mut foreign = CubeDelta::compute(&batches[1], &spec, &params(), &ItemPlan::All);
+    foreign.path_levels = vec!["coarse".into()];
+    let body = serde_json::to_string(&foreign).unwrap();
+    let (status, resp) = request(addr, "POST", "/admin/ingest", &body);
+    assert_eq!(status, 409, "got {resp:?}");
+
+    // Neither rejection changed the served cube.
+    let (status, stats_final) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert_eq!(stats_after, stats_final);
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Snapshot backing: an accepted delta lands in the `<snapshot>.deltas`
+/// sidecar, is overlaid lazily on queries, survives `POST /admin/reload`,
+/// and is replayed by a fresh process opening the same snapshot. A
+/// rejected delta leaves the sidecar untouched.
+#[test]
+fn snapshot_ingest_is_durable_across_reload_and_restart() {
+    let (base, batches) = base_and_batches(47, 3);
+    let spec = spec_for(&base);
+    let cube = FlowCube::build(&base, spec.clone(), params(), ItemPlan::All);
+    let path = tmp("durable.snap");
+    let sidecar = deltalog_path(&path);
+    let _ = std::fs::remove_file(&sidecar);
+    write_snapshot(&cube, &path).expect("write snapshot");
+
+    let handle = start(ServedCube::from_snapshot(Snapshot::open(&path).unwrap()));
+    let addr = handle.addr();
+
+    // Hydrate a cell from the snapshot, then ingest two deltas.
+    let (status, cell_before) = get(addr, "/cell?cell=*,*&level=fine");
+    assert_eq!(status, 200);
+    for (i, batch) in batches[..2].iter().enumerate() {
+        let delta = CubeDelta::compute(batch, &spec, &params(), &ItemPlan::All);
+        let body = serde_json::to_string(&delta).unwrap();
+        let (status, resp) = request(addr, "POST", "/admin/ingest", &body);
+        assert_eq!(status, 200, "delta {i}: got {resp:?}");
+        assert!(resp.contains("\"mode\":\"sidecar\""), "got {resp:?}");
+        assert!(
+            resp.contains(&format!("\"pending_deltas\":{}", i + 1)),
+            "got {resp:?}"
+        );
+    }
+    assert_eq!(
+        read_deltas(&sidecar).unwrap().len(),
+        2,
+        "sidecar holds both"
+    );
+
+    // The apex cell now includes the deltas' paths: support grew.
+    let (status, cell_after) = get(addr, "/cell?cell=*,*&level=fine");
+    assert_eq!(status, 200);
+    assert_ne!(cell_before, cell_after, "overlay must change the apex cell");
+    let (status, stats) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"pending_deltas\":2"), "got {stats:?}");
+    assert!(
+        stats.contains("\"pending_delta_paths\":20"),
+        "got {stats:?}"
+    );
+
+    // A rejected delta must not grow the sidecar.
+    let mut foreign = CubeDelta::compute(&batches[2], &spec, &params(), &ItemPlan::All);
+    foreign.dims = vec!["bogus".into()];
+    let body = serde_json::to_string(&foreign).unwrap();
+    let (status, _) = request(addr, "POST", "/admin/ingest", &body);
+    assert_eq!(status, 409);
+    assert_eq!(read_deltas(&sidecar).unwrap().len(), 2);
+
+    // Hot reload replays the sidecar on top of the re-opened snapshot.
+    let (status, resp) = request(addr, "POST", "/admin/reload", "");
+    assert_eq!(status, 200, "got {resp:?}");
+    assert!(resp.contains("\"deltas\":2"), "got {resp:?}");
+    let (status, cell_reloaded) = get(addr, "/cell?cell=*,*&level=fine");
+    assert_eq!(status, 200);
+    assert_eq!(cell_after, cell_reloaded, "reload must not lose deltas");
+
+    handle.shutdown();
+    handle.join();
+
+    // A fresh process (what the CLI does at startup): open the snapshot,
+    // replay the sidecar — same answers as the live server gave.
+    let replayed = ServedCube::from_snapshot_with_deltas(
+        Snapshot::open(&path).unwrap(),
+        read_deltas(&sidecar).unwrap(),
+    );
+    let handle = start(replayed);
+    let addr = handle.addr();
+    let (status, cell_restarted) = get(addr, "/cell?cell=*,*&level=fine");
+    assert_eq!(status, 200);
+    assert_eq!(
+        cell_after, cell_restarted,
+        "restart must replay the sidecar"
+    );
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&sidecar);
+}
+
+/// Availability: queries from a concurrent client never see an error
+/// while a stream of deltas is being ingested — the swap is atomic.
+#[test]
+fn queries_keep_answering_during_ingest() {
+    let (base, batches) = base_and_batches(59, 3);
+    let spec = spec_for(&base);
+    let cube = FlowCube::build(&base, spec.clone(), params(), ItemPlan::All);
+    let path = tmp("live.snap");
+    let sidecar = deltalog_path(&path);
+    let _ = std::fs::remove_file(&sidecar);
+    write_snapshot(&cube, &path).expect("write snapshot");
+
+    let handle = start(ServedCube::from_snapshot(Snapshot::open(&path).unwrap()));
+    let addr = handle.addr();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reader = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut queries = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let (status, body) = get(addr, "/cell?cell=*,*&level=fine");
+                assert_eq!(status, 200, "mid-ingest query failed: {body:?}");
+                queries += 1;
+            }
+            queries
+        })
+    };
+
+    for batch in &batches {
+        let delta = CubeDelta::compute(batch, &spec, &params(), &ItemPlan::All);
+        let body = serde_json::to_string(&delta).unwrap();
+        let (status, resp) = request(addr, "POST", "/admin/ingest", &body);
+        assert_eq!(status, 200, "got {resp:?}");
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let queries = reader.join().expect("reader thread");
+    assert!(queries > 0, "the reader must have overlapped the ingests");
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&sidecar);
+}
