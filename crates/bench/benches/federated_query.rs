@@ -1,0 +1,207 @@
+//! Federated serving cost: front-tier query latency through the
+//! scatter-gather tier at 1, 2, and 4 shards versus a direct single-node
+//! server over the same path database — the number behind DESIGN.md §13's
+//! claim that federation buys horizontal build capacity for one extra
+//! network hop.
+//!
+//! Also measures the degraded path: front-tier latency with one of two
+//! shards dead, where every answer is a `"partial": true` 200 that had to
+//! wait out the dead shard's connect failure.
+//!
+//! Writes `BENCH_federated.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowcube_bench::serving::{measure, LatencySeries};
+use flowcube_core::{FlowCube, FlowCubeParams, ItemPlan};
+use flowcube_datagen::{generate, DimShape, GeneratorConfig};
+use flowcube_federate::{serve_front, shard_db, FrontConfig, FrontHandle};
+use flowcube_hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel};
+use flowcube_pathdb::PathDatabase;
+use flowcube_serve::{serve_cube, ServedCube, ServerConfig, ServerHandle};
+use serde::Serialize;
+
+const NUM_PATHS: usize = 2_000;
+const REQUESTS: usize = 200;
+const SHARD_COUNTS: [u32; 3] = [1, 2, 4];
+
+#[derive(Serialize)]
+struct TierResult {
+    shards: u32,
+    cell: LatencySeries,
+    topk: LatencySeries,
+}
+
+#[derive(Serialize)]
+struct FederatedResult {
+    num_paths: usize,
+    requests_per_series: usize,
+    /// Direct single-node serve over the full database — the baseline.
+    single: TierResult,
+    /// Front-tier latency at each shard count, all shards healthy.
+    tiers: Vec<TierResult>,
+    /// Front-tier latency at 2 shards with one shard dead: every answer
+    /// is a partial 200 that paid the dead shard's connect failure.
+    degraded_one_of_two_dead: TierResult,
+    /// tiers[shards=1].cell.p50 / single.cell.p50 — the pure fan-out hop
+    /// cost, no merge work.
+    federation_hop_overhead_p50: f64,
+}
+
+fn workload() -> (PathDatabase, PathLatticeSpec) {
+    let config = GeneratorConfig {
+        num_paths: NUM_PATHS,
+        dims: vec![DimShape::new(vec![3, 4], 0.8); 2],
+        num_sequences: 8,
+        seed: 61,
+        ..Default::default()
+    };
+    let db = generate(&config).db;
+    let loc = db.schema().locations();
+    let spec = PathLatticeSpec::new(vec![PathLevel::new(
+        "fine",
+        LocationCut::uniform_level(loc, loc.max_level()),
+        DurationLevel::Raw,
+    )]);
+    (db, spec)
+}
+
+fn start_backend(cube: FlowCube) -> ServerHandle {
+    serve_cube(
+        ServedCube::from_cube(cube),
+        ServerConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .expect("backend starts")
+}
+
+fn boot_federation(
+    db: &PathDatabase,
+    spec: &PathLatticeSpec,
+    shards: u32,
+) -> (Vec<ServerHandle>, FrontHandle) {
+    let params = FlowCubeParams::new(1);
+    let backends: Vec<ServerHandle> = (0..shards)
+        .map(|k| {
+            let shard = shard_db(db, shards, k).expect("shard splits");
+            start_backend(FlowCube::build(
+                &shard,
+                spec.clone(),
+                params.clone(),
+                ItemPlan::All,
+            ))
+        })
+        .collect();
+    let front = serve_front(FrontConfig {
+        backends: backends.iter().map(|b| b.addr().to_string()).collect(),
+        shards,
+        workers: 4,
+        ..Default::default()
+    })
+    .expect("front starts");
+    (backends, front)
+}
+
+fn measure_tier(label: &str, addr: std::net::SocketAddr, shards: u32) -> TierResult {
+    TierResult {
+        shards,
+        cell: measure(
+            &format!("cell/{label}"),
+            addr,
+            "/cell?cell=*,*&level=fine",
+            REQUESTS,
+        ),
+        topk: measure(
+            &format!("topk/{label}"),
+            addr,
+            "/paths/topk?cell=*,*&level=fine&k=5",
+            REQUESTS,
+        ),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let (db, spec) = workload();
+    let params = FlowCubeParams::new(1);
+
+    // Baseline: one server over the whole database.
+    let single_cube = FlowCube::build(&db, spec.clone(), params, ItemPlan::All);
+    let single_server = start_backend(single_cube);
+    let single = measure_tier("single", single_server.addr(), 0);
+
+    // Criterion series: front-tier /cell at each shard count.
+    let mut group = c.benchmark_group("federated_query");
+    group.sample_size(20);
+    let mut tiers = Vec::new();
+    for shards in SHARD_COUNTS {
+        let (backends, front) = boot_federation(&db, &spec, shards);
+        let addr = front.addr();
+        group.bench_function(format!("cell_front_{shards}_shards"), |b| {
+            b.iter(|| {
+                let (status, _) =
+                    flowcube_bench::serving::timed_get(addr, "/cell?cell=*,*&level=fine")
+                        .expect("request transport");
+                assert_eq!(status, 200);
+            })
+        });
+        tiers.push(measure_tier(&format!("front-{shards}"), addr, shards));
+        front.shutdown();
+        front.join();
+        for b in backends {
+            b.shutdown();
+            b.join();
+        }
+    }
+    group.finish();
+
+    // Degraded: 2 shards, one killed. Answers stay 200 (partial), but
+    // each pays the dead shard's connect failure inside the deadline.
+    let (mut backends, front) = boot_federation(&db, &spec, 2);
+    let dead = backends.remove(1);
+    dead.shutdown();
+    dead.join();
+    let degraded = measure_tier("front-2-degraded", front.addr(), 2);
+    front.shutdown();
+    front.join();
+    for b in backends {
+        b.shutdown();
+        b.join();
+    }
+    single_server.shutdown();
+    single_server.join();
+
+    let hop = tiers[0].cell.p50_us / single.cell.p50_us;
+    let result = FederatedResult {
+        num_paths: NUM_PATHS,
+        requests_per_series: REQUESTS,
+        single,
+        tiers,
+        degraded_one_of_two_dead: degraded,
+        federation_hop_overhead_p50: hop,
+    };
+    std::fs::write(
+        "BENCH_federated.json",
+        serde_json::to_string_pretty(&result).expect("serialize"),
+    )
+    .expect("write BENCH_federated.json");
+    println!("\nwrote BENCH_federated.json");
+    println!(
+        "single /cell p50 {:.0}us p99 {:.0}us",
+        result.single.cell.p50_us, result.single.cell.p99_us
+    );
+    for t in &result.tiers {
+        println!(
+            "front {} shard(s) /cell p50 {:.0}us p99 {:.0}us  topk p50 {:.0}us",
+            t.shards, t.cell.p50_us, t.cell.p99_us, t.topk.p50_us
+        );
+    }
+    println!(
+        "degraded (1 of 2 dead) /cell p50 {:.0}us p99 {:.0}us",
+        result.degraded_one_of_two_dead.cell.p50_us, result.degraded_one_of_two_dead.cell.p99_us
+    );
+    println!("federation hop overhead (1 shard vs direct, p50): {hop:.2}x");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,6 +19,10 @@ USAGE:
   flowcube build    --db db.json --min-support N [--eps E] [--tau T]
                     [--algorithm shared|basic|cubing]
                     [--no-exceptions] [--threads N] --out cube.json
+                    [--shards N --shard-id K] (emit one shard partial)
+  flowcube merge    part0.json part1.json … --db db.json --min-support N
+                    [--eps E] [--tau T] [--no-exceptions] --out cube.json
+                    [--snapshot-out cube.snap]
   flowcube cells    --cube cube.json [--level NAME] [--limit N]
   flowcube query    --cube cube.json --cell v1,v2,… (use * for any)
                     [--level NAME]
@@ -31,12 +35,17 @@ USAGE:
   flowcube serve    --snapshot cube.snap [--addr HOST:PORT] [--workers N]
                     [--queue-depth N] [--cache N] [--deadline-ms MS]
                     [--degraded-after N] [--access-log FILE|-] [--slow-ms MS]
+                    [--compact-after-bytes N] [--compact-after-secs S]
                     (or --cube cube.json to serve a JSON cube directly)
+  flowcube federate --backends h1:p1,h2:p2,… [--shards N] [--addr HOST:PORT]
+                    [--deadline-ms MS] [--shard-timeout-ms MS]
+                    [--workers N] [--queue-depth N]
   flowcube ingest   --text paths.txt --schema-from db.json --out clean.json
                     [--on-error strict|lenient|quarantine]
                     [--quarantine-cap N] [--quarantine-out FILE]
   flowcube ingest   --follow readings.log --db db.json [--out deltas.jsonl]
                     [--post http://HOST:PORT/admin/ingest] [--once]
+                    [--post-timeout-ms MS] [--post-retries N]
                     [--poll-ms MS] [--gap N] [--unit N] [build flags]
   flowcube tables   (reproduce the paper's Tables 1-4 examples)
 
@@ -55,6 +64,26 @@ INCREMENTAL INGESTION (--follow):
   replayed on restart and reload. An item's readings must not span
   commits. --once polls a single time instead of looping; --gap/--unit
   are the cleaner's same-location gap and duration unit.
+
+SHARDED BUILD + FEDERATION:
+  A large path database builds in parallel: `build --shards N --shard-id K`
+  partitions paths by a fixed EPC hash and emits shard K's partial cube
+  (δ = 1, no exceptions, no pruning — counts merge by addition, Lemma
+  4.2); `merge` combines the N partials, enforces the real min-support,
+  re-mines exceptions against the full database (Lemma 4.3 — pass --db),
+  and prunes redundancy, producing a cube byte-identical to a
+  single-node build. `federate` boots a scatter-gather front over N
+  `serve` backends (backend K serves shard K's cube): query endpoints
+  fan out, counts merge, and a slow or dead shard degrades the answer
+  (\"partial\": true + Retry-After) instead of failing it.
+
+COMPACTION (--compact-after-bytes / --compact-after-secs):
+  A snapshot-backed server folds its <snapshot>.deltas sidecar into a
+  fresh snapshot when the sidecar exceeds N bytes or deltas have been
+  pending S seconds (POST /admin/compact triggers one manually). The
+  fold is crash-safe: a durable marker file brackets the snapshot
+  rename and sidecar trim, and startup recovery finishes or discards an
+  interrupted job without losing an ingested path.
 
 SERVING:
   --deadline-ms MS     per-request deadline; slow requests answer 503
@@ -177,9 +206,9 @@ pub fn generate(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Build a cube from `--db` plus the shared build flags.
-fn build_cube(args: &Args) -> Result<FlowCube, String> {
-    let db = read_db(args.require("db")?)?;
+/// The shared build flags (`--min-support --eps --tau --algorithm
+/// --no-exceptions --threads`) as [`FlowCubeParams`].
+fn build_params(args: &Args) -> Result<FlowCubeParams, String> {
     let mut params = FlowCubeParams::new(args.num("min-support", 100u64)?);
     params.exception_deviation = args.num("eps", params.exception_deviation)?;
     params.algorithm = parse_algorithm(args.get_or("algorithm", "shared"))?;
@@ -195,6 +224,13 @@ fn build_cube(args: &Args) -> Result<FlowCube, String> {
     // 0 = auto (FLOWCUBE_THREADS env, else available_parallelism); the
     // result is bit-identical at any thread count.
     params.threads = args.num("threads", 0usize)?;
+    Ok(params)
+}
+
+/// Build a cube from `--db` plus the shared build flags.
+fn build_cube(args: &Args) -> Result<FlowCube, String> {
+    let db = read_db(args.require("db")?)?;
+    let params = build_params(args)?;
     let spec = default_spec(db.schema());
     let cube = FlowCube::build(&db, spec, params, ItemPlan::All);
     println!(
@@ -209,11 +245,113 @@ fn build_cube(args: &Args) -> Result<FlowCube, String> {
 pub fn build(args: &Args) -> Result<(), CliError> {
     obs_setup(args);
     let out = args.require("out")?;
+    if args.get("shards").is_some() {
+        return build_shard(args, out);
+    }
     let cube = build_cube(args)?;
     let json = serde_json::to_string(&cube).map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| e.to_string())?;
     println!("wrote {out}");
     obs_finish(args)
+}
+
+/// `flowcube build --shards N --shard-id K` — build one shard's partial
+/// cube (δ = 1, no exceptions, no pruning; the merge step enforces the
+/// real parameters) and write it as a [`flowcube_federate::ShardPart`].
+fn build_shard(args: &Args, out: &str) -> Result<(), CliError> {
+    let shards: u32 = args.num("shards", 0u32)?;
+    let shard_id: u32 = match args.get("shard-id") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--shard-id: cannot parse {v:?}"))?,
+        None => return Err(CliError::usage("--shards requires --shard-id")),
+    };
+    let db = read_db(args.require("db")?)?;
+    let params = build_params(args)?;
+    let spec = default_spec(db.schema());
+    let part = flowcube_federate::build_shard_part(&db, spec, &params, shards, shard_id)?;
+    let json = serde_json::to_string(&part).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote shard {shard_id}/{shards} to {out}: {} paths, {} cells",
+        part.paths,
+        part.cube.total_cells()
+    );
+    obs_finish(args)
+}
+
+/// `flowcube merge` — combine shard partials (positional arguments)
+/// into one cube, identical to a single-node build with the same flags.
+/// `--db` supplies the full path database for exception re-mining
+/// (Lemma 4.3: exceptions are holistic); omit it only with
+/// `--no-exceptions`.
+pub fn merge(args: &Args) -> Result<(), CliError> {
+    obs_setup(args);
+    let out = args.require("out")?;
+    if args.positional.is_empty() {
+        return Err(CliError::usage(
+            "merge needs at least one shard part file (positional)",
+        ));
+    }
+    let params = build_params(args)?;
+    let mut parts = Vec::with_capacity(args.positional.len());
+    for path in &args.positional {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut part: flowcube_federate::ShardPart =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        part.rebuild_indexes();
+        parts.push(part);
+    }
+    let db = match args.get("db") {
+        Some(path) => Some(read_db(path)?),
+        None => None,
+    };
+    let cube = flowcube_federate::merge_shard_parts(&parts, db.as_ref(), &params)?;
+    println!(
+        "merged {} shard parts: {} cuboids, {} cells",
+        parts.len(),
+        cube.num_cuboids(),
+        cube.total_cells()
+    );
+    if let Some(snap) = args.get("snapshot-out") {
+        let info = flowcube_serve::write_snapshot(&cube, std::path::Path::new(snap))
+            .map_err(|e| e.to_string())?;
+        println!("wrote snapshot {snap}: {} bytes", info.bytes);
+    }
+    let json = serde_json::to_string(&cube).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    obs_finish(args)
+}
+
+/// `flowcube federate` — boot the scatter-gather front tier over a
+/// comma-separated shard map of backend `host:port` addresses.
+pub fn federate(args: &Args) -> Result<(), CliError> {
+    flowcube_obs::enable();
+    let backends: Vec<String> = args
+        .require("backends")?
+        .split(',')
+        .map(|s| s.trim().trim_start_matches("http://").to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let shards: u32 = args.num("shards", backends.len() as u32)?;
+    let config = flowcube_federate::FrontConfig {
+        addr: args.get_or("addr", "127.0.0.1:7080").to_string(),
+        workers: args.num("workers", 4usize)?,
+        queue_depth: args.num("queue-depth", 64usize)?,
+        backends,
+        shards,
+        request_deadline: std::time::Duration::from_millis(args.num("deadline-ms", 2000u64)?),
+        shard_timeout: std::time::Duration::from_millis(args.num("shard-timeout-ms", 1000u64)?),
+    };
+    let handle = flowcube_federate::serve_front(config)?;
+    println!(
+        "federating {shards} shards on http://{}/ (try /healthz, /metrics)",
+        handle.addr()
+    );
+    handle.wait_for_signals();
+    println!("shut down cleanly");
+    Ok(())
 }
 
 fn read_cube(path: &str) -> Result<FlowCube, String> {
@@ -433,6 +571,18 @@ pub fn serve_with_handle(args: &Args) -> Result<flowcube_serve::ServerHandle, St
     flowcube_obs::enable();
     let served = if args.get("snapshot").is_some() {
         let path: &std::path::Path = args.require("snapshot")?.as_ref();
+        // Resolve any compaction a crash interrupted *before* opening:
+        // the marker decides whether the new snapshot is live (finish
+        // the sidecar trim) or half-done (discard the attempt).
+        match flowcube_serve::compact::recover(path).map_err(|e| e.to_string())? {
+            flowcube_serve::Recovery::Clean => {}
+            flowcube_serve::Recovery::FinishedTrim => {
+                println!("recovered interrupted compaction: finished sidecar trim");
+            }
+            flowcube_serve::Recovery::Discarded => {
+                println!("recovered interrupted compaction: discarded half-done fold");
+            }
+        }
         let snap = flowcube_serve::Snapshot::open(path).map_err(|e| e.to_string())?;
         let deltas = flowcube_serve::read_deltas(&flowcube_serve::deltalog_path(path))
             .map_err(|e| e.to_string())?;
@@ -462,6 +612,14 @@ pub fn serve_with_handle(args: &Args) -> Result<flowcube_serve::ServerHandle, St
         slow_request_ms: match args.num("slow-ms", 0u64)? {
             0 => None,
             ms => Some(ms),
+        },
+        compact_after_bytes: match args.num("compact-after-bytes", 0u64)? {
+            0 => None,
+            bytes => Some(bytes),
+        },
+        compact_after_secs: match args.num("compact-after-secs", 0u64)? {
+            0 => None,
+            secs => Some(secs),
         },
         ..Default::default()
     };
@@ -574,6 +732,11 @@ fn ingest_follow(args: &Args) -> Result<(), CliError> {
             )));
         }
     }
+    let post_cfg = flowcube_federate::ClientConfig {
+        timeout: std::time::Duration::from_millis(args.num("post-timeout-ms", 5000u64)?),
+        retries: args.num("post-retries", 3u32)?,
+        backoff: std::time::Duration::from_millis(args.num("post-backoff-ms", 100u64)?),
+    };
 
     let mut emitted = 0usize;
     loop {
@@ -591,7 +754,7 @@ fn ingest_follow(args: &Args) -> Result<(), CliError> {
                 writeln!(file, "{json}").map_err(|e| format!("{path}: {e}"))?;
             }
             if let Some(url) = post_url {
-                let (status, body) = http_post(url, &json)?;
+                let (status, body) = flowcube_federate::http_post(url, &json, &post_cfg)?;
                 if status != 200 {
                     return Err(CliError::from(format!(
                         "POST {url} answered {status}: {body}"
@@ -621,44 +784,6 @@ fn ingest_follow(args: &Args) -> Result<(), CliError> {
         }
     );
     obs_finish(args)
-}
-
-/// Minimal `POST` over a plain TCP stream (`http://host:port/path` only)
-/// — enough to push deltas at a local `/admin/ingest` without an HTTP
-/// client dependency.
-fn http_post(url: &str, body: &str) -> Result<(u16, String), String> {
-    use std::io::{Read, Write};
-    let rest = url
-        .strip_prefix("http://")
-        .ok_or_else(|| format!("--post {url:?}: only http:// URLs are supported"))?;
-    let (host, path) = match rest.split_once('/') {
-        Some((h, p)) => (h, format!("/{p}")),
-        None => (rest, "/".to_string()),
-    };
-    let mut stream =
-        std::net::TcpStream::connect(host).map_err(|e| format!("connect {host}: {e}"))?;
-    let request = format!(
-        "POST {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream
-        .write_all(request.as_bytes())
-        .map_err(|e| format!("send to {host}: {e}"))?;
-    let mut response = String::new();
-    stream
-        .read_to_string(&mut response)
-        .map_err(|e| format!("read from {host}: {e}"))?;
-    let status: u16 = response
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("malformed response from {host}: {response:?}"))?;
-    let body = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, body))
 }
 
 pub fn tables(_args: &Args) -> Result<(), CliError> {

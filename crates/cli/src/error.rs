@@ -83,6 +83,23 @@ impl From<CoreError> for CliError {
     }
 }
 
+impl From<flowcube_federate::FederateError> for CliError {
+    fn from(e: flowcube_federate::FederateError) -> Self {
+        use flowcube_federate::FederateError as F;
+        let code = match &e {
+            // A bad shard map or part set is an invocation problem.
+            F::ShardCountMismatch { .. } | F::Config { .. } => EXIT_USAGE,
+            F::PartMismatch { .. } => EXIT_DATAERR,
+            F::Core(inner) => return CliError::from(inner.clone()),
+            _ => EXIT_FAILURE,
+        };
+        CliError {
+            message: e.to_string(),
+            code,
+        }
+    }
+}
+
 impl From<flowcube_pathdb::ParseError> for CliError {
     fn from(e: flowcube_pathdb::ParseError) -> Self {
         // Route through CoreError so both layers classify identically.

@@ -21,7 +21,9 @@ fn main() {
         "mine" => commands::mine(&args),
         "predict" => commands::predict(&args),
         "snapshot" => commands::snapshot(&args),
+        "merge" => commands::merge(&args),
         "serve" => commands::serve(&args),
+        "federate" => commands::federate(&args),
         "tables" => commands::tables(&args),
         "ingest" => commands::ingest(&args),
         "" | "help" | "--help" => {

@@ -351,7 +351,7 @@ pub(crate) fn build(
 
 /// Mark and drop cells similar to all their item-lattice parents at the
 /// same path level.
-fn prune_redundant(
+pub(crate) fn prune_redundant(
     cuboids: &mut FxHashMap<CuboidKey, Cuboid>,
     schema: &Schema,
     tau: f64,

@@ -348,6 +348,22 @@ impl FlowCube {
     /// Returns [`CoreError`] when the schemas or path-level specs are
     /// incompatible.
     pub fn merge_from(&mut self, other: &FlowCube) -> Result<(), CoreError> {
+        self.check_mergeable(other)?;
+        for (ck, cuboid) in &other.cuboids {
+            self.cuboids
+                .entry(ck.clone())
+                .or_default()
+                .merge_from(cuboid);
+        }
+        self.enforce_min_support(self.params.min_support);
+        self.stats.absorb(&other.stats);
+        self.stats.cells_materialized = self.total_cells();
+        Ok(())
+    }
+
+    /// Structural compatibility check shared by the merge entry points:
+    /// same dimension count, same path-level spec (by level names).
+    fn check_mergeable(&self, other: &FlowCube) -> Result<(), CoreError> {
         if self.schema.num_dims() != other.schema.num_dims() {
             return Err(CoreError::SchemaMismatch {
                 left_dims: self.schema.num_dims(),
@@ -366,16 +382,88 @@ impl FlowCube {
                 });
             }
         }
-        for (ck, cuboid) in &other.cuboids {
-            self.cuboids
-                .entry(ck.clone())
-                .or_default()
-                .merge_from(cuboid);
-        }
-        self.enforce_min_support(self.params.min_support);
-        self.stats.absorb(&other.stats);
-        self.stats.cells_materialized = self.total_cells();
         Ok(())
+    }
+
+    /// Merge the partial cubes of a **disjoint partition** of one logical
+    /// database into a single cube under `params` — the distributed
+    /// (sharded) construction path.
+    ///
+    /// Unlike chaining [`FlowCube::merge_from`], the iceberg condition is
+    /// enforced **once, at the end**, over the fully summed supports.
+    /// Chained merges enforce δ after every step, so a cell frequent only
+    /// in the union of many shards would be dropped before its later
+    /// contributions arrive; deferring the cut makes the merge exact at
+    /// any δ, provided the partials were built at δ = 1 (Lemma 4.2 —
+    /// flowgraph counts are algebraic).
+    ///
+    /// Exceptions are holistic (Lemma 4.3) and arrive cleared; re-mine
+    /// them from the full database via [`FlowCube::remine_exceptions`]
+    /// with [`FlowCube::all_cells`] as the dirty set. Redundancy pruning
+    /// is likewise holistic; apply [`FlowCube::prune_redundant`] after
+    /// the merge when `params.redundancy_tau` is set.
+    ///
+    /// # Errors
+    /// [`CoreError::PathSpecMismatch`] when `parts` is empty or any two
+    /// partials disagree structurally; [`CoreError::SchemaMismatch`] on a
+    /// dimension-count mismatch.
+    pub fn merge_partitions(
+        parts: &[FlowCube],
+        params: FlowCubeParams,
+    ) -> Result<FlowCube, CoreError> {
+        let first = parts.first().ok_or_else(|| CoreError::PathSpecMismatch {
+            detail: "no partition cubes to merge".to_string(),
+        })?;
+        let min_support = params.min_support;
+        let mut cube = FlowCube::from_parts(
+            first.schema.clone(),
+            first.spec.clone(),
+            params,
+            BuildStats::default(),
+        );
+        for part in parts {
+            cube.check_mergeable(part)?;
+            for (ck, cuboid) in &part.cuboids {
+                cube.cuboids
+                    .entry(ck.clone())
+                    .or_default()
+                    .merge_from(cuboid);
+            }
+            cube.stats.absorb(&part.stats);
+        }
+        cube.enforce_min_support(min_support);
+        cube.stats.cells_materialized = cube.total_cells();
+        Ok(cube)
+    }
+
+    /// Drop cells redundant w.r.t. their item-lattice parents
+    /// (Definition 4.4) — the same pruning the build pipeline applies as
+    /// its final phase, exposed for cubes assembled by merging partials,
+    /// where τ cannot be applied per partition (similarity to a parent is
+    /// holistic over the union). Returns the number of cells dropped and
+    /// records it in the build stats.
+    pub fn prune_redundant(&mut self, tau: f64) -> usize {
+        // `cells_materialized` deliberately stays at its pre-prune value,
+        // matching the batch pipeline (phase 6 counts, phase 7 prunes).
+        build::prune_redundant(&mut self.cuboids, &self.schema, tau, &mut self.stats);
+        self.stats.cells_pruned_redundant
+    }
+
+    /// Every materialized cell, grouped by cuboid and deterministically
+    /// sorted — the "everything is dirty" set fed to
+    /// [`FlowCube::remine_exceptions`] after a partition merge.
+    pub fn all_cells(&self) -> Vec<(CuboidKey, Vec<CellKey>)> {
+        let mut out: Vec<(CuboidKey, Vec<CellKey>)> = self
+            .cuboids
+            .iter()
+            .map(|(ck, cuboid)| {
+                let mut keys: Vec<CellKey> = cuboid.iter().map(|(k, _)| k.clone()).collect();
+                keys.sort();
+                (ck.clone(), keys)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Re-apply the iceberg condition: drop every cell whose support is

@@ -1,0 +1,235 @@
+//! Sharded construction: per-shard partial builds and the exact merge.
+//!
+//! The recipe that makes a sharded build **byte-identical** to the
+//! single-node build (proved by the differential proptest suite):
+//!
+//! 1. Each shard builds its partial cube at **δ = 1, no exceptions, no
+//!    redundancy pruning** — flowgraph counts are algebraic (Lemma 4.2)
+//!    so partial counts merge exactly, but the iceberg condition, the
+//!    exception measure, and the redundancy test (Lemma 4.3 / Definition
+//!    4.4) are holistic: a shard cannot apply them locally without
+//!    losing cells that are only frequent (or only redundant) in the
+//!    union.
+//! 2. [`merge_shard_parts`] validates the shard map (same shard count
+//!    everywhere, every id `0..shards` present exactly once, path counts
+//!    adding up to the full database), merges counts with **deferred** δ
+//!    enforcement ([`FlowCube::merge_partitions`]), then runs the two
+//!    holistic phases over the merged cube exactly the way the batch
+//!    pipeline orders them: exception re-mining against the full path
+//!    database first, redundancy pruning second.
+
+use crate::error::FederateError;
+use crate::shard::{shard_db, ShardPart};
+use flowcube_core::{FlowCube, FlowCubeParams, ItemPlan};
+use flowcube_hier::PathLatticeSpec;
+use flowcube_pathdb::PathDatabase;
+
+/// The partial-build parameters for one shard: counts only, every
+/// holistic phase deferred to the merge.
+pub fn partial_params(full: &FlowCubeParams) -> FlowCubeParams {
+    let mut p = full.clone();
+    p.min_support = 1;
+    p.mine_exceptions = false;
+    p.redundancy_tau = None;
+    p
+}
+
+/// Build shard `shard_id` of a `shards`-way partition of `db`: filter
+/// the paths by EPC hash and run a partial (δ = 1, exception-free,
+/// unpruned) build over them.
+pub fn build_shard_part(
+    db: &PathDatabase,
+    spec: PathLatticeSpec,
+    params: &FlowCubeParams,
+    shards: u32,
+    shard_id: u32,
+) -> Result<ShardPart, FederateError> {
+    let shard = shard_db(db, shards, shard_id)?;
+    let cube = FlowCube::build(&shard, spec, partial_params(params), ItemPlan::All);
+    Ok(ShardPart {
+        shards,
+        shard_id,
+        paths: shard.len() as u64,
+        cube,
+    })
+}
+
+/// Merge shard partials into the cube the single-node build would have
+/// produced. `db` is the **full** path database; it is required whenever
+/// `params.mine_exceptions` is set (exceptions are holistic and must be
+/// re-mined from all paths) and, when given, also validates that the
+/// parts' path counts add up.
+pub fn merge_shard_parts(
+    parts: &[ShardPart],
+    db: Option<&PathDatabase>,
+    params: &FlowCubeParams,
+) -> Result<FlowCube, FederateError> {
+    let first = parts.first().ok_or_else(|| FederateError::PartMismatch {
+        detail: "no shard parts to merge".into(),
+    })?;
+    let shards = first.shards;
+    if shards == 0 {
+        return Err(FederateError::PartMismatch {
+            detail: "shard part declares 0 total shards".into(),
+        });
+    }
+    for part in parts {
+        if part.shards != shards {
+            return Err(FederateError::ShardCountMismatch {
+                expected: shards,
+                actual: part.shards,
+            });
+        }
+    }
+    let mut ids: Vec<u32> = parts.iter().map(|p| p.shard_id).collect();
+    ids.sort_unstable();
+    let expected: Vec<u32> = (0..shards).collect();
+    if ids != expected {
+        return Err(FederateError::PartMismatch {
+            detail: format!("need every shard of 0..{shards} exactly once, got ids {ids:?}"),
+        });
+    }
+    if let Some(db) = db {
+        let total: u64 = parts.iter().map(|p| p.paths).sum();
+        if total != db.len() as u64 {
+            return Err(FederateError::PartMismatch {
+                detail: format!(
+                    "parts cover {total} paths but the database has {}",
+                    db.len()
+                ),
+            });
+        }
+    }
+
+    let cubes: Vec<FlowCube> = parts.iter().map(|p| p.cube.clone()).collect();
+    let mut merged = FlowCube::merge_partitions(&cubes, params.clone())?;
+
+    // Holistic phases, in batch-pipeline order: exceptions before
+    // redundancy pruning (pruning discards a cell's exceptions with it,
+    // exactly as the single-node build does).
+    if params.mine_exceptions {
+        let db = db.ok_or_else(|| FederateError::Config {
+            detail: "exception mining requires the full path database (--db)".into(),
+        })?;
+        let dirty = merged.all_cells();
+        merged.remine_exceptions(db, &dirty)?;
+    }
+    if let Some(tau) = params.redundancy_tau {
+        merged.prune_redundant(tau);
+    }
+    Ok(merged)
+}
+
+/// Single-process sharded build: partition, build every shard, merge.
+/// This is what the differential tests compare against `FlowCube::build`
+/// and what `flowcube build --shards N` without `--shard-id` runs.
+pub fn build_sharded(
+    db: &PathDatabase,
+    spec: PathLatticeSpec,
+    params: &FlowCubeParams,
+    shards: u32,
+) -> Result<FlowCube, FederateError> {
+    let parts: Vec<ShardPart> = (0..shards)
+        .map(|k| build_shard_part(db, spec.clone(), params, shards, k))
+        .collect::<Result<_, _>>()?;
+    merge_shard_parts(&parts, Some(db), params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcube_hier::{DurationLevel, LocationCut, PathLevel};
+    use flowcube_pathdb::samples;
+
+    fn spec(db: &PathDatabase) -> PathLatticeSpec {
+        let loc = db.schema().locations();
+        let fine = LocationCut::uniform_level(loc, 2);
+        let coarse = LocationCut::uniform_level(loc, 1);
+        PathLatticeSpec::new(vec![
+            PathLevel::new("fine/raw", fine.clone(), DurationLevel::Raw),
+            PathLevel::new("fine/*", fine, DurationLevel::Any),
+            PathLevel::new("coarse/raw", coarse.clone(), DurationLevel::Raw),
+            PathLevel::new("coarse/*", coarse, DurationLevel::Any),
+        ])
+    }
+
+    /// Cells, supports, graphs, and exceptions all agree with the batch
+    /// build — the in-memory face of the snapshot byte-identity the
+    /// root differential suite proves.
+    #[test]
+    fn sharded_equals_batch_on_paper_example() {
+        let db = samples::paper_table1();
+        for min_support in [1, 2] {
+            let params = FlowCubeParams::new(min_support);
+            let batch = FlowCube::build(&db, spec(&db), params.clone(), ItemPlan::All);
+            for shards in [2u32, 3] {
+                let merged = build_sharded(&db, spec(&db), &params, shards).unwrap();
+                assert_eq!(
+                    merged.total_cells(),
+                    batch.total_cells(),
+                    "δ={min_support} shards={shards}"
+                );
+                for (ck, keys) in batch.all_cells() {
+                    for key in keys {
+                        let b = batch.cell(&key, ck.path_level).unwrap();
+                        let m = merged
+                            .cell(&key, ck.path_level)
+                            .unwrap_or_else(|| panic!("missing cell {key:?}"));
+                        assert_eq!(b.support, m.support);
+                        // FlowGraph has no PartialEq; rendered JSON is
+                        // canonical (stable node order).
+                        assert_eq!(
+                            serde_json::to_string(&b.graph).unwrap(),
+                            serde_json::to_string(&m.graph).unwrap()
+                        );
+                        assert_eq!(b.exceptions, m.exceptions);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_mixed_parts() {
+        let db = samples::paper_table1();
+        let params = FlowCubeParams::new(1);
+        let p0 = build_shard_part(&db, spec(&db), &params, 2, 0).unwrap();
+        let p1 = build_shard_part(&db, spec(&db), &params, 2, 1).unwrap();
+
+        // Missing a shard.
+        assert!(matches!(
+            merge_shard_parts(std::slice::from_ref(&p0), None, &params),
+            Err(FederateError::PartMismatch { .. })
+        ));
+        // Duplicate shard id.
+        assert!(matches!(
+            merge_shard_parts(&[p0.clone(), p0.clone()], None, &params),
+            Err(FederateError::PartMismatch { .. })
+        ));
+        // Mixed shard counts.
+        let q0 = build_shard_part(&db, spec(&db), &params, 3, 0).unwrap();
+        assert!(matches!(
+            merge_shard_parts(&[p0.clone(), q0], None, &params),
+            Err(FederateError::ShardCountMismatch { .. })
+        ));
+        // Path-count validation against the full db.
+        let mut short = p1.clone();
+        short.paths += 1;
+        assert!(matches!(
+            merge_shard_parts(&[p0, short], Some(&db), &params),
+            Err(FederateError::PartMismatch { .. })
+        ));
+    }
+
+    /// An empty shard (more shards than distinct EPC hash buckets hit)
+    /// merges as a no-op instead of erroring.
+    #[test]
+    fn empty_shards_are_legal() {
+        let db = samples::paper_table1();
+        let params = FlowCubeParams::new(2);
+        // 97 shards over 8 paths: most shards are empty.
+        let merged = build_sharded(&db, spec(&db), &params, 97).unwrap();
+        let batch = FlowCube::build(&db, spec(&db), params, ItemPlan::All);
+        assert_eq!(merged.total_cells(), batch.total_cells());
+    }
+}

@@ -1,0 +1,185 @@
+//! A minimal HTTP/1.1 client for shard fan-out and delta shipping.
+//!
+//! Speaks exactly the dialect the serving layer's hand-rolled server
+//! speaks: one request per connection, `Connection: close`, JSON
+//! bodies. Two call shapes:
+//!
+//! * [`http_get`] — one attempt under a hard time budget. Used by the
+//!   scatter-gather front tier, where the remaining request deadline is
+//!   the budget and a retry would only burn it.
+//! * [`http_post`] — timeout plus **retry-with-backoff on connection
+//!   refused**. Used by the delta shipper (`flowcube ingest --follow
+//!   --post`), where the server restarting mid-stream is routine and a
+//!   refused connect is worth waiting out.
+//!
+//! Failpoints `federate.client.connect` and `federate.client.read` let
+//! the fault-injection suite simulate refused connects and torn reads
+//! without real network chaos.
+
+use crate::error::FederateError;
+use flowcube_testkit::{fail_point, Fault};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Timeout and retry policy for [`http_post`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Budget for each attempt's connect, and the socket read/write
+    /// timeouts once connected.
+    pub timeout: Duration,
+    /// Extra attempts after the first when the connect is refused.
+    pub retries: u32,
+    /// Sleep before the first retry; doubles each retry after that.
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            timeout: Duration::from_secs(5),
+            retries: 3,
+            backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// How one attempt failed: at connect (nothing was sent — safe to
+/// retry) or later (the request may have been processed — not retried).
+enum AttemptError {
+    Refused(String),
+    Other(String),
+}
+
+fn connect(host: &str, timeout: Duration) -> Result<TcpStream, AttemptError> {
+    if let Some(Fault::Error(msg)) = fail_point("federate.client.connect") {
+        return Err(AttemptError::Refused(format!("injected: {msg}")));
+    }
+    let addr = host
+        .to_socket_addrs()
+        .map_err(|e| AttemptError::Other(format!("resolve {host}: {e}")))?
+        .next()
+        .ok_or_else(|| AttemptError::Other(format!("resolve {host}: no address")))?;
+    TcpStream::connect_timeout(&addr, timeout).map_err(|e| {
+        let msg = format!("connect {host}: {e}");
+        match e.kind() {
+            std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::TimedOut => {
+                AttemptError::Refused(msg)
+            }
+            _ => AttemptError::Other(msg),
+        }
+    })
+}
+
+/// One request/response exchange over a fresh connection.
+fn exchange(host: &str, request: &str, timeout: Duration) -> Result<(u16, String), AttemptError> {
+    let mut stream = connect(host, timeout)?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| AttemptError::Other(format!("send to {host}: {e}")))?;
+    let mut response = String::new();
+    match fail_point("federate.client.read") {
+        Some(Fault::Error(msg)) => {
+            return Err(AttemptError::Other(format!("injected: {msg}")));
+        }
+        Some(Fault::ShortRead(_)) => { /* fall through with a torn body */ }
+        None => {
+            stream
+                .read_to_string(&mut response)
+                .map_err(|e| AttemptError::Other(format!("read from {host}: {e}")))?;
+        }
+    }
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| AttemptError::Other(format!("malformed response from {host}")))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// `GET http://{host}{target}` with a hard per-attempt budget and no
+/// retries — the front tier's fan-out primitive. `target` is the path
+/// plus query, e.g. `/rollup?cell=*&dim=0`.
+pub fn http_get(host: &str, target: &str, timeout: Duration) -> Result<(u16, String), String> {
+    let request = format!("GET {target} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n");
+    exchange(host, &request, timeout).map_err(|e| match e {
+        AttemptError::Refused(m) | AttemptError::Other(m) => m,
+    })
+}
+
+/// Split `http://host:port/path` into `(host:port, /path)`.
+pub fn parse_url(url: &str) -> Result<(&str, String), FederateError> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| FederateError::Config {
+            detail: format!("{url:?}: only http:// URLs are supported"),
+        })?;
+    Ok(match rest.split_once('/') {
+        Some((h, p)) => (h, format!("/{p}")),
+        None => (rest, "/".to_string()),
+    })
+}
+
+/// `POST` a JSON body to `url`, honoring `cfg.timeout` on every socket
+/// operation and retrying with exponential backoff when the connect is
+/// **refused** (server restarting, not yet listening). Failures after
+/// bytes were sent are never retried: the request may have been
+/// applied, and deltas must not be double-ingested.
+pub fn http_post(
+    url: &str,
+    body: &str,
+    cfg: &ClientConfig,
+) -> Result<(u16, String), FederateError> {
+    let (host, path) = parse_url(url)?;
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut backoff = cfg.backoff;
+    let mut attempt = 0u32;
+    loop {
+        match exchange(host, &request, cfg.timeout) {
+            Ok(ok) => {
+                if attempt > 0 {
+                    flowcube_obs::counter_add("federate.client.post_recovered", 1);
+                }
+                return Ok(ok);
+            }
+            Err(AttemptError::Refused(_)) if attempt < cfg.retries => {
+                attempt += 1;
+                flowcube_obs::counter_add("federate.client.post_retries", 1);
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            Err(AttemptError::Refused(detail)) | Err(AttemptError::Other(detail)) => {
+                return Err(FederateError::Io { detail });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_urls() {
+        let (host, path) = parse_url("http://127.0.0.1:7070/admin/ingest").unwrap();
+        assert_eq!(host, "127.0.0.1:7070");
+        assert_eq!(path, "/admin/ingest");
+        let (host, path) = parse_url("http://10.0.0.1:80").unwrap();
+        assert_eq!(host, "10.0.0.1:80");
+        assert_eq!(path, "/");
+        assert!(matches!(
+            parse_url("https://secure"),
+            Err(FederateError::Config { .. })
+        ));
+    }
+}

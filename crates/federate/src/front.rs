@@ -1,0 +1,730 @@
+//! The scatter-gather front tier.
+//!
+//! A front server owns a **shard map** — `backends[k]` serves shard `k`
+//! of a `shards`-way EPC partition — and answers the federated query
+//! endpoints (`/cell`, `/rollup`, `/drilldown`, `/paths/topk`,
+//! `/exceptions`) by fanning the request out to every backend, merging
+//! the answers per the rules in [`crate::merge`], and degrading rather
+//! than failing when a shard is slow or down:
+//!
+//! * every shard answered → a plain merged `200`;
+//! * some shards failed or timed out → a merged `200` with
+//!   `"partial": true` and a `Retry-After` header — a federated answer
+//!   over the surviving shards is still a correct answer over *their*
+//!   paths, and callers that need totals can retry;
+//! * every shard failed → `503` with `Retry-After`, through the same
+//!   typed-error path as a single node's deadline miss.
+//!
+//! The front reuses the serving layer's wire code (`serve::http`) and
+//! observability idiom: per-endpoint × status latency histograms under
+//! `federate.request.latency_us`, per-shard latency and error series
+//! labeled `shard=K`, and flight-recorder `Scatter`/`Gather`/
+//! `ShardTimeout` events tied to the request's trace id.
+
+use crate::client;
+use crate::error::FederateError;
+use crate::merge;
+use flowcube_obs::flight::{self, FlightKind};
+use flowcube_serve::http::{read_request, write_response_with, HttpError, Request};
+use flowcube_serve::{assign_request_id, ApiError};
+use serde_json::Value;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Front-tier tunables; `Default` is sized for tests.
+#[derive(Clone, Debug)]
+pub struct FrontConfig {
+    /// Bind address; port 0 for ephemeral.
+    pub addr: String,
+    /// Worker threads answering front requests.
+    pub workers: usize,
+    /// Accepted-but-unserved connections held before shedding.
+    pub queue_depth: usize,
+    /// Backend `host:port` per shard — `backends[k]` must serve the cube
+    /// built from shard `k`. Length must equal `shards`.
+    pub backends: Vec<String>,
+    /// Shard count the backends were built with.
+    pub shards: u32,
+    /// Whole-request budget at the front.
+    pub request_deadline: Duration,
+    /// Per-shard cap inside the request budget.
+    pub shard_timeout: Duration,
+}
+
+impl Default for FrontConfig {
+    fn default() -> Self {
+        FrontConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            backends: Vec::new(),
+            shards: 0,
+            request_deadline: Duration::from_secs(2),
+            shard_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Endpoints the front federates. Everything else is a 404 — the front
+/// has no cube of its own, and admin/stats surfaces are per-backend.
+const FEDERATED: &[&str] = &[
+    "/cell",
+    "/rollup",
+    "/drilldown",
+    "/paths/topk",
+    "/exceptions",
+];
+
+fn endpoint_tag(path: &str) -> &'static str {
+    match path {
+        "/cell" => "cell",
+        "/rollup" => "rollup",
+        "/drilldown" => "drilldown",
+        "/paths/topk" => "paths_topk",
+        "/exceptions" => "exceptions",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/debug/flight" => "debug_flight",
+        _ => "other",
+    }
+}
+
+fn status_class(status: u16) -> &'static str {
+    match status / 100 {
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        5 => "5xx",
+        _ => "1xx",
+    }
+}
+
+/// Same bounded accept queue the serving layer uses (std sync types —
+/// the vendored parking_lot has no condvar).
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> Self {
+        ConnQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.lock();
+        if q.len() >= self.depth {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self, wait: Duration) -> Option<TcpStream> {
+        let mut q = self.lock();
+        if q.is_empty() {
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        q.pop_front()
+    }
+}
+
+/// A running front server; call [`FrontHandle::shutdown`] then
+/// [`FrontHandle::join`] to stop it.
+pub struct FrontHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl FrontHandle {
+    /// The actual bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request a graceful stop; returns immediately.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Wait for the acceptor and workers to exit.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until `SIGINT`/`SIGTERM`, then stop and join.
+    pub fn wait_for_signals(self) {
+        flowcube_serve::server::install_signal_handlers();
+        while !self.stop.load(Ordering::SeqCst) && !flowcube_serve::server::signal_received() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Validate the shard map and start the front tier. Returns once the
+/// listener is bound and the workers are running.
+pub fn serve_front(config: FrontConfig) -> Result<FrontHandle, FederateError> {
+    if config.shards == 0 {
+        return Err(FederateError::Config {
+            detail: "front tier needs --shards >= 1".into(),
+        });
+    }
+    if config.backends.len() != config.shards as usize {
+        return Err(FederateError::ShardCountMismatch {
+            expected: config.shards,
+            actual: config.backends.len() as u32,
+        });
+    }
+    let listener = TcpListener::bind(&config.addr).map_err(|e| FederateError::Io {
+        detail: format!("bind {}: {e}", config.addr),
+    })?;
+    let addr = listener.local_addr().map_err(|e| FederateError::Io {
+        detail: e.to_string(),
+    })?;
+    flight::enable();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(ConnQueue::new(config.queue_depth));
+    let config = Arc::new(config);
+    let mut threads = Vec::with_capacity(config.workers + 1);
+
+    {
+        let stop = stop.clone();
+        let queue = queue.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("federate-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        if queue.push(stream).is_err() {
+                            flowcube_obs::counter_add("federate.requests.shed", 1);
+                        }
+                    }
+                })
+                .map_err(|e| FederateError::Io {
+                    detail: e.to_string(),
+                })?,
+        );
+    }
+
+    for i in 0..config.workers.max(1) {
+        let stop = stop.clone();
+        let queue = queue.clone();
+        let config = config.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("federate-worker-{i}"))
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        let Some(stream) = queue.pop(Duration::from_millis(100)) else {
+                            continue;
+                        };
+                        serve_connection(stream, &config);
+                    }
+                })
+                .map_err(|e| FederateError::Io {
+                    detail: e.to_string(),
+                })?,
+        );
+    }
+
+    flowcube_obs::counter_add("federate.started", 1);
+    Ok(FrontHandle {
+        addr,
+        stop,
+        threads,
+    })
+}
+
+fn serve_connection(mut stream: TcpStream, config: &FrontConfig) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(HttpError::Disconnected) => return,
+        Err(HttpError::TooLarge) => {
+            let _ = write_response_with(
+                &mut stream,
+                431,
+                "application/json",
+                &[],
+                "{\"error\":\"request too large\"}",
+            );
+            return;
+        }
+        Err(HttpError::Malformed(detail)) => {
+            let body = serde_json::to_string(&Value::Object(vec![(
+                "error".into(),
+                Value::String(detail),
+            )]))
+            .unwrap_or_default();
+            let _ = write_response_with(&mut stream, 400, "application/json", &[], &body);
+            return;
+        }
+    };
+    let (status, content_type, headers, body) = handle_front_request(&req, config);
+    let _ = write_response_with(&mut stream, status, content_type, &headers, &body);
+}
+
+/// Route and answer one front request, with the serve-style metric and
+/// flight envelope around it. Public so in-process tests can drive the
+/// routing table without sockets.
+pub fn handle_front_request(
+    req: &Request,
+    config: &FrontConfig,
+) -> (u16, &'static str, Vec<(String, String)>, String) {
+    let start = Instant::now();
+    let tag = endpoint_tag(&req.path);
+    let (id, trace) = assign_request_id(req);
+    flowcube_obs::counter_add("federate.requests.total", 1);
+
+    let (status, content_type, mut headers, body) = route(req, config, trace);
+
+    let us = start.elapsed().as_micros() as f64;
+    flowcube_obs::histogram_record("federate.latency_us", us);
+    flowcube_obs::histogram_record(
+        &flowcube_obs::labeled(
+            "federate.request.latency_us",
+            &[("endpoint", tag), ("status", status_class(status))],
+        ),
+        us,
+    );
+    flowcube_obs::counter_add(&format!("federate.responses.{}xx", status / 100), 1);
+    headers.push(("X-Request-Id".to_string(), id));
+    (status, content_type, headers, body)
+}
+
+fn error_body(detail: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![(
+        "error".into(),
+        Value::String(detail.to_string()),
+    )]))
+    .unwrap_or_default()
+}
+
+fn api_error(e: FederateError) -> (u16, &'static str, Vec<(String, String)>, String) {
+    let api: ApiError = e.into();
+    let mut headers = Vec::new();
+    if let Some(secs) = api.retry_after_secs() {
+        headers.push(("Retry-After".to_string(), secs.to_string()));
+    }
+    (
+        api.status(),
+        "application/json",
+        headers,
+        error_body(&api.to_string()),
+    )
+}
+
+fn route(
+    req: &Request,
+    config: &FrontConfig,
+    trace: u64,
+) -> (u16, &'static str, Vec<(String, String)>, String) {
+    if req.method != "GET" {
+        return (
+            405,
+            "application/json",
+            Vec::new(),
+            error_body(&format!("method {} not allowed", req.method)),
+        );
+    }
+    match req.path.as_str() {
+        "/healthz" => {
+            let body = serde_json::to_string(&Value::Object(vec![
+                ("ok".into(), Value::Bool(true)),
+                ("status".into(), Value::String("ok".into())),
+                (
+                    "shards".into(),
+                    Value::Number(serde_json::Number::U(config.shards as u64)),
+                ),
+            ]))
+            .unwrap_or_default();
+            (200, "application/json", Vec::new(), body)
+        }
+        "/metrics" => {
+            let snapshot = flowcube_obs::snapshot();
+            let prometheus = match req.param("format") {
+                Some(fmt) => fmt == "prometheus",
+                None => req.header("accept").unwrap_or("").contains("text/plain"),
+            };
+            if prometheus {
+                (
+                    200,
+                    "text/plain; version=0.0.4",
+                    Vec::new(),
+                    flowcube_obs::export::prometheus_text(&snapshot),
+                )
+            } else {
+                (
+                    200,
+                    "application/json",
+                    Vec::new(),
+                    flowcube_obs::export::metrics_json(&snapshot),
+                )
+            }
+        }
+        "/debug/flight" => {
+            let events = flight::snapshot();
+            let body = serde_json::to_string(&events).unwrap_or_default();
+            (200, "application/json", Vec::new(), body)
+        }
+        path if FEDERATED.contains(&path) => scatter_gather(req, config, trace),
+        other => (
+            404,
+            "application/json",
+            Vec::new(),
+            error_body(&format!("{other} is not a federated endpoint")),
+        ),
+    }
+}
+
+/// One shard's fan-out outcome.
+enum ShardReply {
+    Answered { status: u16, body: String },
+    Failed { detail: String },
+}
+
+fn scatter_gather(
+    req: &Request,
+    config: &FrontConfig,
+    trace: u64,
+) -> (u16, &'static str, Vec<(String, String)>, String) {
+    let deadline = Instant::now() + config.request_deadline;
+    let target = rebuild_target(req);
+    let scatter_label = flight::intern("scatter");
+    flight::record(
+        FlightKind::Scatter,
+        trace,
+        scatter_label,
+        0,
+        config.shards as u64,
+    );
+
+    let mut replies: Vec<ShardReply> = Vec::with_capacity(config.backends.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = config
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(shard, backend)| {
+                let target = target.clone();
+                scope.spawn(move || {
+                    let budget = config
+                        .shard_timeout
+                        .min(deadline.saturating_duration_since(Instant::now()))
+                        .max(Duration::from_millis(1));
+                    let shard_start = Instant::now();
+                    let result = client::http_get(backend, &target, budget);
+                    let us = shard_start.elapsed().as_micros() as f64;
+                    let shard_label = shard.to_string();
+                    flowcube_obs::histogram_record(
+                        &flowcube_obs::labeled(
+                            "federate.shard.latency_us",
+                            &[("shard", &shard_label)],
+                        ),
+                        us,
+                    );
+                    match result {
+                        Ok((status, body)) => ShardReply::Answered { status, body },
+                        Err(detail) => {
+                            flowcube_obs::counter_add(
+                                &flowcube_obs::labeled(
+                                    "federate.shard.errors",
+                                    &[("shard", &shard_label)],
+                                ),
+                                1,
+                            );
+                            flight::record(
+                                FlightKind::ShardTimeout,
+                                trace,
+                                scatter_label,
+                                0,
+                                shard as u64,
+                            );
+                            ShardReply::Failed { detail }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(reply) => replies.push(reply),
+                Err(_) => replies.push(ShardReply::Failed {
+                    detail: "shard task panicked".into(),
+                }),
+            }
+        }
+    });
+
+    let answered = replies
+        .iter()
+        .filter(|r| matches!(r, ShardReply::Answered { .. }))
+        .count();
+    flight::record(FlightKind::Gather, trace, scatter_label, 0, answered as u64);
+
+    gather(req, config, &replies)
+}
+
+fn gather(
+    req: &Request,
+    config: &FrontConfig,
+    replies: &[ShardReply],
+) -> (u16, &'static str, Vec<(String, String)>, String) {
+    let mut ok_raw: Vec<&str> = Vec::new();
+    let mut ok_bodies: Vec<Value> = Vec::new();
+    let mut not_found: Option<&str> = None;
+    let mut other_status: Option<(u16, &str)> = None;
+    let mut failed = 0u32;
+    for reply in replies {
+        match reply {
+            ShardReply::Answered { status: 200, body } => {
+                match serde_json::parse_value_str(body) {
+                    Ok(v) => {
+                        ok_raw.push(body);
+                        ok_bodies.push(v);
+                    }
+                    // A 200 that is not JSON is a broken shard, not data.
+                    Err(_) => failed += 1,
+                }
+            }
+            ShardReply::Answered { status: 404, body } => {
+                not_found.get_or_insert(body.as_str());
+            }
+            ShardReply::Answered { status, body } => {
+                other_status.get_or_insert((*status, body.as_str()));
+            }
+            ShardReply::Failed { .. } => failed += 1,
+        }
+    }
+
+    // A non-200/404 backend answer (bad request, conflict) means the
+    // request itself is wrong everywhere — pass the first one through.
+    if let Some((status, body)) = other_status {
+        return (status, "application/json", Vec::new(), body.to_string());
+    }
+
+    if ok_bodies.is_empty() {
+        // No shard produced data. All-404 is a real federated answer:
+        // the cell exists nowhere. Otherwise the fan-out failed.
+        return match not_found {
+            Some(body) if failed == 0 => (404, "application/json", Vec::new(), body.to_string()),
+            _ => {
+                let detail = replies
+                    .iter()
+                    .find_map(|r| match r {
+                        ShardReply::Failed { detail } => Some(detail.as_str()),
+                        ShardReply::Answered { .. } => None,
+                    })
+                    .unwrap_or("no shard answered");
+                let (status, ct, headers, _) = api_error(FederateError::AllShardsFailed {
+                    shards: config.shards,
+                });
+                let body = error_body(&format!(
+                    "all {} shards failed or timed out: {detail}",
+                    config.shards
+                ));
+                (status, ct, headers, body)
+            }
+        };
+    }
+
+    // Degenerate single-shard federation must be transparent: the
+    // backend's body passes through byte-for-byte.
+    if config.shards == 1 {
+        return (200, "application/json", Vec::new(), ok_raw[0].to_string());
+    }
+
+    let k = req
+        .param("k")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(5);
+    match merge::merge_endpoint(&req.path, k, &ok_bodies) {
+        Ok(mut merged) => {
+            let mut headers = Vec::new();
+            if failed > 0 {
+                merge::mark_partial(&mut merged);
+                headers.push(("Retry-After".to_string(), "1".to_string()));
+                flowcube_obs::counter_add("federate.responses.partial", 1);
+            }
+            let body = serde_json::to_string(&merged).unwrap_or_default();
+            (200, "application/json", headers, body)
+        }
+        Err(e) => api_error(e),
+    }
+}
+
+/// Re-encode the inbound path + query for the backend hop. Parsing
+/// decoded `%XX` and `+`; this escapes the bytes that would change the
+/// meaning of the rebuilt target.
+fn rebuild_target(req: &Request) -> String {
+    let mut target = req.path.clone();
+    for (i, (k, v)) in req.query.iter().enumerate() {
+        target.push(if i == 0 { '?' } else { '&' });
+        target.push_str(&encode_component(k));
+        target.push('=');
+        target.push_str(&encode_component(v));
+    }
+    target
+}
+
+fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b' ' => out.push_str("%20"),
+            b'%' | b'&' | b'=' | b'#' | b'+' | b'?' => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_shard_map() {
+        let config = FrontConfig {
+            backends: vec!["127.0.0.1:1".into()],
+            shards: 2,
+            ..FrontConfig::default()
+        };
+        assert!(matches!(
+            serve_front(config),
+            Err(FederateError::ShardCountMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn rebuilds_targets_with_escapes() {
+        let req = get("/cell", &[("cell", "a b,*"), ("level", "loc0/dur0")]);
+        assert_eq!(rebuild_target(&req), "/cell?cell=a%20b,*&level=loc0/dur0");
+    }
+
+    #[test]
+    fn non_federated_paths_404() {
+        let config = FrontConfig {
+            backends: vec!["127.0.0.1:1".into()],
+            shards: 1,
+            ..FrontConfig::default()
+        };
+        let (status, _, _, body) = handle_front_request(&get("/stats", &[]), &config);
+        assert_eq!(status, 404);
+        assert!(body.contains("not a federated endpoint"), "{body}");
+    }
+
+    #[test]
+    fn all_failed_maps_to_503() {
+        let config = FrontConfig {
+            backends: vec!["x".into(), "y".into()],
+            shards: 2,
+            ..FrontConfig::default()
+        };
+        let replies = vec![
+            ShardReply::Failed {
+                detail: "down".into(),
+            },
+            ShardReply::Failed {
+                detail: "down".into(),
+            },
+        ];
+        let (status, _, headers, _) = gather(&get("/cell", &[]), &config, &replies);
+        assert_eq!(status, 503);
+        assert!(headers.iter().any(|(k, _)| k == "Retry-After"));
+    }
+
+    #[test]
+    fn partial_when_some_shards_fail() {
+        let config = FrontConfig {
+            backends: vec!["x".into(), "y".into()],
+            shards: 2,
+            ..FrontConfig::default()
+        };
+        let replies = vec![
+            ShardReply::Answered {
+                status: 200,
+                body: r#"{"cell":"*","parent":"*","support":5,"nodes":2}"#.into(),
+            },
+            ShardReply::Failed {
+                detail: "down".into(),
+            },
+        ];
+        let (status, _, headers, body) = gather(&get("/rollup", &[]), &config, &replies);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"partial\":true"), "{body}");
+        assert!(headers.iter().any(|(k, _)| k == "Retry-After"));
+    }
+
+    #[test]
+    fn all_not_found_passes_404_through() {
+        let config = FrontConfig {
+            backends: vec!["x".into(), "y".into()],
+            shards: 2,
+            ..FrontConfig::default()
+        };
+        let replies = vec![
+            ShardReply::Answered {
+                status: 404,
+                body: r#"{"error":"no such cell"}"#.into(),
+            },
+            ShardReply::Answered {
+                status: 404,
+                body: r#"{"error":"no such cell"}"#.into(),
+            },
+        ];
+        let (status, _, _, body) = gather(&get("/cell", &[]), &config, &replies);
+        assert_eq!(status, 404);
+        assert!(body.contains("no such cell"));
+    }
+}

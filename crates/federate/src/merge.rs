@@ -1,0 +1,404 @@
+//! Per-endpoint merging of shard responses into one federated answer.
+//!
+//! The path database is partitioned by EPC, so a cell's paths are spread
+//! across shards and every federated endpoint needs its own combination
+//! rule (Lemma 4.2 gives exact addition for counts; everything else is a
+//! documented approximation):
+//!
+//! * **support** — counts are algebraic: the federated support is the
+//!   exact sum of shard supports.
+//! * **nodes** — the max across shards. The true merged-graph node count
+//!   cannot be reconstructed from rendered JSON (two shards may or may
+//!   not share nodes), so this is a documented lower bound.
+//! * **top-k paths** — each shard reports per-path *probabilities* over
+//!   its own paths; multiplying by the shard's support recovers path
+//!   weights, which *are* algebraic. Weights are summed per location
+//!   sequence, the global top k selected, and re-normalized by the
+//!   summed support.
+//! * **exceptions** — holistic in general (Lemma 4.3); the federated
+//!   view is the union keyed by (node, condition, kind) with supports
+//!   summed and deviation taken at its max.
+//!
+//! Merging operates on parsed [`Value`] trees, not typed structs, so the
+//! front tier never needs to chase the serving layer's response-struct
+//! evolution — unknown fields pass through from the first shard.
+
+use crate::error::FederateError;
+use serde_json::{Number, Value};
+
+fn num_u(n: u64) -> Value {
+    Value::Number(Number::U(n))
+}
+
+fn num_f(f: f64) -> Value {
+    Value::Number(Number::F(f))
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, FederateError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| FederateError::PartMismatch {
+            detail: format!("shard response missing numeric field {key:?}"),
+        })
+}
+
+fn field_f64(v: &Value, key: &str) -> Result<f64, FederateError> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| FederateError::PartMismatch {
+            detail: format!("shard response missing numeric field {key:?}"),
+        })
+}
+
+fn field_rows<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], FederateError> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| FederateError::PartMismatch {
+            detail: format!("shard response missing array field {key:?}"),
+        })
+}
+
+/// Overwrite (or append) one field of an object `Value`, preserving the
+/// position of an existing key so merged bodies keep the serving layer's
+/// field order.
+fn set_field(v: &mut Value, key: &str, new: Value) {
+    if let Value::Object(pairs) = v {
+        if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = new;
+        } else {
+            pairs.push((key.to_string(), new));
+        }
+    }
+}
+
+/// Stable string key for a JSON array of location names.
+fn seq_key(locations: &Value) -> String {
+    locations
+        .as_array()
+        .unwrap_or(&[])
+        .iter()
+        .map(|l| l.as_str().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\u{1f}")
+}
+
+/// Merge the 200-status bodies of a fan-out for `path`. `bodies` holds
+/// at least one parsed response; the first one seeds fields that have no
+/// combination rule (names, levels, descriptions). `k` is the caller's
+/// top-k request size (only `/paths/topk` reads it).
+pub fn merge_endpoint(path: &str, k: usize, bodies: &[Value]) -> Result<Value, FederateError> {
+    let first = bodies.first().ok_or_else(|| FederateError::PartMismatch {
+        detail: "no shard bodies to merge".into(),
+    })?;
+    if bodies.len() == 1 {
+        return Ok(first.clone());
+    }
+    match path {
+        "/cell" => merge_cell(bodies),
+        "/rollup" => merge_rollup(bodies),
+        "/drilldown" => merge_cell_rows(bodies),
+        "/paths/topk" => merge_topk(k, bodies),
+        "/exceptions" => merge_exceptions(bodies),
+        other => Err(FederateError::Config {
+            detail: format!("endpoint {other:?} is not federated"),
+        }),
+    }
+}
+
+/// `/cell`: support sums, nodes maxes, exception counts sum, `exact`
+/// holds only if every shard answered the exact cell.
+fn merge_cell(bodies: &[Value]) -> Result<Value, FederateError> {
+    let mut out = bodies[0].clone();
+    let mut support = 0u64;
+    let mut nodes = 0u64;
+    let mut exceptions = 0u64;
+    let mut exact = true;
+    for b in bodies {
+        support += field_u64(b, "support")?;
+        nodes = nodes.max(field_u64(b, "nodes")?);
+        exceptions += field_u64(b, "exceptions")?;
+        exact &= b.get("exact").and_then(Value::as_bool).unwrap_or(false);
+    }
+    set_field(&mut out, "exact", Value::Bool(exact));
+    set_field(&mut out, "support", num_u(support));
+    set_field(&mut out, "nodes", num_u(nodes));
+    set_field(&mut out, "exceptions", num_u(exceptions));
+    Ok(out)
+}
+
+/// `/rollup`: support sums, nodes maxes.
+fn merge_rollup(bodies: &[Value]) -> Result<Value, FederateError> {
+    let mut out = bodies[0].clone();
+    let mut support = 0u64;
+    let mut nodes = 0u64;
+    for b in bodies {
+        support += field_u64(b, "support")?;
+        nodes = nodes.max(field_u64(b, "nodes")?);
+    }
+    set_field(&mut out, "support", num_u(support));
+    set_field(&mut out, "nodes", num_u(nodes));
+    Ok(out)
+}
+
+/// `/drilldown` (a `{count, cells}` body): rows keyed by cell name;
+/// support sums, nodes maxes, exception counts sum. Row order is
+/// first-seen across shards in shard order, which is deterministic for a
+/// fixed shard map.
+fn merge_cell_rows(bodies: &[Value]) -> Result<Value, FederateError> {
+    let mut order: Vec<String> = Vec::new();
+    let mut rows: Vec<Value> = Vec::new();
+    for b in bodies {
+        for row in field_rows(b, "cells")? {
+            let name = row
+                .get("cell")
+                .and_then(Value::as_str)
+                .ok_or_else(|| FederateError::PartMismatch {
+                    detail: "drilldown row without a cell name".into(),
+                })?
+                .to_string();
+            match order.iter().position(|n| *n == name) {
+                Some(i) => {
+                    let merged = &mut rows[i];
+                    let support = field_u64(merged, "support")? + field_u64(row, "support")?;
+                    let nodes = field_u64(merged, "nodes")?.max(field_u64(row, "nodes")?);
+                    let exceptions =
+                        field_u64(merged, "exceptions")? + field_u64(row, "exceptions")?;
+                    set_field(merged, "support", num_u(support));
+                    set_field(merged, "nodes", num_u(nodes));
+                    set_field(merged, "exceptions", num_u(exceptions));
+                }
+                None => {
+                    order.push(name);
+                    rows.push(row.clone());
+                }
+            }
+        }
+    }
+    Ok(Value::Object(vec![
+        ("count".into(), num_u(rows.len() as u64)),
+        ("cells".into(), Value::Array(rows)),
+    ]))
+}
+
+/// `/paths/topk`: recover algebraic path weights (probability × shard
+/// support), sum per location sequence, select the global top k, and
+/// re-normalize by the summed support.
+fn merge_topk(k: usize, bodies: &[Value]) -> Result<Value, FederateError> {
+    let cell = bodies[0].get("cell").cloned().unwrap_or(Value::Null);
+    let mut total_support = 0u64;
+    // (key, locations, weight) in first-seen order for tie stability.
+    let mut acc: Vec<(String, Value, f64)> = Vec::new();
+    for b in bodies {
+        let support = field_u64(b, "support")?;
+        total_support += support;
+        for row in field_rows(b, "paths")? {
+            let locations = row
+                .get("locations")
+                .cloned()
+                .unwrap_or(Value::Array(vec![]));
+            let weight = field_f64(row, "probability")? * support as f64;
+            let key = seq_key(&locations);
+            match acc.iter_mut().find(|(existing, _, _)| *existing == key) {
+                Some(slot) => slot.2 += weight,
+                None => acc.push((key, locations, weight)),
+            }
+        }
+    }
+    // Highest weight first; equal weights keep first-seen order (sort is
+    // stable), which is deterministic for a fixed shard map.
+    acc.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    acc.truncate(k);
+    let paths: Vec<Value> = acc
+        .into_iter()
+        .map(|(_, locations, weight)| {
+            let probability = if total_support == 0 {
+                0.0
+            } else {
+                weight / total_support as f64
+            };
+            Value::Object(vec![
+                ("locations".into(), locations),
+                ("probability".into(), num_f(probability)),
+            ])
+        })
+        .collect();
+    Ok(Value::Object(vec![
+        ("cell".into(), cell),
+        ("support".into(), num_u(total_support)),
+        ("paths".into(), Value::Array(paths)),
+    ]))
+}
+
+/// `/exceptions`: union keyed by (node, condition, kind); supports sum,
+/// deviation maxes. Rows are sorted by key so the answer is independent
+/// of which shard reported first.
+fn merge_exceptions(bodies: &[Value]) -> Result<Value, FederateError> {
+    let cell = bodies[0].get("cell").cloned().unwrap_or(Value::Null);
+    let mut keyed: Vec<(String, Value)> = Vec::new();
+    for b in bodies {
+        for row in field_rows(b, "exceptions")? {
+            let node = row.get("node").cloned().unwrap_or(Value::Array(vec![]));
+            let condition = row
+                .get("condition")
+                .cloned()
+                .unwrap_or(Value::Array(vec![]));
+            let kind = row.get("kind").and_then(Value::as_str).unwrap_or("");
+            let key = format!(
+                "{}\u{1e}{}\u{1e}{kind}",
+                seq_key(&node),
+                seq_key(&condition)
+            );
+            match keyed.iter_mut().find(|(existing, _)| *existing == key) {
+                Some((_, merged)) => {
+                    let support = field_u64(merged, "support")? + field_u64(row, "support")?;
+                    let deviation =
+                        field_f64(merged, "deviation")?.max(field_f64(row, "deviation")?);
+                    set_field(merged, "support", num_u(support));
+                    set_field(merged, "deviation", num_f(deviation));
+                }
+                None => keyed.push((key, row.clone())),
+            }
+        }
+    }
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    let rows: Vec<Value> = keyed.into_iter().map(|(_, v)| v).collect();
+    Ok(Value::Object(vec![
+        ("cell".into(), cell),
+        ("count".into(), num_u(rows.len() as u64)),
+        ("exceptions".into(), Value::Array(rows)),
+    ]))
+}
+
+/// Mark a merged body as degraded: some shards did not answer. Appends
+/// `"partial": true` after the merged fields.
+pub fn mark_partial(body: &mut Value) {
+    set_field(body, "partial", Value::Bool(true));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::parse_value_str;
+
+    fn v(s: &str) -> Value {
+        parse_value_str(s).expect("test JSON")
+    }
+
+    #[test]
+    fn cell_supports_add_nodes_max() {
+        let a = v(
+            r#"{"cell":"*,*","level":"fine","exact":true,"source_cell":"*,*","support":10,"nodes":4,"exceptions":1,"description":"d"}"#,
+        );
+        let b = v(
+            r#"{"cell":"*,*","level":"fine","exact":true,"source_cell":"*,*","support":7,"nodes":6,"exceptions":2,"description":"d"}"#,
+        );
+        let m = merge_endpoint("/cell", 0, &[a, b]).unwrap();
+        assert_eq!(m.get("support").and_then(Value::as_u64), Some(17));
+        assert_eq!(m.get("nodes").and_then(Value::as_u64), Some(6));
+        assert_eq!(m.get("exceptions").and_then(Value::as_u64), Some(3));
+        assert_eq!(m.get("exact").and_then(Value::as_bool), Some(true));
+        // Field order matches the serving layer's response struct.
+        let keys: Vec<&str> = m
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "cell",
+                "level",
+                "exact",
+                "source_cell",
+                "support",
+                "nodes",
+                "exceptions",
+                "description"
+            ]
+        );
+    }
+
+    #[test]
+    fn single_body_passes_through_verbatim() {
+        let a = v(r#"{"anything":1,"weird":{"nested":true}}"#);
+        let m = merge_endpoint("/cell", 0, std::slice::from_ref(&a)).unwrap();
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn drilldown_rows_merge_by_cell_name() {
+        let a = v(
+            r#"{"count":2,"cells":[{"cell":"A","support":5,"nodes":3,"exceptions":0},{"cell":"B","support":2,"nodes":2,"exceptions":1}]}"#,
+        );
+        let b = v(r#"{"count":1,"cells":[{"cell":"B","support":4,"nodes":5,"exceptions":0}]}"#);
+        let m = merge_endpoint("/drilldown", 0, &[a, b]).unwrap();
+        assert_eq!(m.get("count").and_then(Value::as_u64), Some(2));
+        let cells = m.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells[1].get("support").and_then(Value::as_u64), Some(6));
+        assert_eq!(cells[1].get("nodes").and_then(Value::as_u64), Some(5));
+    }
+
+    #[test]
+    fn topk_reweights_by_shard_support() {
+        // Shard 1: 8 paths, p(X)=0.75, p(Y)=0.25 → weights 6, 2.
+        // Shard 2: 2 paths, p(Y)=1.0 → weight 2.
+        // Global: X=6, Y=4 over 10 paths → 0.6, 0.4.
+        let a = v(
+            r#"{"cell":"*","support":8,"paths":[{"locations":["X"],"probability":0.75},{"locations":["Y"],"probability":0.25}]}"#,
+        );
+        let b = v(r#"{"cell":"*","support":2,"paths":[{"locations":["Y"],"probability":1.0}]}"#);
+        let m = merge_endpoint("/paths/topk", 2, &[a, b]).unwrap();
+        assert_eq!(m.get("support").and_then(Value::as_u64), Some(10));
+        let paths = m.get("paths").unwrap().as_array().unwrap();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].get("locations").unwrap(), &v(r#"["X"]"#));
+        assert!((paths[0].get("probability").unwrap().as_f64().unwrap() - 0.6).abs() < 1e-12);
+        assert!((paths[1].get("probability").unwrap().as_f64().unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topk_truncates_to_k() {
+        let a = v(
+            r#"{"cell":"*","support":4,"paths":[{"locations":["X"],"probability":0.5},{"locations":["Y"],"probability":0.5}]}"#,
+        );
+        let b = v(r#"{"cell":"*","support":4,"paths":[{"locations":["Z"],"probability":1.0}]}"#);
+        let m = merge_endpoint("/paths/topk", 1, &[a, b]).unwrap();
+        let paths = m.get("paths").unwrap().as_array().unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].get("locations").unwrap(), &v(r#"["Z"]"#));
+    }
+
+    #[test]
+    fn exceptions_union_with_deviation_max() {
+        let a = v(
+            r#"{"cell":"*","count":1,"exceptions":[{"node":["X"],"condition":[],"support":3,"deviation":2.5,"kind":"duration"}]}"#,
+        );
+        let b = v(
+            r#"{"cell":"*","count":2,"exceptions":[{"node":["X"],"condition":[],"support":2,"deviation":4.0,"kind":"duration"},{"node":["Y"],"condition":[],"support":1,"deviation":1.0,"kind":"transition"}]}"#,
+        );
+        let m = merge_endpoint("/exceptions", 0, &[a, b]).unwrap();
+        assert_eq!(m.get("count").and_then(Value::as_u64), Some(2));
+        let rows = m.get("exceptions").unwrap().as_array().unwrap();
+        let x = rows
+            .iter()
+            .find(|r| r.get("node").unwrap() == &v(r#"["X"]"#))
+            .unwrap();
+        assert_eq!(x.get("support").and_then(Value::as_u64), Some(5));
+        assert!((x.get("deviation").unwrap().as_f64().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_marker_appends() {
+        let mut m = v(r#"{"cell":"*","support":1}"#);
+        mark_partial(&mut m);
+        assert_eq!(m.get("partial").and_then(Value::as_bool), Some(true));
+        let keys: Vec<&str> = m
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["cell", "support", "partial"]);
+    }
+}

@@ -1,0 +1,134 @@
+//! The partition function and the on-disk shard-partial format.
+//!
+//! Paths are routed to shards by a mixed hash of the record id (the
+//! EPC): `shard_of(epc, N)`. The hash is a fixed function — the same EPC
+//! lands on the same shard on every machine, every build, every
+//! process — because the shard map is part of the system's contract: a
+//! front tier and a build farm that disagree on placement would silently
+//! misroute queries.
+
+use crate::error::FederateError;
+use flowcube_core::FlowCube;
+use flowcube_pathdb::PathDatabase;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 finalizer — the same mixer the serving layer uses for
+/// request ids. EPCs are often sequential; mixing spreads them evenly
+/// across shards instead of striping.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Which of `shards` partitions an EPC belongs to.
+pub fn shard_of(epc: u64, shards: u32) -> u32 {
+    debug_assert!(shards > 0);
+    (splitmix64(epc) % shards.max(1) as u64) as u32
+}
+
+/// The records of `db` that hash to `shard_id` — same schema, a subset
+/// of the paths. An empty subset is legal (a small database may leave a
+/// shard with nothing) and builds an empty partial cube.
+pub fn shard_db(
+    db: &PathDatabase,
+    shards: u32,
+    shard_id: u32,
+) -> Result<PathDatabase, FederateError> {
+    if shards == 0 {
+        return Err(FederateError::Config {
+            detail: "--shards must be at least 1".into(),
+        });
+    }
+    if shard_id >= shards {
+        return Err(FederateError::ShardCountMismatch {
+            expected: shards,
+            actual: shard_id,
+        });
+    }
+    let records: Vec<_> = db
+        .records()
+        .iter()
+        .filter(|r| shard_of(r.id, shards) == shard_id)
+        .cloned()
+        .collect();
+    PathDatabase::from_records(db.schema().clone(), records).map_err(|e| FederateError::Config {
+        detail: e.to_string(),
+    })
+}
+
+/// One shard's partial build: the δ = 1, exception-free, unpruned cube
+/// over the shard's paths, wrapped with enough shard metadata for the
+/// merge step to validate completeness. The shard map lives *here*, not
+/// in the cube or its snapshot — a merged cube must snapshot
+/// byte-identically to a single-node build, so it cannot carry any
+/// trace of how it was constructed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardPart {
+    /// Total shards in the partition this part belongs to.
+    pub shards: u32,
+    /// This part's shard id, in `0..shards`.
+    pub shard_id: u32,
+    /// Paths that hashed to this shard (may be 0).
+    pub paths: u64,
+    /// The partial cube (δ = 1, `mine_exceptions = false`,
+    /// `redundancy_tau = None`).
+    pub cube: FlowCube,
+}
+
+impl ShardPart {
+    /// Rebuild the serde-skipped name indexes; call after deserializing.
+    pub fn rebuild_indexes(&mut self) {
+        self.cube.rebuild_indexes();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for epc in 0..1000u64 {
+            let s = shard_of(epc, 7);
+            assert!(s < 7);
+            assert_eq!(s, shard_of(epc, 7), "same epc, same shard");
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_sequential_epcs() {
+        // Sequential EPCs must not stripe: every shard of a small count
+        // sees a reasonable fraction of 10k consecutive ids.
+        let shards = 4u32;
+        let mut counts = vec![0usize; shards as usize];
+        for epc in 0..10_000u64 {
+            counts[shard_of(epc, shards) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (1_500..=3_500).contains(&c),
+                "shard {i} got {c} of 10000 — partition badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_db_validates_ids() {
+        let db = flowcube_pathdb::samples::paper_table1();
+        assert!(matches!(
+            shard_db(&db, 2, 2),
+            Err(FederateError::ShardCountMismatch {
+                expected: 2,
+                actual: 2
+            })
+        ));
+        assert!(matches!(
+            shard_db(&db, 0, 0),
+            Err(FederateError::Config { .. })
+        ));
+        let total: usize = (0..3).map(|k| shard_db(&db, 3, k).unwrap().len()).sum();
+        assert_eq!(total, db.len(), "partition is exhaustive and disjoint");
+    }
+}

@@ -54,6 +54,14 @@ pub enum FlightKind {
     Reload,
     /// An uncategorized marker (generic span-style event).
     Mark,
+    /// A federated front tier fanned a request out; `value` = shard count.
+    Scatter,
+    /// A federated fan-out gathered its responses; `value` = shards that
+    /// answered in time.
+    Gather,
+    /// One shard of a federated fan-out timed out or failed; `value` =
+    /// shard id.
+    ShardTimeout,
 }
 
 impl FlightKind {
@@ -68,6 +76,9 @@ impl FlightKind {
             FlightKind::WorkerCrash => 6,
             FlightKind::Reload => 7,
             FlightKind::Mark => 8,
+            FlightKind::Scatter => 9,
+            FlightKind::Gather => 10,
+            FlightKind::ShardTimeout => 11,
         }
     }
 
@@ -82,6 +93,9 @@ impl FlightKind {
             6 => FlightKind::WorkerCrash,
             7 => FlightKind::Reload,
             8 => FlightKind::Mark,
+            9 => FlightKind::Scatter,
+            10 => FlightKind::Gather,
+            11 => FlightKind::ShardTimeout,
             _ => return None,
         })
     }

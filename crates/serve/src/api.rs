@@ -287,6 +287,17 @@ pub struct AppState {
     pub health: HealthState,
     /// Structured JSON access log; `None` disables request logging.
     pub access: Option<AccessLog>,
+    /// Serializes sidecar-mutating admin operations (ingest, compact) so
+    /// a compaction never races an append's read-back.
+    admin: Mutex<()>,
+    /// Auto-compaction size threshold: sidecar bytes after which an
+    /// ingest triggers a fold (`0` disables).
+    compact_after_bytes: AtomicU64,
+    /// Auto-compaction age threshold: seconds the oldest unfolded delta
+    /// may wait before an ingest triggers a fold (`0` disables).
+    compact_after_secs: AtomicU64,
+    /// When the current run of unfolded deltas started.
+    pending_since: Mutex<Option<Instant>>,
 }
 
 impl AppState {
@@ -296,7 +307,22 @@ impl AppState {
             cache,
             health: HealthState::default(),
             access: None,
+            admin: Mutex::new(()),
+            compact_after_bytes: AtomicU64::new(0),
+            compact_after_secs: AtomicU64::new(0),
+            pending_since: Mutex::new(None),
         }
+    }
+
+    /// Configure automatic sidecar compaction: fold once the sidecar
+    /// exceeds `after_bytes`, or once the oldest unfolded delta is older
+    /// than `after_secs`. `None` disables that trigger. Checked after
+    /// every successful sidecar ingest.
+    pub fn set_compact_policy(&self, after_bytes: Option<u64>, after_secs: Option<u64>) {
+        self.compact_after_bytes
+            .store(after_bytes.unwrap_or(0), Ordering::Relaxed);
+        self.compact_after_secs
+            .store(after_secs.unwrap_or(0), Ordering::Relaxed);
     }
 
     /// Attach a structured access log (builder style).
@@ -384,6 +410,15 @@ impl AppState {
             Ok(resp) => {
                 flowcube_obs::counter_add("serve.ingest.ok", 1);
                 flight::record(FlightKind::Reload, 0, 0, 0, resp.paths);
+                if resp.mode == "sidecar" {
+                    {
+                        let mut since = self.pending_since.lock();
+                        if since.is_none() {
+                            *since = Some(Instant::now());
+                        }
+                    }
+                    self.maybe_auto_compact();
+                }
             }
             Err(_) => {
                 flowcube_obs::counter_add("serve.ingest.failed", 1);
@@ -393,7 +428,67 @@ impl AppState {
         result
     }
 
+    /// Fold the delta sidecar into the snapshot (marker-file protocol,
+    /// see [`crate::compact`]) and swap in the compacted cube. The
+    /// served data is unchanged — a fold produces exactly the cube a
+    /// restart would have replayed — but the sidecar shrinks to only
+    /// the deltas appended mid-fold.
+    pub fn compact(&self) -> Result<CompactResponse, ApiError> {
+        let _span = flowcube_obs::span!("serve.compact.admin");
+        let _admin = self.admin.lock();
+        let path = self
+            .cube()
+            .snapshot_path()
+            .ok_or_else(|| ApiError::BadRequest("server is not snapshot-backed".into()))?;
+        let report = crate::compact::compact(&path)?;
+        let snapshot = Snapshot::open(&path)?;
+        let deltas = deltalog::read_deltas(&deltalog::deltalog_path(&path))?;
+        self.install_cube(ServedCube::from_snapshot_with_deltas(snapshot, deltas));
+        *self.pending_since.lock() = (report.remaining_deltas > 0).then(Instant::now);
+        flight::record(FlightKind::Reload, 0, 0, 0, report.folded_deltas as u64);
+        Ok(CompactResponse {
+            compacted: report.folded_deltas > 0,
+            folded_deltas: report.folded_deltas,
+            folded_paths: report.folded_paths,
+            snapshot_bytes: report.snapshot_bytes,
+            remaining_deltas: report.remaining_deltas,
+        })
+    }
+
+    /// Fire [`Self::compact`] when the configured size/age thresholds
+    /// are crossed. Failures only count a metric — the sidecar keeps
+    /// the data, and the next ingest retries.
+    fn maybe_auto_compact(&self) {
+        let after_bytes = self.compact_after_bytes.load(Ordering::Relaxed);
+        let after_secs = self.compact_after_secs.load(Ordering::Relaxed);
+        if after_bytes == 0 && after_secs == 0 {
+            return;
+        }
+        let Some(path) = self.cube().snapshot_path() else {
+            return;
+        };
+        let log = deltalog::deltalog_path(&path);
+        let size = std::fs::metadata(&log).map(|m| m.len()).unwrap_or(0);
+        if size == 0 {
+            return;
+        }
+        let size_due = after_bytes > 0 && size >= after_bytes;
+        let age_due = after_secs > 0
+            && self
+                .pending_since
+                .lock()
+                .is_some_and(|t| t.elapsed() >= Duration::from_secs(after_secs));
+        if !(size_due || age_due) {
+            return;
+        }
+        flowcube_obs::counter_add("serve.compact.auto", 1);
+        if self.compact().is_err() {
+            flowcube_obs::counter_add("serve.compact.auto_failed", 1);
+        }
+    }
+
     fn ingest_inner(&self, body: &[u8]) -> Result<IngestResponse, ApiError> {
+        let _admin = self.admin.lock();
         let text = std::str::from_utf8(body)
             .map_err(|_| ApiError::BadRequest("delta body is not UTF-8".into()))?;
         let delta: CubeDelta = serde_json::from_str(text)
@@ -487,6 +582,9 @@ struct PathRow {
 #[derive(Serialize)]
 struct TopKResponse {
     cell: String,
+    /// Support of the answering cell — the weight a federation front
+    /// needs to merge per-shard probability lists into a global top-k.
+    support: u64,
     paths: Vec<PathRow>,
 }
 
@@ -555,6 +653,21 @@ pub struct IngestResponse {
     pub mode: &'static str,
     /// Deltas now pending in the sidecar overlay (0 for in-memory).
     pub pending_deltas: usize,
+}
+
+/// Body of a successful `POST /admin/compact`.
+#[derive(Serialize)]
+pub struct CompactResponse {
+    /// Whether anything was folded (`false` = empty sidecar, no-op).
+    pub compacted: bool,
+    /// Sidecar deltas folded into the snapshot.
+    pub folded_deltas: usize,
+    /// Paths those deltas carried.
+    pub folded_paths: u64,
+    /// Size of the rewritten snapshot file.
+    pub snapshot_bytes: u64,
+    /// Deltas still pending in the sidecar (appended mid-fold).
+    pub remaining_deltas: usize,
 }
 
 fn json<T: Serialize>(value: &T) -> String {
@@ -843,6 +956,7 @@ fn handle_topk(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
         let paths = flowcube_flowgraph::top_k_paths(&lk.entry.graph, k);
         Ok(json(&TopKResponse {
             cell: display_key(lk.source_key, cube.schema()),
+            support: lk.entry.support,
             paths: paths
                 .into_iter()
                 .map(|p| PathRow {
@@ -991,6 +1105,7 @@ fn endpoint_tag(path: &str) -> &'static str {
         "/debug/flight" => "debug_flight",
         "/admin/reload" => "admin_reload",
         "/admin/ingest" => "admin_ingest",
+        "/admin/compact" => "admin_compact",
         _ => "other",
     }
 }
@@ -1026,7 +1141,7 @@ fn flight_label(tag: &'static str) -> u16 {
             .iter()
             .map(|&tag| (tag, flight::intern(tag)))
             .collect();
-        for tag in ["admin_reload", "admin_ingest", "other"] {
+        for tag in ["admin_reload", "admin_ingest", "admin_compact", "other"] {
             t.push((tag, flight::intern(tag)));
         }
         t
@@ -1246,6 +1361,12 @@ fn respond(state: &AppState, req: &Request, ctx: &RequestCtx, trace: u64) -> Htt
     }
     if req.method == "POST" && req.path == "/admin/ingest" {
         return match state.ingest(&req.body) {
+            Ok(resp) => HttpResponse::json(200, json(&resp)),
+            Err(e) => error_response(&e),
+        };
+    }
+    if req.method == "POST" && req.path == "/admin/compact" {
+        return match state.compact() {
             Ok(resp) => HttpResponse::json(200, json(&resp)),
             Err(e) => error_response(&e),
         };

@@ -84,10 +84,20 @@ pub fn append_delta(path: &Path, delta: &CubeDelta) -> Result<(), SnapshotError>
 /// last successful append made durable. A CRC mismatch inside a
 /// complete record is [`SnapshotError::ChecksumMismatch`].
 pub fn read_deltas(path: &Path) -> Result<Vec<CubeDelta>, SnapshotError> {
+    read_deltas_up_to(path, u64::MAX).map(|(deltas, _)| deltas)
+}
+
+/// Like [`read_deltas`], but only records whose **entire** record lies
+/// within the first `limit` bytes of the file are returned. The second
+/// element is the byte offset just past the last returned record — the
+/// record-aligned fold boundary compaction trims the sidecar at, so a
+/// delta appended concurrently (or one straddling `limit`) is never
+/// half-folded.
+pub fn read_deltas_up_to(path: &Path, limit: u64) -> Result<(Vec<CubeDelta>, u64), SnapshotError> {
     let _span = flowcube_obs::span!("serve.deltalog.read");
     let mut file = match std::fs::File::open(path) {
         Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
         Err(e) => return Err(io_err(path, e)),
     };
     let mut bytes = Vec::new();
@@ -114,6 +124,9 @@ pub fn read_deltas(path: &Path) -> Result<Vec<CubeDelta>, SnapshotError> {
         else {
             break; // torn tail: header landed, payload didn't
         };
+        if end as u64 > limit {
+            break; // record straddles the caller's fold boundary
+        }
         let payload = &bytes[start..end];
         if crc32(payload) != crc {
             return Err(SnapshotError::ChecksumMismatch {
@@ -129,10 +142,10 @@ pub fn read_deltas(path: &Path) -> Result<Vec<CubeDelta>, SnapshotError> {
         deltas.push(delta);
         at = end;
     }
-    if at < bytes.len() {
+    if at < bytes.len() && limit == u64::MAX {
         flowcube_obs::counter_add("serve.deltalog.torn_tail_bytes", (bytes.len() - at) as u64);
     }
-    Ok(deltas)
+    Ok((deltas, at as u64))
 }
 
 #[cfg(test)]

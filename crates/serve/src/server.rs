@@ -70,6 +70,12 @@ pub struct ServerConfig {
     /// Requests slower than this (milliseconds) log with the flight
     /// recorder window attached; `None` disables slow dumps.
     pub slow_request_ms: Option<u64>,
+    /// Auto-compact the delta sidecar once it exceeds this many bytes;
+    /// `None` disables size-triggered compaction.
+    pub compact_after_bytes: Option<u64>,
+    /// Auto-compact once deltas have been pending this many seconds;
+    /// `None` disables age-triggered compaction.
+    pub compact_after_secs: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +91,8 @@ impl Default for ServerConfig {
             degraded_after: 8,
             access_log: None,
             slow_request_ms: None,
+            compact_after_bytes: None,
+            compact_after_secs: None,
         }
     }
 }
@@ -223,6 +231,7 @@ pub fn serve(mut state: AppState, config: ServerConfig) -> io::Result<ServerHand
     let stop = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(ConnQueue::new(config.queue_depth));
     state.health.set_degraded_after(config.degraded_after);
+    state.set_compact_policy(config.compact_after_bytes, config.compact_after_secs);
     let state = Arc::new(state);
 
     let mut threads = Vec::with_capacity(2);

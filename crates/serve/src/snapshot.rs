@@ -97,8 +97,7 @@ fn canonical_params(params: &flowcube_core::FlowCubeParams) -> flowcube_core::Fl
 
 /// Strip wall-clock timings and the thread count from the persisted
 /// stats, for the same snapshot-determinism reason as
-/// [`canonical_params`]. The mining counters stay: they are themselves
-/// deterministic at any thread count.
+/// [`canonical_params`].
 fn canonical_stats(stats: &flowcube_core::BuildStats) -> flowcube_core::BuildStats {
     let mut s = stats.clone();
     s.encode_time = Default::default();
@@ -116,6 +115,15 @@ fn canonical_stats(stats: &flowcube_core::BuildStats) -> flowcube_core::BuildSta
     // batch rebuild over the union of the streams.
     s.deltas_applied = 0;
     s.delta_paths = 0;
+    // The mining counters describe how the cube was *found*, not what it
+    // is: a single-node build mines once while a sharded build runs one
+    // δ = 1 BUC pass per shard, yet both produce the same cube. Zero
+    // them (and the derived frequent/pruned tallies) so equivalent
+    // construction strategies snapshot byte-identically.
+    // `cells_materialized` stays — it is a property of the content.
+    s.mining = Default::default();
+    s.frequent_cells = 0;
+    s.cells_pruned_redundant = 0;
     s
 }
 

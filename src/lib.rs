@@ -13,12 +13,14 @@
 //! * [`datagen`] — the synthetic retail path generator;
 //! * [`obs`] — structured tracing, metrics, and profiling exporters;
 //! * [`serve`] — versioned binary snapshots and the HTTP query server;
+//! * [`federate`] — sharded builds and scatter-gather federation;
 //! * [`testkit`] — deterministic failpoints for fault-injection tests.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use flowcube_core as core;
 pub use flowcube_datagen as datagen;
+pub use flowcube_federate as federate;
 pub use flowcube_flowgraph as flowgraph;
 pub use flowcube_hier as hier;
 pub use flowcube_mining as mining;

@@ -1,0 +1,163 @@
+//! Differential harness for the sharded build pipeline (DESIGN.md §13).
+//!
+//! The contract, from the paper's Lemma 4.2: flowgraph counts are
+//! **algebraic** over a partition of the path database, so building
+//! per-shard partial cubes at δ = 1 and merging them — deferred iceberg
+//! enforcement, then holistic exception re-mining (Lemma 4.3) against
+//! the full database, then redundancy pruning, in batch-pipeline
+//! order — produces a cube *byte-identical in snapshot form* to the
+//! single-node build, for any shard count and any build parameters.
+//!
+//! Byte-identity here is unconditional (unlike the incremental harness,
+//! which must zero mining stats first): `write_snapshot` canonicalizes
+//! build-history counters, and the sharded pipeline reproduces content
+//! exactly.
+
+use flowcube::datagen::{generate, DimShape, GeneratorConfig};
+use flowcube::federate::{build_sharded, merge_shard_parts, shard_db, ShardPart};
+use flowcube::hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel};
+use flowcube::serve::write_snapshot;
+use flowcube::{FlowCube, FlowCubeParams, ItemPlan, PathDatabase};
+use proptest::prelude::*;
+
+fn gen_db(paths: usize, seed: u64) -> (PathDatabase, PathLatticeSpec) {
+    let config = GeneratorConfig {
+        num_paths: paths,
+        dims: vec![DimShape::new(vec![2, 3], 0.7); 2],
+        num_sequences: 5,
+        path_len: (3, 5),
+        max_duration: 4,
+        seed,
+        ..Default::default()
+    };
+    let db = generate(&config).db;
+    let loc = db.schema().locations();
+    let fine = LocationCut::uniform_level(loc, loc.max_level());
+    let spec = PathLatticeSpec::new(vec![
+        PathLevel::new("fine", fine.clone(), DurationLevel::Raw),
+        PathLevel::new("fine/any", fine, DurationLevel::Any),
+    ]);
+    (db, spec)
+}
+
+fn snapshot_bytes(cube: &FlowCube, tag: &str) -> Vec<u8> {
+    let path = std::env::temp_dir().join(format!(
+        "flowcube-shard-diff-{}-{tag}.snap",
+        std::process::id()
+    ));
+    write_snapshot(cube, &path).expect("snapshot writes");
+    let bytes = std::fs::read(&path).expect("snapshot reads back");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole property: for shard counts 2, 3, and 7 and any
+    /// iceberg threshold, the sharded build snapshots byte-identically
+    /// to the single-node build — exceptions mined and all.
+    #[test]
+    fn sharded_build_is_byte_identical_to_single_node(
+        paths in 20usize..70,
+        seed in 0u64..1000,
+        shard_idx in 0usize..3,
+        delta in 1u64..4,
+    ) {
+        let shards = [2u32, 3, 7][shard_idx];
+        let (db, spec) = gen_db(paths, seed);
+        let params = FlowCubeParams::new(delta);
+
+        let sharded = build_sharded(&db, spec.clone(), &params, shards)
+            .expect("sharded build succeeds");
+        let single = FlowCube::build(&db, spec, params, ItemPlan::All);
+
+        prop_assert_eq!(sharded.total_cells(), single.total_cells());
+        prop_assert_eq!(
+            snapshot_bytes(&sharded, &format!("shard-{seed}-{shards}-{delta}")),
+            snapshot_bytes(&single, &format!("single-{seed}-{shards}-{delta}")),
+            "snapshot bytes diverged at paths={} seed={} shards={} delta={}",
+            paths, seed, shards, delta
+        );
+    }
+
+    /// Redundancy pruning (holistic, Definition 4.4) composes with the
+    /// sharded pipeline: pruning after the merge equals pruning inside
+    /// the single-node build.
+    #[test]
+    fn sharded_build_with_redundancy_pruning_matches(
+        paths in 20usize..50,
+        seed in 0u64..1000,
+        shards in 2u32..4,
+    ) {
+        let (db, spec) = gen_db(paths, seed);
+        let mut params = FlowCubeParams::new(1);
+        params.redundancy_tau = Some(0.5);
+
+        let sharded = build_sharded(&db, spec.clone(), &params, shards)
+            .expect("sharded build succeeds");
+        let single = FlowCube::build(&db, spec, params, ItemPlan::All);
+
+        prop_assert_eq!(
+            snapshot_bytes(&sharded, &format!("tau-shard-{seed}-{shards}")),
+            snapshot_bytes(&single, &format!("tau-single-{seed}-{shards}")),
+            "pruned snapshots diverged at paths={} seed={} shards={}",
+            paths, seed, shards
+        );
+    }
+}
+
+/// Shard counts far above the path count leave some shards empty; the
+/// pipeline must treat an empty shard as a legal zero, not an error.
+#[test]
+fn empty_shards_merge_cleanly() {
+    let (db, spec) = gen_db(8, 5);
+    let params = FlowCubeParams::new(1);
+    let sharded = build_sharded(&db, spec.clone(), &params, 97).expect("97-way shard of 8 paths");
+    let single = FlowCube::build(&db, spec, params, ItemPlan::All);
+    assert_eq!(
+        snapshot_bytes(&sharded, "empty-shard"),
+        snapshot_bytes(&single, "empty-single")
+    );
+}
+
+/// The merge validates its inputs: a missing shard, a duplicate shard,
+/// or parts from different shard counts must be rejected with a typed
+/// error, never silently merged into an undercounted cube.
+#[test]
+fn merge_rejects_inconsistent_part_sets() {
+    use flowcube::federate::{build_shard_part, partial_params, FederateError};
+
+    let (db, spec) = gen_db(30, 9);
+    let params = FlowCubeParams::new(1);
+    let parts: Vec<ShardPart> = (0..3)
+        .map(|k| build_shard_part(&db, spec.clone(), &params, 3, k).unwrap())
+        .collect();
+
+    // Missing shard 2.
+    let err = merge_shard_parts(&parts[..2], Some(&db), &params).unwrap_err();
+    assert!(matches!(err, FederateError::PartMismatch { .. }), "{err:?}");
+
+    // Duplicate shard 0.
+    let dup = vec![parts[0].clone(), parts[0].clone(), parts[1].clone()];
+    let err = merge_shard_parts(&dup, Some(&db), &params).unwrap_err();
+    assert!(matches!(err, FederateError::PartMismatch { .. }), "{err:?}");
+
+    // A part built against a different shard count.
+    let foreign = build_shard_part(&db, spec.clone(), &params, 2, 0).unwrap();
+    let mixed = vec![parts[0].clone(), parts[1].clone(), foreign];
+    let err = merge_shard_parts(&mixed, Some(&db), &params).unwrap_err();
+    assert!(
+        matches!(err, FederateError::ShardCountMismatch { .. }),
+        "{err:?}"
+    );
+
+    // Sanity: partial params really are the δ=1 exception-free shape.
+    let p = partial_params(&params);
+    assert_eq!(p.min_support, 1);
+    assert!(!p.mine_exceptions);
+
+    // And shard_db partitions exhaustively.
+    let total: usize = (0..3).map(|k| shard_db(&db, 3, k).unwrap().len()).sum();
+    assert_eq!(total, db.len());
+}
