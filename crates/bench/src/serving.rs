@@ -28,6 +28,33 @@ pub struct EndpointLatency {
     pub cached: LatencySeries,
 }
 
+/// One snapshot format served in-process: how fast a server comes up
+/// from the file, what a cache-off `/rollup` costs at steady state, and
+/// how much resident memory full hydration adds.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FormatServing {
+    /// FCUBSNAP format version the cube was written at.
+    pub version: u32,
+    /// Snapshot file size on disk.
+    pub snapshot_bytes: u64,
+    /// `Snapshot::open` + server state build + the first `/rollup`
+    /// answer — the full cold path from file to first byte.
+    pub cold_start_us: f64,
+    /// Steady-state `/rollup` with the response cache off.
+    pub rollup: LatencySeries,
+    /// `VmRSS` growth from just-before-open to fully hydrated (every
+    /// path level queried). v2 should hold sections as flat bytes; v1
+    /// materializes every cell.
+    pub hydrated_rss_delta_bytes: i64,
+}
+
+/// v1-vs-v2 comparison block of the serving benchmark.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SnapshotCompare {
+    pub v1: FormatServing,
+    pub v2: FormatServing,
+}
+
 /// The whole serving benchmark, written to `BENCH_serve_latency.json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ServeLatencyResult {
@@ -36,6 +63,8 @@ pub struct ServeLatencyResult {
     pub cells: usize,
     pub endpoints: Vec<EndpointLatency>,
     pub cache_hit_rate: f64,
+    /// Snapshot-format comparison (`None` when the bench skipped it).
+    pub snapshot_compare: Option<SnapshotCompare>,
     /// Frozen `flowcube-obs` registry (request counters, latency
     /// histograms, cache gauges); `None` when recording was disabled.
     pub metrics: Option<MetricsSnapshot>,
@@ -60,6 +89,20 @@ pub fn timed_get(addr: SocketAddr, target: &str) -> std::io::Result<(u16, Durati
     Ok((status, elapsed))
 }
 
+/// Fold raw microsecond samples into the percentile series.
+pub fn series_from_us(label: &str, mut us: Vec<f64>) -> LatencySeries {
+    us.sort_by(f64::total_cmp);
+    let pick = |p: f64| us[((us.len() - 1) as f64 * p).round() as usize];
+    LatencySeries {
+        label: label.to_string(),
+        requests: us.len(),
+        p50_us: pick(0.50),
+        p99_us: pick(0.99),
+        mean_us: us.iter().sum::<f64>() / us.len() as f64,
+        max_us: us.last().copied().unwrap_or(0.0),
+    }
+}
+
 /// Run `n` sequential requests and fold the latencies into percentiles.
 /// Panics on transport errors or non-200s — a latency number for a
 /// failed request would be meaningless.
@@ -70,14 +113,5 @@ pub fn measure(label: &str, addr: SocketAddr, target: &str, n: usize) -> Latency
         assert_eq!(status, 200, "{target} failed while measuring");
         us.push(d.as_secs_f64() * 1e6);
     }
-    us.sort_by(f64::total_cmp);
-    let pick = |p: f64| us[((us.len() - 1) as f64 * p).round() as usize];
-    LatencySeries {
-        label: label.to_string(),
-        requests: n,
-        p50_us: pick(0.50),
-        p99_us: pick(0.99),
-        mean_us: us.iter().sum::<f64>() / us.len() as f64,
-        max_us: us.last().copied().unwrap_or(0.0),
-    }
+    series_from_us(label, us)
 }

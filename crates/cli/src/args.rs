@@ -110,6 +110,16 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_format_flag_parses_both_syntaxes() {
+        let a = parse("snapshot --db x.json --out c.snap --snapshot-format 1").unwrap();
+        assert_eq!(a.num::<u32>("snapshot-format", 2).unwrap(), 1);
+        let a = parse("snapshot --out c.snap --snapshot-format=2").unwrap();
+        assert_eq!(a.num::<u32>("snapshot-format", 2).unwrap(), 2);
+        let a = parse("snapshot --out c.snap").unwrap();
+        assert_eq!(a.num::<u32>("snapshot-format", 2).unwrap(), 2);
+    }
+
+    #[test]
     fn errors() {
         assert!(parse("x --a 1 --a 2").is_err());
         let a = parse("x --n abc").unwrap();

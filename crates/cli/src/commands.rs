@@ -22,7 +22,7 @@ USAGE:
                     [--shards N --shard-id K] (emit one shard partial)
   flowcube merge    part0.json part1.json … --db db.json --min-support N
                     [--eps E] [--tau T] [--no-exceptions] --out cube.json
-                    [--snapshot-out cube.snap]
+                    [--snapshot-out cube.snap] [--snapshot-format V]
   flowcube cells    --cube cube.json [--level NAME] [--limit N]
   flowcube query    --cube cube.json --cell v1,v2,… (use * for any)
                     [--level NAME]
@@ -31,6 +31,7 @@ USAGE:
   flowcube predict  --cube cube.json --cell v1,… --observed loc:dur,loc:dur
                     [--level NAME]
   flowcube snapshot --db db.json [build flags] --out cube.snap
+                    [--snapshot-format V]
                     (or --cube cube.json --out cube.snap to convert)
   flowcube serve    --snapshot cube.snap [--addr HOST:PORT] [--workers N]
                     [--queue-depth N] [--cache N] [--deadline-ms MS]
@@ -76,6 +77,11 @@ SHARDED BUILD + FEDERATION:
   `serve` backends (backend K serves shard K's cube): query endpoints
   fan out, counts merge, and a slow or dead shard degrades the answer
   (\"partial\": true + Retry-After) instead of failing it.
+
+SNAPSHOT FORMAT (--snapshot-format):
+  V=2 (default) writes the zero-copy columnar format the server queries
+  in place; V=1 writes the JSON-section format older builds read. Both
+  open and serve identically (the differential suite pins this).
 
 COMPACTION (--compact-after-bytes / --compact-after-secs):
   A snapshot-backed server folds its <snapshot>.deltas sidecar into a
@@ -314,9 +320,14 @@ pub fn merge(args: &Args) -> Result<(), CliError> {
         cube.total_cells()
     );
     if let Some(snap) = args.get("snapshot-out") {
-        let info = flowcube_serve::write_snapshot(&cube, std::path::Path::new(snap))
-            .map_err(|e| e.to_string())?;
-        println!("wrote snapshot {snap}: {} bytes", info.bytes);
+        let version = snapshot_format(args)?;
+        let info =
+            flowcube_serve::write_snapshot_with_version(&cube, std::path::Path::new(snap), version)
+                .map_err(|e| e.to_string())?;
+        println!(
+            "wrote snapshot {snap} (format v{version}): {} bytes",
+            info.bytes
+        );
     }
     let json = serde_json::to_string(&cube).map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| e.to_string())?;
@@ -538,6 +549,13 @@ pub fn predict(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parse `--snapshot-format` (default: the newest format version).
+/// Range checking is left to `write_snapshot_with_version`, which
+/// rejects unknown versions with both sides of the negotiation.
+fn snapshot_format(args: &Args) -> Result<u32, String> {
+    args.num("snapshot-format", flowcube_serve::FORMAT_VERSION)
+}
+
 /// Load the cube named by `--cube` (JSON) or build one from `--db`.
 fn cube_for_snapshot(args: &Args) -> Result<FlowCube, String> {
     if args.get("cube").is_some() {
@@ -554,11 +572,13 @@ fn cube_for_snapshot(args: &Args) -> Result<FlowCube, String> {
 pub fn snapshot(args: &Args) -> Result<(), CliError> {
     obs_setup(args);
     let out = args.require("out")?;
+    let version = snapshot_format(args)?;
     let cube = cube_for_snapshot(args)?;
-    let info = flowcube_serve::write_snapshot(&cube, std::path::Path::new(out))
-        .map_err(|e| e.to_string())?;
+    let info =
+        flowcube_serve::write_snapshot_with_version(&cube, std::path::Path::new(out), version)
+            .map_err(|e| e.to_string())?;
     println!(
-        "wrote snapshot {out}: {} sections ({} cuboids), {} bytes",
+        "wrote snapshot {out} (format v{version}): {} sections ({} cuboids), {} bytes",
         info.sections, info.cuboids, info.bytes
     );
     obs_finish(args)

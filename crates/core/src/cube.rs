@@ -2,12 +2,11 @@
 //! (Definition 4.1) with OLAP-style navigation.
 
 use crate::build::{self, BuildOutput};
-use crate::cell::{
-    aggregate_key, display_key, level_of_key, CellEntry, CellKey, Cuboid, CuboidKey,
-};
+use crate::cell::{display_key, level_of_key, CellEntry, CellKey, Cuboid, CuboidKey};
 use crate::error::CoreError;
 use crate::params::{FlowCubeParams, ItemPlan};
 use crate::stats::BuildStats;
+use crate::view::{self, CuboidRead};
 use flowcube_hier::{ConceptId, FxHashMap, ItemLevel, PathLatticeSpec, PathLevelId, Schema};
 use flowcube_pathdb::PathDatabase;
 use serde::{Deserialize, Serialize};
@@ -198,46 +197,25 @@ impl FlowCube {
 
     /// Point lookup that falls back to the nearest materialized ancestor
     /// cell (breadth-first up the item lattice) — how a non-redundant /
-    /// iceberg cube answers queries for pruned cells.
+    /// iceberg cube answers queries for pruned cells. The routing lives
+    /// in [`view::lookup_route`], shared with the zero-copy snapshot
+    /// query path.
     pub fn lookup(&self, key: &[ConceptId], path_level: PathLevelId) -> Option<Lookup<'_>> {
-        let level = level_of_key(key, &self.schema);
-        let mut frontier: Vec<(ItemLevel, CellKey)> = vec![(level, key.to_vec())];
-        let mut exact = true;
-        let mut seen: Vec<(ItemLevel, CellKey)> = Vec::new();
-        while !frontier.is_empty() {
-            for (lvl, k) in &frontier {
-                let ck = CuboidKey {
-                    item_level: lvl.clone(),
-                    path_level,
-                };
-                if let Some((ck_ref, cuboid)) = self.cuboids.get_key_value(&ck) {
-                    if let Some((source_key, entry)) = cuboid.cells.get_key_value(k.as_slice()) {
-                        return Some(Lookup {
-                            entry,
-                            exact,
-                            source_key,
-                            source_level: &ck_ref.item_level,
-                        });
-                    }
-                }
-            }
-            // Expand to parents.
-            let mut next: Vec<(ItemLevel, CellKey)> = Vec::new();
-            for (lvl, k) in frontier.drain(..) {
-                for parent in lvl.parents() {
-                    let pk = aggregate_key(&k, &parent, &self.schema);
-                    if !next.iter().any(|(l, kk)| *l == parent && *kk == pk)
-                        && !seen.iter().any(|(l, kk)| *l == parent && *kk == pk)
-                    {
-                        next.push((parent, pk));
-                    }
-                }
-                seen.push((lvl, k));
-            }
-            frontier = next;
-            exact = false;
-        }
-        None
+        let route = view::lookup_route(&self.schema, key, |lvl, k| {
+            self.cuboid(lvl, path_level).is_some_and(|c| c.contains(k))
+        })?;
+        let ck = CuboidKey {
+            item_level: route.item_level,
+            path_level,
+        };
+        let (ck_ref, cuboid) = self.cuboids.get_key_value(&ck)?;
+        let (source_key, entry) = cuboid.cells.get_key_value(route.key.as_slice())?;
+        Some(Lookup {
+            entry,
+            exact: route.exact,
+            source_key,
+            source_level: &ck_ref.item_level,
+        })
     }
 
     /// Roll up one dimension of a cell: the parent cell with `dim`
@@ -248,49 +226,31 @@ impl FlowCube {
         dim: usize,
         path_level: PathLevelId,
     ) -> Option<(CellKey, &CellEntry)> {
-        let level = level_of_key(key, &self.schema);
-        if level.0[dim] == 0 {
-            return None;
-        }
-        let mut parent_level = level.clone();
-        parent_level.0[dim] -= 1;
-        let parent_key = aggregate_key(key, &parent_level, &self.schema);
+        let (parent_level, parent_key) = view::rollup_target(&self.schema, key, dim)?;
         let entry = self.cuboid(&parent_level, path_level)?.get(&parent_key)?;
         Some((parent_key, entry))
     }
 
     /// Drill down one dimension: all materialized child cells obtained by
-    /// specializing `dim` one level.
+    /// specializing `dim` one level, in hierarchy order.
     pub fn drill_down(
         &self,
         key: &[ConceptId],
         dim: usize,
         path_level: PathLevelId,
     ) -> Vec<(CellKey, &CellEntry)> {
-        let level = level_of_key(key, &self.schema);
-        let h = self.schema.dim(dim as u8);
-        let mut child_level = level.clone();
-        child_level.0[dim] += 1;
+        let (child_level, candidates) = view::drilldown_candidates(&self.schema, key, dim);
         let Some(cuboid) = self.cuboid(&child_level, path_level) else {
             return Vec::new();
         };
-        let children = if key[dim] == ConceptId::ROOT && level.0[dim] == 0 {
-            h.concepts_at_level(1).collect::<Vec<_>>()
-        } else {
-            h.children_of(key[dim]).to_vec()
-        };
-        let mut out = Vec::new();
-        for c in children {
-            let mut child_key = key.to_vec();
-            child_key[dim] = c;
-            if let Some(entry) = cuboid.get(&child_key) {
-                out.push((child_key, entry));
-            }
-        }
-        out
+        candidates
+            .into_iter()
+            .filter_map(|child_key| cuboid.get(&child_key).map(|entry| (child_key, entry)))
+            .collect()
     }
 
-    /// Slice a cuboid: all cells whose `dim` coordinate equals `value`.
+    /// Slice a cuboid: all cells whose `dim` coordinate equals `value`,
+    /// in ascending key order.
     pub fn slice(
         &self,
         item_level: &ItemLevel,
@@ -299,11 +259,16 @@ impl FlowCube {
         value: ConceptId,
     ) -> Vec<(&CellKey, &CellEntry)> {
         self.cuboid(item_level, path_level)
-            .map(|c| c.iter().filter(|(k, _)| k[dim] == value).collect())
+            .map(|c| {
+                let mut rows: Vec<_> = c.iter().filter(|(k, _)| k[dim] == value).collect();
+                rows.sort_unstable_by(|a, b| a.0.cmp(b.0));
+                rows
+            })
             .unwrap_or_default()
     }
 
-    /// Dice a cuboid with an arbitrary predicate over keys.
+    /// Dice a cuboid with an arbitrary predicate over keys, in ascending
+    /// key order.
     pub fn dice<'a>(
         &'a self,
         item_level: &ItemLevel,
@@ -311,7 +276,11 @@ impl FlowCube {
         pred: impl Fn(&CellKey) -> bool + 'a,
     ) -> Vec<(&'a CellKey, &'a CellEntry)> {
         self.cuboid(item_level, path_level)
-            .map(|c| c.iter().filter(move |(k, _)| pred(k)).collect())
+            .map(|c| {
+                let mut rows: Vec<_> = c.iter().filter(move |(k, _)| pred(k)).collect();
+                rows.sort_unstable_by(|a, b| a.0.cmp(b.0));
+                rows
+            })
             .unwrap_or_default()
     }
 

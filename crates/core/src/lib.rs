@@ -34,6 +34,7 @@ pub mod error;
 pub mod params;
 pub(crate) mod serde_map;
 pub mod stats;
+pub mod view;
 
 pub use cell::{aggregate_key, display_key, level_of_key, CellEntry, CellKey, Cuboid, CuboidKey};
 pub use cube::{FlowCube, Lookup};
@@ -41,3 +42,4 @@ pub use delta::{CubeDelta, DeltaReport};
 pub use error::CoreError;
 pub use params::{Algorithm, FlowCubeParams, ItemPlan};
 pub use stats::BuildStats;
+pub use view::{CellStats, CuboidRead, Route};

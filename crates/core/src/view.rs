@@ -1,0 +1,230 @@
+//! Representation-independent cube navigation.
+//!
+//! The OLAP operations (lookup with ancestor fallback, rollup,
+//! drilldown, slice, dice) are pure functions of the *key space* — the
+//! schema's hierarchies and the set of materialized cell keys — not of
+//! how cells are stored. This module factors that key-space logic out of
+//! [`crate::FlowCube`] so the serving layer can run the same navigation
+//! over a zero-copy columnar snapshot section without materializing
+//! `HashMap` cells: both paths answer identically because they *are* the
+//! same code.
+//!
+//! Determinism note: every enumeration here returns keys in a canonical
+//! order (sorted cell keys; hierarchy order for drilldown children).
+//! Hash-map iteration order must never leak into query answers — the
+//! differential suite compares responses byte-for-byte across storage
+//! representations.
+
+use crate::cell::{aggregate_key, level_of_key, CellKey, Cuboid};
+use flowcube_hier::{ConceptId, ItemLevel, Schema};
+
+/// The scalar facts about one cell that every storage representation can
+/// produce without decoding its flowgraph: enough to render cell rows.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CellStats {
+    /// Paths aggregated in the cell.
+    pub support: u64,
+    /// Flowgraph nodes including the virtual root.
+    pub nodes: usize,
+    /// Mined exceptions.
+    pub exceptions: usize,
+}
+
+/// Read-only access to one cuboid's cell set, abstracted over storage.
+/// Implemented by the in-memory [`Cuboid`] and by the serving layer's
+/// columnar section view.
+pub trait CuboidRead {
+    /// Whether a cell with `key` is materialized.
+    fn contains(&self, key: &[ConceptId]) -> bool;
+    /// Number of materialized cells.
+    fn num_cells(&self) -> usize;
+    /// Scalar stats for a cell, if materialized.
+    fn stats(&self, key: &[ConceptId]) -> Option<CellStats>;
+    /// All cell keys in ascending key order.
+    fn keys_sorted(&self) -> Vec<CellKey>;
+}
+
+impl CuboidRead for Cuboid {
+    fn contains(&self, key: &[ConceptId]) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn num_cells(&self) -> usize {
+        self.len()
+    }
+
+    fn stats(&self, key: &[ConceptId]) -> Option<CellStats> {
+        self.get(key).map(|e| CellStats {
+            support: e.support,
+            nodes: e.graph.len(),
+            exceptions: e.exceptions.len(),
+        })
+    }
+
+    fn keys_sorted(&self) -> Vec<CellKey> {
+        let mut keys: Vec<CellKey> = self.iter().map(|(k, _)| k.clone()).collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+/// Where a point lookup found its answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Item level of the cuboid holding the answering cell.
+    pub item_level: ItemLevel,
+    /// Key of the answering cell (equals the query key when `exact`).
+    pub key: CellKey,
+    /// `true` when the exact requested cell was materialized.
+    pub exact: bool,
+}
+
+/// Point lookup with ancestor fallback (breadth-first up the item
+/// lattice) — how a non-redundant / iceberg cube answers queries for
+/// pruned cells. `probe` reports whether a cell is materialized at
+/// `(item level, key)` under the caller's fixed path level; the BFS
+/// expansion order (and therefore which ancestor answers when several
+/// are materialized at the same distance) is part of the query contract
+/// shared by every storage representation.
+pub fn lookup_route(
+    schema: &Schema,
+    key: &[ConceptId],
+    probe: impl Fn(&ItemLevel, &[ConceptId]) -> bool,
+) -> Option<Route> {
+    let level = level_of_key(key, schema);
+    let mut frontier: Vec<(ItemLevel, CellKey)> = vec![(level, key.to_vec())];
+    let mut exact = true;
+    let mut seen: Vec<(ItemLevel, CellKey)> = Vec::new();
+    while !frontier.is_empty() {
+        for (lvl, k) in &frontier {
+            if probe(lvl, k) {
+                return Some(Route {
+                    item_level: lvl.clone(),
+                    key: k.clone(),
+                    exact,
+                });
+            }
+        }
+        // Expand to parents.
+        let mut next: Vec<(ItemLevel, CellKey)> = Vec::new();
+        for (lvl, k) in frontier.drain(..) {
+            for parent in lvl.parents() {
+                let pk = aggregate_key(&k, &parent, schema);
+                if !next.iter().any(|(l, kk)| *l == parent && *kk == pk)
+                    && !seen.iter().any(|(l, kk)| *l == parent && *kk == pk)
+                {
+                    next.push((parent, pk));
+                }
+            }
+            seen.push((lvl, k));
+        }
+        frontier = next;
+        exact = false;
+    }
+    None
+}
+
+/// The parent cell reached by aggregating `dim` one level up, or `None`
+/// when the key is already at the apex in that dimension.
+pub fn rollup_target(
+    schema: &Schema,
+    key: &[ConceptId],
+    dim: usize,
+) -> Option<(ItemLevel, CellKey)> {
+    let level = level_of_key(key, schema);
+    if level.0[dim] == 0 {
+        return None;
+    }
+    let mut parent_level = level.clone();
+    parent_level.0[dim] -= 1;
+    let parent_key = aggregate_key(key, &parent_level, schema);
+    Some((parent_level, parent_key))
+}
+
+/// The candidate child cells obtained by specializing `dim` one level
+/// down, in hierarchy order (callers filter by materialization). The
+/// apex (`*` at level 0) drills into every level-1 concept.
+pub fn drilldown_candidates(
+    schema: &Schema,
+    key: &[ConceptId],
+    dim: usize,
+) -> (ItemLevel, Vec<CellKey>) {
+    let level = level_of_key(key, schema);
+    let h = schema.dim(dim as u8);
+    let mut child_level = level.clone();
+    child_level.0[dim] += 1;
+    let children = if key[dim] == ConceptId::ROOT && level.0[dim] == 0 {
+        h.concepts_at_level(1).collect::<Vec<_>>()
+    } else {
+        h.children_of(key[dim]).to_vec()
+    };
+    let keys = children
+        .into_iter()
+        .map(|c| {
+            let mut child_key = key.to_vec();
+            child_key[dim] = c;
+            child_key
+        })
+        .collect();
+    (child_level, keys)
+}
+
+/// Keys of all cells whose `dim` coordinate equals `value`, ascending.
+pub fn slice_keys<C: CuboidRead + ?Sized>(
+    cuboid: &C,
+    dim: usize,
+    value: ConceptId,
+) -> Vec<CellKey> {
+    let mut keys = cuboid.keys_sorted();
+    keys.retain(|k| k[dim] == value);
+    keys
+}
+
+/// Keys of all cells satisfying an arbitrary predicate, ascending.
+pub fn dice_keys<C: CuboidRead + ?Sized>(
+    cuboid: &C,
+    pred: impl Fn(&CellKey) -> bool,
+) -> Vec<CellKey> {
+    let mut keys = cuboid.keys_sorted();
+    keys.retain(|k| pred(k));
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellEntry;
+    use flowcube_flowgraph::FlowGraph;
+    use flowcube_pathdb::samples;
+
+    fn entry(support: u64) -> CellEntry {
+        CellEntry {
+            support,
+            graph: FlowGraph::new(),
+            exceptions: Vec::new(),
+            redundant: false,
+        }
+    }
+
+    #[test]
+    fn slice_and_dice_are_sorted() {
+        let schema = samples::paper_schema();
+        let tennis = schema.dim(0).id_of("tennis").unwrap();
+        let sandals = schema.dim(0).id_of("sandals").unwrap();
+        let nike = schema.dim(1).id_of("nike").unwrap();
+        let mut cuboid = Cuboid::default();
+        // Insert in descending order; reads must come back ascending.
+        let mut keys = vec![vec![tennis, nike], vec![sandals, nike]];
+        keys.sort_unstable();
+        keys.reverse();
+        for k in &keys {
+            cuboid.cells.insert(k.clone(), entry(1));
+        }
+        let got = slice_keys(&cuboid, 1, nike);
+        let mut want = keys.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(dice_keys(&cuboid, |_| true), want);
+        assert_eq!(cuboid.stats(&want[0]).unwrap().support, 1);
+    }
+}

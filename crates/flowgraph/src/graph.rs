@@ -46,6 +46,110 @@ pub struct FlowGraph {
     total_paths: u64,
 }
 
+/// Everything the query algorithms ([`crate::query`]) need from a
+/// flowgraph, abstracted over the storage representation. Implemented by
+/// [`FlowGraph`] and by the serving layer's zero-copy columnar view, so
+/// top-k / path-probability answers are computed by one shared algorithm
+/// regardless of whether the graph lives in pointer-heavy nodes or in a
+/// flat snapshot section.
+///
+/// Node ids address the same canonical pre-order table in both
+/// representations (`NodeId::ROOT` is index 0; `0..len()` enumerates all
+/// nodes, parents before children).
+pub trait GraphRead {
+    /// Total paths summarized.
+    fn total_paths(&self) -> u64;
+    /// Number of nodes including the root.
+    fn len(&self) -> usize;
+    /// Whether the graph has no nodes — never true for a well-formed
+    /// graph, which always contains at least the root.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Location labelling `n` (meaningless for the root).
+    fn location(&self, n: NodeId) -> ConceptId;
+    /// Parent of `n` (the root is its own parent).
+    fn parent(&self, n: NodeId) -> NodeId;
+    /// Paths passing through `n`.
+    fn count(&self, n: NodeId) -> u64;
+    /// Paths terminating exactly at `n`.
+    fn terminate_count(&self, n: NodeId) -> u64;
+    /// The child of `n` labelled `loc`, if present.
+    fn child_at(&self, n: NodeId, loc: ConceptId) -> Option<NodeId>;
+    /// Probability of duration `dur` at `n` under the empirical
+    /// distribution.
+    fn duration_probability(&self, n: NodeId, dur: DurValue) -> f64;
+    /// The transition distribution at `n`, keyed by the next location
+    /// (`None` = terminate).
+    fn transitions(&self, n: NodeId) -> CountDist<Option<ConceptId>>;
+
+    /// The location sequence from the root down to `n` (exclusive of the
+    /// virtual root).
+    fn prefix_of(&self, n: NodeId) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        let mut cur = n;
+        while cur != NodeId::ROOT {
+            out.push(self.location(cur));
+            cur = self.parent(cur);
+        }
+        out.reverse();
+        out
+    }
+
+    /// Locate the node for a location-sequence prefix.
+    fn node_by_prefix(&self, prefix: &[ConceptId]) -> Option<NodeId> {
+        let mut cur = NodeId::ROOT;
+        for &loc in prefix {
+            cur = self.child_at(cur, loc)?;
+        }
+        Some(cur)
+    }
+}
+
+impl GraphRead for FlowGraph {
+    fn total_paths(&self) -> u64 {
+        FlowGraph::total_paths(self)
+    }
+    fn len(&self) -> usize {
+        FlowGraph::len(self)
+    }
+    fn location(&self, n: NodeId) -> ConceptId {
+        FlowGraph::location(self, n)
+    }
+    fn parent(&self, n: NodeId) -> NodeId {
+        FlowGraph::parent(self, n)
+    }
+    fn count(&self, n: NodeId) -> u64 {
+        FlowGraph::count(self, n)
+    }
+    fn terminate_count(&self, n: NodeId) -> u64 {
+        FlowGraph::terminate_count(self, n)
+    }
+    fn child_at(&self, n: NodeId, loc: ConceptId) -> Option<NodeId> {
+        FlowGraph::child_at(self, n, loc)
+    }
+    fn duration_probability(&self, n: NodeId, dur: DurValue) -> f64 {
+        self.durations(n).probability(dur)
+    }
+    fn transitions(&self, n: NodeId) -> CountDist<Option<ConceptId>> {
+        FlowGraph::transitions(self, n)
+    }
+}
+
+/// One node of a flowgraph in fully explicit form — the reassembly input
+/// for decoders that store graphs outside [`FlowGraph`] (the columnar
+/// snapshot sections). Field meanings match [`FlowGraph`]'s accessors.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    pub loc: ConceptId,
+    pub parent: NodeId,
+    pub children: Vec<NodeId>,
+    pub count: u64,
+    pub terminate: u64,
+    /// `(duration, count)` observations; any order — re-sorted on build.
+    pub durations: Vec<(DurValue, u64)>,
+}
+
 impl Default for FlowGraph {
     fn default() -> Self {
         Self::new()
@@ -123,6 +227,43 @@ impl FlowGraph {
             cur = child;
         }
         self.nodes[cur.index()].terminate += 1;
+    }
+
+    /// Reassemble a flowgraph from an explicit node table (root first;
+    /// ids are indices into `nodes`). The inverse of walking the graph
+    /// through its accessors — used by snapshot decoders to materialize
+    /// a graph whose structure was stored columnar. Node order is
+    /// preserved verbatim, so a canonical table round-trips
+    /// byte-identically. Returns `None` when `nodes` is empty or an id
+    /// (parent or child) is out of range.
+    pub fn from_nodes(nodes: Vec<NodeSpec>, total_paths: u64) -> Option<Self> {
+        if nodes.is_empty() {
+            return None;
+        }
+        let n = nodes.len();
+        let in_range = |id: NodeId| id.index() < n;
+        let mut out = Vec::with_capacity(n);
+        for spec in nodes {
+            if !in_range(spec.parent) || !spec.children.iter().all(|&c| in_range(c)) {
+                return None;
+            }
+            let mut durations = CountDist::new();
+            for (d, c) in spec.durations {
+                durations.add_n(d, c);
+            }
+            out.push(Node {
+                loc: spec.loc,
+                parent: spec.parent,
+                children: spec.children,
+                count: spec.count,
+                terminate: spec.terminate,
+                durations,
+            });
+        }
+        Some(FlowGraph {
+            nodes: out,
+            total_paths,
+        })
     }
 
     /// Total paths summarized.

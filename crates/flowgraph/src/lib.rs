@@ -22,6 +22,6 @@ pub use exception::{
     exceptions_from_segments, mine_exceptions, mine_frequent_segments, Constraint, Exception,
     ExceptionDetail, ExceptionParams, Segment,
 };
-pub use graph::{FlowGraph, NodeId};
+pub use graph::{FlowGraph, GraphRead, NodeId, NodeSpec};
 pub use query::{path_probability, predict_next, top_k_paths, ScoredPath};
 pub use similarity::{is_redundant, FlowSimilarity, KlSimilarity, L1Similarity};

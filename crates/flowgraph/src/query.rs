@@ -9,7 +9,7 @@
 
 use crate::dist::CountDist;
 use crate::exception::{Exception, ExceptionDetail};
-use crate::graph::{FlowGraph, NodeId};
+use crate::graph::{FlowGraph, GraphRead, NodeId};
 use flowcube_hier::ConceptId;
 use flowcube_pathdb::AggStage;
 
@@ -17,7 +17,10 @@ use flowcube_pathdb::AggStage;
 /// (locations and — when the graph stores them — durations).
 ///
 /// Durations in `path` with `None` skip the duration factor.
-pub fn path_probability(graph: &FlowGraph, path: &[AggStage]) -> f64 {
+///
+/// Generic over [`GraphRead`] so in-memory graphs and zero-copy snapshot
+/// views score paths through the exact same arithmetic.
+pub fn path_probability<G: GraphRead + ?Sized>(graph: &G, path: &[AggStage]) -> f64 {
     let mut p = 1.0;
     let mut cur = NodeId::ROOT;
     for stage in path {
@@ -30,7 +33,7 @@ pub fn path_probability(graph: &FlowGraph, path: &[AggStage]) -> f64 {
             .child_at(cur, stage.loc)
             .expect("transition probability was nonzero");
         if stage.dur.is_some() {
-            p *= graph.durations(cur).probability(stage.dur);
+            p *= graph.duration_probability(cur, stage.dur);
         }
         if p == 0.0 {
             return 0.0;
@@ -51,13 +54,15 @@ pub struct ScoredPath {
 ///
 /// Exact: enumerates root-to-termination routes of the prefix tree and
 /// keeps the top `k` by probability mass (`terminate_count / total`).
-pub fn top_k_paths(graph: &FlowGraph, k: usize) -> Vec<ScoredPath> {
+/// The tie-break (ascending location sequence) is part of the contract:
+/// both storage representations must rank equal-mass paths identically.
+pub fn top_k_paths<G: GraphRead + ?Sized>(graph: &G, k: usize) -> Vec<ScoredPath> {
     let total = graph.total_paths();
     if total == 0 || k == 0 {
         return Vec::new();
     }
     let mut out: Vec<ScoredPath> = Vec::new();
-    for n in graph.node_ids() {
+    for n in (0..graph.len() as u32).map(NodeId) {
         let t = graph.terminate_count(n);
         if t > 0 && n != NodeId::ROOT {
             out.push(ScoredPath {

@@ -1,16 +1,18 @@
-//! Process peak-RSS lookup.
+//! Process RSS lookups.
 //!
-//! On Linux this reads `VmHWM` (the high-water mark of resident set size)
-//! from `/proc/self/status`. Elsewhere there is no portable equivalent in
-//! std, so the lookup reports `None` and the snapshot simply omits the
-//! gauge.
+//! On Linux these read `/proc/self/status` — `VmHWM` (the high-water
+//! mark of resident set size) and `VmRSS` (the current resident set).
+//! Elsewhere there is no portable equivalent in std, so the lookups
+//! report `None` and callers simply omit the gauge. `VmHWM` never goes
+//! down, so A/B memory comparisons inside one process (e.g. the
+//! snapshot-format bench) must sample `current_rss_bytes` instead.
 
 #[cfg(target_os = "linux")]
-pub fn peak_rss_bytes() -> Option<u64> {
+fn status_field_bytes(field: &str) -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            // Format: "VmHWM:     12345 kB"
+        if let Some(rest) = line.strip_prefix(field) {
+            // Format: "VmRSS:     12345 kB"
             let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
             return Some(kb * 1024);
         }
@@ -18,8 +20,24 @@ pub fn peak_rss_bytes() -> Option<u64> {
     None
 }
 
+#[cfg(target_os = "linux")]
+pub fn peak_rss_bytes() -> Option<u64> {
+    status_field_bytes("VmHWM:")
+}
+
+/// The process's resident set size right now (`VmRSS`).
+#[cfg(target_os = "linux")]
+pub fn current_rss_bytes() -> Option<u64> {
+    status_field_bytes("VmRSS:")
+}
+
 #[cfg(not(target_os = "linux"))]
 pub fn peak_rss_bytes() -> Option<u64> {
+    None
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn current_rss_bytes() -> Option<u64> {
     None
 }
 
@@ -29,5 +47,13 @@ mod tests {
     fn peak_rss_is_positive_on_linux() {
         let rss = super::peak_rss_bytes().expect("VmHWM present in /proc/self/status");
         assert!(rss > 0);
+    }
+
+    #[test]
+    fn current_rss_is_positive_and_at_most_peak() {
+        let cur = super::current_rss_bytes().expect("VmRSS present in /proc/self/status");
+        let peak = super::peak_rss_bytes().expect("VmHWM present in /proc/self/status");
+        assert!(cur > 0);
+        assert!(cur <= peak);
     }
 }

@@ -27,12 +27,17 @@
 
 use crate::access::{unix_millis, AccessEntry, AccessLog};
 use crate::cache::{CachedResponse, ResponseCache};
+use crate::columnar::{ColumnarSection, StringsCtx};
 use crate::deltalog;
 use crate::error::{ApiError, SnapshotError};
 use crate::http::Request;
 use crate::snapshot::Snapshot;
-use flowcube_core::{display_key, level_of_key, CellKey, CubeDelta, Cuboid, CuboidKey, FlowCube};
-use flowcube_hier::{ConceptId, FxHashSet, ItemLevel, PathLevelId};
+use flowcube_core::{
+    display_key, view, CellEntry, CellKey, CellStats, CubeDelta, Cuboid, CuboidKey, CuboidRead,
+    FlowCube, Route,
+};
+use flowcube_flowgraph::{Exception, GraphRead};
+use flowcube_hier::{ConceptId, FxHashMap, FxHashSet, ItemLevel, PathLevelId, Schema};
 use flowcube_obs::flight::{self, FlightKind};
 use flowcube_pathdb::AggStage;
 use parking_lot::{Mutex, RwLock};
@@ -56,6 +61,18 @@ pub struct ServedCube {
     /// Cuboid keys already probed against the snapshot (present or not),
     /// so each section is read at most once.
     hydrated: Mutex<FxHashSet<CuboidKey>>,
+    /// Zero-copy store for v2 snapshots: validated columnar sections the
+    /// query path reads in place. `None` for in-memory cubes and v1
+    /// snapshots.
+    columnar: Option<ColumnarStore>,
+}
+
+/// Resident v2 cuboid sections, queried as bytes — a cuboid lands here
+/// (instead of materializing into the in-memory cube) when no pending
+/// delta touches it, which is the common case for a read-mostly server.
+struct ColumnarStore {
+    ctx: Arc<StringsCtx>,
+    sections: RwLock<FxHashMap<CuboidKey, Arc<ColumnarSection>>>,
 }
 
 impl ServedCube {
@@ -66,6 +83,7 @@ impl ServedCube {
             snapshot: None,
             deltas: Vec::new(),
             hydrated: Mutex::new(FxHashSet::default()),
+            columnar: None,
         }
     }
 
@@ -82,12 +100,25 @@ impl ServedCube {
     /// server does not have.
     pub fn from_snapshot_with_deltas(snapshot: Snapshot, deltas: Vec<CubeDelta>) -> Self {
         let shell = snapshot.shell().clone();
+        let columnar = snapshot.strings_ctx().cloned().map(|ctx| ColumnarStore {
+            ctx,
+            sections: RwLock::new(FxHashMap::default()),
+        });
         ServedCube {
             cube: RwLock::new(shell),
             snapshot: Some(snapshot),
             deltas,
             hydrated: Mutex::new(FxHashSet::default()),
+            columnar,
         }
+    }
+
+    /// Whether any pending sidecar delta patches the cuboid at `key` —
+    /// such cuboids must materialize (the columnar bytes are immutable).
+    fn has_delta(&self, key: &CuboidKey) -> bool {
+        self.deltas
+            .iter()
+            .any(|d| d.cuboids.binary_search_by(|(k, _)| k.cmp(key)).is_ok())
     }
 
     /// Overlay every delta's cuboid at `key` onto `base`, re-enforcing
@@ -116,6 +147,13 @@ impl ServedCube {
 
     /// Hydrate the given cuboids from the snapshot (plus any ingested
     /// deltas) if not yet loaded.
+    ///
+    /// v2 snapshots take the zero-copy path whenever no pending delta
+    /// touches the cuboid: the section is validated once and kept as
+    /// bytes in the [`ColumnarStore`] — no cell ever materializes. A
+    /// delta-patched cuboid (or any v1 cuboid) decodes into the
+    /// in-memory cube as before; the in-memory copy then takes
+    /// precedence at query time.
     fn ensure(&self, keys: impl IntoIterator<Item = CuboidKey>) -> Result<(), SnapshotError> {
         let Some(snapshot) = &self.snapshot else {
             return Ok(());
@@ -124,6 +162,15 @@ impl ServedCube {
         for key in keys {
             if hydrated.contains(&key) {
                 continue;
+            }
+            if let Some(store) = &self.columnar {
+                if !self.has_delta(&key) {
+                    if let Some(sec) = snapshot.load_cuboid_columnar(&key)? {
+                        store.sections.write().insert(key.clone(), Arc::new(sec));
+                    }
+                    hydrated.insert(key);
+                    continue;
+                }
             }
             let base = snapshot.load_cuboid(&key)?;
             if let Some(cuboid) = self.overlay_deltas(&key, base) {
@@ -160,9 +207,34 @@ impl ServedCube {
         f(&self.cube.read())
     }
 
-    /// Cuboids currently resident in memory.
+    /// Run a closure against a consistent query view: the hydrated
+    /// in-memory cuboids plus any resident zero-copy columnar sections.
+    /// All `GET` handlers answer through this so every storage
+    /// representation goes through identical navigation code.
+    pub fn query<R>(&self, f: impl FnOnce(&QueryView<'_>) -> R) -> R {
+        let cube = self.cube.read();
+        f(&QueryView {
+            cube: &cube,
+            store: self.columnar.as_ref(),
+        })
+    }
+
+    /// Cuboids currently resident in memory (materialized cells plus
+    /// zero-copy columnar sections).
     pub fn resident_cuboids(&self) -> usize {
-        self.cube.read().num_cuboids()
+        let col = self
+            .columnar
+            .as_ref()
+            .map_or(0, |s| s.sections.read().len());
+        self.cube.read().num_cuboids() + col
+    }
+
+    /// Cells currently resident in memory, across both representations.
+    pub fn resident_cells(&self) -> usize {
+        let col = self.columnar.as_ref().map_or(0, |s| {
+            s.sections.read().values().map(|sec| sec.num_cells()).sum()
+        });
+        self.cube.read().total_cells() + col
     }
 
     /// Total cuboids in the served cube (snapshot ∪ delta keys when
@@ -196,6 +268,204 @@ impl ServedCube {
     /// source.
     pub fn snapshot_path(&self) -> Option<PathBuf> {
         self.snapshot.as_ref().map(|s| s.path().to_path_buf())
+    }
+}
+
+// ---- representation-independent query facade ----------------------------
+
+/// A read view over everything a served cube can answer from: the
+/// in-memory cuboids (always authoritative when present — they carry
+/// delta overlays) and the resident columnar sections. Handlers use the
+/// same [`view`] navigation helpers over both, so a v1 snapshot, a v2
+/// snapshot, and an in-memory cube answer byte-identically — the
+/// differential suite pins this down.
+pub struct QueryView<'a> {
+    cube: &'a FlowCube,
+    store: Option<&'a ColumnarStore>,
+}
+
+impl<'a> QueryView<'a> {
+    pub fn schema(&self) -> &'a Schema {
+        self.cube.schema()
+    }
+
+    fn col_section(
+        &self,
+        item_level: &ItemLevel,
+        path_level: PathLevelId,
+    ) -> Option<(Arc<ColumnarSection>, &'a StringsCtx)> {
+        let store = self.store?;
+        let sec = store
+            .sections
+            .read()
+            .get(&CuboidKey {
+                item_level: item_level.clone(),
+                path_level,
+            })
+            .cloned()?;
+        Some((sec, &store.ctx))
+    }
+
+    /// The cuboid at `(item level, path level)`, in whichever
+    /// representation holds it (in-memory first: it carries overlays).
+    pub fn cuboid(
+        &self,
+        item_level: &ItemLevel,
+        path_level: PathLevelId,
+    ) -> Option<CuboidHandle<'a>> {
+        if let Some(c) = self.cube.cuboid(item_level, path_level) {
+            return Some(CuboidHandle::Mem(c));
+        }
+        self.col_section(item_level, path_level)
+            .map(|(sec, ctx)| CuboidHandle::Col { sec, ctx })
+    }
+
+    fn contains(&self, item_level: &ItemLevel, path_level: PathLevelId, key: &[ConceptId]) -> bool {
+        self.cuboid(item_level, path_level)
+            .is_some_and(|c| c.contains(key))
+    }
+
+    /// Exact cell probe at a known item level.
+    pub fn cell(
+        &self,
+        item_level: &ItemLevel,
+        path_level: PathLevelId,
+        key: &[ConceptId],
+    ) -> Option<CellHandle<'a>> {
+        match self.cuboid(item_level, path_level)? {
+            CuboidHandle::Mem(c) => c.get(key).map(CellHandle::Mem),
+            CuboidHandle::Col { sec, ctx } => {
+                let row = sec.find(key, ctx)?;
+                Some(CellHandle::Col { sec, row, ctx })
+            }
+        }
+    }
+
+    /// Point lookup with ancestor fallback ([`view::lookup_route`]),
+    /// across representations.
+    pub fn lookup(
+        &self,
+        key: &[ConceptId],
+        path_level: PathLevelId,
+    ) -> Option<(Route, CellHandle<'a>)> {
+        let route = view::lookup_route(self.schema(), key, |lvl, k| {
+            self.contains(lvl, path_level, k)
+        })?;
+        let cell = self.cell(&route.item_level, path_level, &route.key)?;
+        Some((route, cell))
+    }
+
+    /// The human-readable cell description (`FlowCube::describe_cell`'s
+    /// materialized arm, rendered from representation-independent stats).
+    fn describe(&self, key: &[ConceptId], path_level: PathLevelId, stats: CellStats) -> String {
+        format!(
+            "{} @ {}: {} paths, {} nodes, {} exceptions",
+            display_key(key, self.schema()),
+            self.cube.spec().level(path_level).name,
+            stats.support,
+            stats.nodes - 1,
+            stats.exceptions
+        )
+    }
+}
+
+/// One cuboid, wherever it lives. Implements the core [`CuboidRead`]
+/// contract so [`view::slice_keys`] / [`view::dice_keys`] run unchanged
+/// over both representations.
+pub enum CuboidHandle<'a> {
+    Mem(&'a Cuboid),
+    Col {
+        sec: Arc<ColumnarSection>,
+        ctx: &'a StringsCtx,
+    },
+}
+
+impl CuboidRead for CuboidHandle<'_> {
+    fn contains(&self, key: &[ConceptId]) -> bool {
+        match self {
+            CuboidHandle::Mem(c) => CuboidRead::contains(*c, key),
+            CuboidHandle::Col { sec, ctx } => sec.find(key, ctx).is_some(),
+        }
+    }
+
+    fn num_cells(&self) -> usize {
+        match self {
+            CuboidHandle::Mem(c) => c.len(),
+            CuboidHandle::Col { sec, .. } => sec.num_cells(),
+        }
+    }
+
+    fn stats(&self, key: &[ConceptId]) -> Option<CellStats> {
+        match self {
+            CuboidHandle::Mem(c) => CuboidRead::stats(*c, key),
+            CuboidHandle::Col { sec, ctx } => sec.find(key, ctx).map(|row| {
+                let cell = sec.cell(row);
+                CellStats {
+                    support: cell.support,
+                    nodes: cell.num_nodes(),
+                    exceptions: cell.num_exceptions(),
+                }
+            }),
+        }
+    }
+
+    fn keys_sorted(&self) -> Vec<CellKey> {
+        match self {
+            CuboidHandle::Mem(c) => CuboidRead::keys_sorted(*c),
+            CuboidHandle::Col { sec, ctx } => sec.keys_sorted(ctx),
+        }
+    }
+}
+
+/// One cell, wherever it lives. Graph questions are answered through
+/// [`GraphRead`] so the flowgraph algorithms (`top_k_paths`,
+/// `path_probability`) run directly on columnar bytes.
+pub enum CellHandle<'a> {
+    Mem(&'a CellEntry),
+    Col {
+        sec: Arc<ColumnarSection>,
+        row: usize,
+        ctx: &'a StringsCtx,
+    },
+}
+
+impl CellHandle<'_> {
+    pub fn stats(&self) -> CellStats {
+        match self {
+            CellHandle::Mem(e) => CellStats {
+                support: e.support,
+                nodes: e.graph.len(),
+                exceptions: e.exceptions.len(),
+            },
+            CellHandle::Col { sec, row, .. } => {
+                let cell = sec.cell(*row);
+                CellStats {
+                    support: cell.support,
+                    nodes: cell.num_nodes(),
+                    exceptions: cell.num_exceptions(),
+                }
+            }
+        }
+    }
+
+    /// Run a closure against the cell's flowgraph, in place.
+    pub fn with_graph<R>(&self, f: impl FnOnce(&dyn GraphRead) -> R) -> R {
+        match self {
+            CellHandle::Mem(e) => f(&e.graph),
+            CellHandle::Col { sec, row, ctx } => {
+                let cell = sec.cell(*row);
+                f(&cell.graph(ctx))
+            }
+        }
+    }
+
+    /// The cell's exceptions (decoded from bytes on the columnar path;
+    /// only the `/exceptions` endpoint pays this).
+    pub fn exceptions(&self) -> Vec<Exception> {
+        match self {
+            CellHandle::Mem(e) => e.exceptions.clone(),
+            CellHandle::Col { sec, row, ctx } => sec.cell(*row).exceptions(ctx),
+        }
     }
 }
 
@@ -759,9 +1029,24 @@ fn parse_path(cube: &FlowCube, spec: &str) -> Result<Vec<AggStage>, ApiError> {
     Ok(out)
 }
 
-fn location_names(cube: &FlowCube, ids: &[ConceptId]) -> Vec<String> {
-    let h = cube.schema().locations();
+fn location_names(schema: &Schema, ids: &[ConceptId]) -> Vec<String> {
+    let h = schema.locations();
     ids.iter().map(|&c| h.name_of(c).to_string()).collect()
+}
+
+/// Render the per-cell rows of a multi-cell response (drilldown / slice /
+/// dice) from representation-independent stats.
+fn cell_rows(q: &QueryView<'_>, cuboid: &CuboidHandle<'_>, keys: Vec<CellKey>) -> Vec<CellRow> {
+    keys.into_iter()
+        .filter_map(|k| {
+            cuboid.stats(&k).map(|s| CellRow {
+                cell: display_key(&k, q.schema()),
+                support: s.support,
+                nodes: s.nodes - 1,
+                exceptions: s.exceptions,
+            })
+        })
+        .collect()
 }
 
 // ---- endpoint handlers --------------------------------------------------
@@ -769,89 +1054,80 @@ fn location_names(cube: &FlowCube, ids: &[ConceptId]) -> Vec<String> {
 fn handle_cell(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
     let (key, pl) = served.with_cube(|cube| resolve_cell(cube, req))?;
     served.ensure_path_level(pl)?;
-    served.with_cube(|cube| {
-        let lk = cube
+    served.query(|q| {
+        let (route, cell) = q
             .lookup(&key, pl)
             .ok_or_else(|| ApiError::NotFound("no materialized cell or ancestor".into()))?;
+        let stats = cell.stats();
         Ok(json(&CellResponse {
-            cell: display_key(&key, cube.schema()),
-            level: cube.spec().level(pl).name.clone(),
-            exact: lk.exact,
-            source_cell: display_key(lk.source_key, cube.schema()),
-            support: lk.entry.support,
-            nodes: lk.entry.graph.len() - 1,
-            exceptions: lk.entry.exceptions.len(),
-            description: cube.describe_cell(lk.source_key, pl),
+            cell: display_key(&key, q.schema()),
+            level: served.with_cube(|cube| cube.spec().level(pl).name.clone()),
+            exact: route.exact,
+            source_cell: display_key(&route.key, q.schema()),
+            support: stats.support,
+            nodes: stats.nodes - 1,
+            exceptions: stats.exceptions,
+            description: q.describe(&route.key, pl, stats),
         }))
     })
 }
 
 fn handle_rollup(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
-    let (key, pl, dim, parent_key) = served.with_cube(|cube| {
+    let (key, pl, dim) = served.with_cube(|cube| {
         let (key, pl) = resolve_cell(cube, req)?;
         let dim = parse_dim(cube, req)?;
-        let level = level_of_key(&key, cube.schema());
-        if level.0[dim] == 0 {
-            return Err(ApiError::NotFound(format!(
-                "dimension {dim} is already fully aggregated"
-            )));
-        }
-        let mut parent_level = level.clone();
-        parent_level.0[dim] -= 1;
-        Ok((
-            key,
-            pl,
-            dim,
-            CuboidKey {
-                item_level: parent_level,
-                path_level: pl,
-            },
-        ))
+        Ok::<_, ApiError>((key, pl, dim))
     })?;
-    served.ensure([parent_key])?;
-    served.with_cube(|cube| {
-        let (parent, entry) = cube
-            .roll_up(&key, dim, pl)
+    let (parent_level, parent_key) = served
+        .with_cube(|cube| view::rollup_target(cube.schema(), &key, dim))
+        .ok_or_else(|| {
+            ApiError::NotFound(format!("dimension {dim} is already fully aggregated"))
+        })?;
+    served.ensure([CuboidKey {
+        item_level: parent_level.clone(),
+        path_level: pl,
+    }])?;
+    served.query(|q| {
+        let cell = q
+            .cell(&parent_level, pl, &parent_key)
             .ok_or_else(|| ApiError::NotFound("parent cell not materialized".into()))?;
+        let stats = cell.stats();
         Ok(json(&RollupResponse {
-            cell: display_key(&key, cube.schema()),
-            parent: display_key(&parent, cube.schema()),
-            support: entry.support,
-            nodes: entry.graph.len() - 1,
+            cell: display_key(&key, q.schema()),
+            parent: display_key(&parent_key, q.schema()),
+            support: stats.support,
+            nodes: stats.nodes - 1,
         }))
     })
 }
 
 fn handle_drilldown(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
-    let (key, pl, dim, child_key) = served.with_cube(|cube| {
+    let (key, pl, dim) = served.with_cube(|cube| {
         let (key, pl) = resolve_cell(cube, req)?;
         let dim = parse_dim(cube, req)?;
-        let mut child_level = level_of_key(&key, cube.schema());
-        child_level.0[dim] += 1;
-        Ok::<_, ApiError>((
-            key,
-            pl,
-            dim,
-            CuboidKey {
-                item_level: child_level,
-                path_level: pl,
-            },
-        ))
+        Ok::<_, ApiError>((key, pl, dim))
     })?;
-    served.ensure([child_key])?;
-    served.with_cube(|cube| {
-        let children = cube.drill_down(&key, dim, pl);
+    let (child_level, candidates) =
+        served.with_cube(|cube| view::drilldown_candidates(cube.schema(), &key, dim));
+    served.ensure([CuboidKey {
+        item_level: child_level.clone(),
+        path_level: pl,
+    }])?;
+    served.query(|q| {
+        let rows = match q.cuboid(&child_level, pl) {
+            Some(cuboid) => cell_rows(
+                q,
+                &cuboid,
+                candidates
+                    .into_iter()
+                    .filter(|k| cuboid.contains(k))
+                    .collect(),
+            ),
+            None => Vec::new(),
+        };
         Ok(json(&CellsResponse {
-            count: children.len(),
-            cells: children
-                .into_iter()
-                .map(|(k, e)| CellRow {
-                    cell: display_key(&k, cube.schema()),
-                    support: e.support,
-                    nodes: e.graph.len() - 1,
-                    exceptions: e.exceptions.len(),
-                })
-                .collect(),
+            count: rows.len(),
+            cells: rows,
         }))
     })
 }
@@ -872,19 +1148,14 @@ fn handle_slice(served: &ServedCube, req: &Request) -> Result<String, ApiError> 
         item_level: item_level.clone(),
         path_level: pl,
     }])?;
-    served.with_cube(|cube| {
-        let cells = cube.slice(&item_level, pl, dim, value);
+    served.query(|q| {
+        let rows = match q.cuboid(&item_level, pl) {
+            Some(cuboid) => cell_rows(q, &cuboid, view::slice_keys(&cuboid, dim, value)),
+            None => Vec::new(),
+        };
         Ok(json(&CellsResponse {
-            count: cells.len(),
-            cells: cells
-                .into_iter()
-                .map(|(k, e)| CellRow {
-                    cell: display_key(k, cube.schema()),
-                    support: e.support,
-                    nodes: e.graph.len() - 1,
-                    exceptions: e.exceptions.len(),
-                })
-                .collect(),
+            count: rows.len(),
+            cells: rows,
         }))
     })
 }
@@ -926,21 +1197,18 @@ fn handle_dice(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
         item_level: item_level.clone(),
         path_level: pl,
     }])?;
-    served.with_cube(|cube| {
-        let cells = cube.dice(&item_level, pl, |key| {
-            constraints.iter().all(|&(d, v)| key[d] == v)
-        });
+    served.query(|q| {
+        let rows = match q.cuboid(&item_level, pl) {
+            Some(cuboid) => cell_rows(
+                q,
+                &cuboid,
+                view::dice_keys(&cuboid, |key| constraints.iter().all(|&(d, v)| key[d] == v)),
+            ),
+            None => Vec::new(),
+        };
         Ok(json(&CellsResponse {
-            count: cells.len(),
-            cells: cells
-                .into_iter()
-                .map(|(k, e)| CellRow {
-                    cell: display_key(k, cube.schema()),
-                    support: e.support,
-                    nodes: e.graph.len() - 1,
-                    exceptions: e.exceptions.len(),
-                })
-                .collect(),
+            count: rows.len(),
+            cells: rows,
         }))
     })
 }
@@ -949,18 +1217,18 @@ fn handle_topk(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
     let (key, pl) = served.with_cube(|cube| resolve_cell(cube, req))?;
     let k: usize = parse_num(req, "k", 5)?;
     served.ensure_path_level(pl)?;
-    served.with_cube(|cube| {
-        let lk = cube
+    served.query(|q| {
+        let (route, cell) = q
             .lookup(&key, pl)
             .ok_or_else(|| ApiError::NotFound("no materialized cell or ancestor".into()))?;
-        let paths = flowcube_flowgraph::top_k_paths(&lk.entry.graph, k);
+        let paths = cell.with_graph(|g| flowcube_flowgraph::top_k_paths(g, k));
         Ok(json(&TopKResponse {
-            cell: display_key(lk.source_key, cube.schema()),
-            support: lk.entry.support,
+            cell: display_key(&route.key, q.schema()),
+            support: cell.stats().support,
             paths: paths
                 .into_iter()
                 .map(|p| PathRow {
-                    locations: location_names(cube, &p.locations),
+                    locations: location_names(q.schema(), &p.locations),
                     probability: p.probability,
                 })
                 .collect(),
@@ -971,14 +1239,14 @@ fn handle_topk(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
 fn handle_probability(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
     let (key, pl) = served.with_cube(|cube| resolve_cell(cube, req))?;
     served.ensure_path_level(pl)?;
-    served.with_cube(|cube| {
-        let path = parse_path(cube, require_param(req, "path")?)?;
-        let lk = cube
+    let path = served.with_cube(|cube| parse_path(cube, require_param(req, "path")?))?;
+    served.query(|q| {
+        let (route, cell) = q
             .lookup(&key, pl)
             .ok_or_else(|| ApiError::NotFound("no materialized cell or ancestor".into()))?;
         Ok(json(&ProbabilityResponse {
-            cell: display_key(lk.source_key, cube.schema()),
-            probability: flowcube_flowgraph::path_probability(&lk.entry.graph, &path),
+            cell: display_key(&route.key, q.schema()),
+            probability: cell.with_graph(|g| flowcube_flowgraph::path_probability(g, &path)),
         }))
     })
 }
@@ -986,33 +1254,35 @@ fn handle_probability(served: &ServedCube, req: &Request) -> Result<String, ApiE
 fn handle_exceptions(served: &ServedCube, req: &Request) -> Result<String, ApiError> {
     let (key, pl) = served.with_cube(|cube| resolve_cell(cube, req))?;
     served.ensure_path_level(pl)?;
-    served.with_cube(|cube| {
-        let lk = cube
+    served.query(|q| {
+        let (route, cell) = q
             .lookup(&key, pl)
             .ok_or_else(|| ApiError::NotFound("no materialized cell or ancestor".into()))?;
-        let graph = &lk.entry.graph;
-        let h = cube.schema().locations();
-        let rows: Vec<ExceptionRow> = lk
-            .entry
-            .exceptions
-            .iter()
-            .map(|e| ExceptionRow {
-                node: location_names(cube, &graph.prefix_of(e.node)),
-                condition: e
-                    .condition
-                    .iter()
-                    .map(|&(n, d)| format!("{}={d}", h.name_of(graph.location(n))))
-                    .collect(),
-                support: e.support,
-                deviation: e.deviation,
-                kind: match e.detail {
-                    flowcube_flowgraph::ExceptionDetail::Duration { .. } => "duration".into(),
-                    flowcube_flowgraph::ExceptionDetail::Transition { .. } => "transition".into(),
-                },
-            })
-            .collect();
+        let h = q.schema().locations();
+        let exceptions = cell.exceptions();
+        let rows: Vec<ExceptionRow> = cell.with_graph(|graph| {
+            exceptions
+                .iter()
+                .map(|e| ExceptionRow {
+                    node: location_names(q.schema(), &graph.prefix_of(e.node)),
+                    condition: e
+                        .condition
+                        .iter()
+                        .map(|&(n, d)| format!("{}={d}", h.name_of(graph.location(n))))
+                        .collect(),
+                    support: e.support,
+                    deviation: e.deviation,
+                    kind: match e.detail {
+                        flowcube_flowgraph::ExceptionDetail::Duration { .. } => "duration".into(),
+                        flowcube_flowgraph::ExceptionDetail::Transition { .. } => {
+                            "transition".into()
+                        }
+                    },
+                })
+                .collect()
+        });
         Ok(json(&ExceptionsResponse {
-            cell: display_key(lk.source_key, cube.schema()),
+            cell: display_key(&route.key, q.schema()),
             count: rows.len(),
             exceptions: rows,
         }))
@@ -1021,11 +1291,13 @@ fn handle_exceptions(served: &ServedCube, req: &Request) -> Result<String, ApiEr
 
 fn handle_stats(served: &ServedCube) -> Result<String, ApiError> {
     let cuboids = served.total_cuboids();
+    let resident_cuboids = served.resident_cuboids();
+    let resident_cells = served.resident_cells();
     served.with_cube(|cube| {
         Ok(json(&StatsResponse {
             cuboids,
-            resident_cuboids: cube.num_cuboids(),
-            resident_cells: cube.total_cells(),
+            resident_cuboids,
+            resident_cells,
             snapshot_backed: served.snapshot.is_some(),
             pending_deltas: served.pending_deltas(),
             pending_delta_paths: served.pending_delta_paths(),

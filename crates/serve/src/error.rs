@@ -33,6 +33,25 @@ pub enum SnapshotError {
     MissingSection {
         kind: &'static str,
     },
+    /// A columnar section references something past the end of the
+    /// region that should contain it (string-table id, node range,
+    /// child / duration / exception offset, …).
+    OutOfBounds {
+        section: String,
+        what: String,
+    },
+    /// A columnar region offset violates the format's 8-byte alignment,
+    /// so the fixed-width tables cannot be addressed in place.
+    Misaligned {
+        section: String,
+        what: String,
+    },
+    /// Two columnar ranges that must be disjoint overlap (e.g. two
+    /// cells claiming the same flowgraph node rows).
+    Overlapping {
+        section: String,
+        what: String,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -51,6 +70,15 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Corrupt { detail } => write!(f, "corrupt snapshot: {detail}"),
             SnapshotError::MissingSection { kind } => {
                 write!(f, "snapshot missing required section {kind:?}")
+            }
+            SnapshotError::OutOfBounds { section, what } => {
+                write!(f, "out-of-bounds reference in {section}: {what}")
+            }
+            SnapshotError::Misaligned { section, what } => {
+                write!(f, "misaligned region in {section}: {what}")
+            }
+            SnapshotError::Overlapping { section, what } => {
+                write!(f, "overlapping ranges in {section}: {what}")
             }
         }
     }

@@ -37,6 +37,7 @@
 pub mod access;
 pub mod api;
 pub mod cache;
+pub mod columnar;
 pub mod compact;
 pub mod crc;
 pub mod deltalog;
@@ -48,12 +49,16 @@ pub mod snapshot;
 pub use access::{AccessEntry, AccessLog};
 pub use api::{
     assign_request_id, handle_request, handle_request_ctx, handle_request_full,
-    registered_endpoints, AppState, CompactResponse, HealthState, HttpResponse, IngestResponse,
-    ReloadResponse, RequestCtx, ServedCube,
+    registered_endpoints, AppState, CellHandle, CompactResponse, CuboidHandle, HealthState,
+    HttpResponse, IngestResponse, QueryView, ReloadResponse, RequestCtx, ServedCube,
 };
 pub use cache::{CachedResponse, ResponseCache};
+pub use columnar::{ColumnarSection, GraphView, StringTable, StringsCtx};
 pub use compact::{compact, recover, CompactReport, Recovery};
 pub use deltalog::{append_delta, deltalog_path, read_deltas, read_deltas_up_to};
 pub use error::{ApiError, SnapshotError};
 pub use server::{serve, serve_cube, take_reload_request, ServerConfig, ServerHandle};
-pub use snapshot::{write_snapshot, Snapshot, SnapshotInfo, FORMAT_VERSION};
+pub use snapshot::{
+    write_snapshot, write_snapshot_with_version, Snapshot, SnapshotInfo, FORMAT_VERSION,
+    MIN_FORMAT_VERSION,
+};

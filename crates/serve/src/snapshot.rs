@@ -6,7 +6,7 @@
 //! only the small metadata sections; each cuboid's cell table stays on
 //! disk until a query first touches it.
 //!
-//! ## Layout (format version 1)
+//! ## Container layout (versions 1 and 2)
 //!
 //! ```text
 //! offset  size  field
@@ -15,7 +15,7 @@
 //! 12      8     index length in bytes, u64 LE
 //! 20      4     CRC-32 of the index bytes, u32 LE
 //! 24      n     index: JSON `Vec<SectionDesc>`
-//! 24+n    …     section payloads (JSON), at index-recorded offsets
+//! 24+n    …     section payloads, at index-recorded offsets
 //! ```
 //!
 //! Section payload offsets are relative to the end of the index (the
@@ -23,7 +23,17 @@
 //! payload carries its own CRC-32, verified on load — lazily for cuboid
 //! sections, eagerly for the metadata sections (`schema`, `spec`,
 //! `params`, `stats`).
+//!
+//! **Version 1** encodes every section as JSON. **Version 2** (the
+//! default written format) keeps the container, index, and JSON metadata
+//! sections unchanged, but adds a `strings` section (the shared interned
+//! name table) and stores each cuboid as a flat columnar section (see
+//! [`crate::columnar`]) that the server queries in place — opening a v2
+//! snapshot allocates O(header + string table), never O(cells). This
+//! build reads versions 1..=[`FORMAT_VERSION`] and rejects anything else
+//! with [`SnapshotError::UnsupportedVersion`].
 
+use crate::columnar::{encode_cuboid, ColumnarSection, StringTable, StringsCtx};
 use crate::crc::crc32;
 use crate::error::SnapshotError;
 use flowcube_core::{Cuboid, CuboidKey, FlowCube};
@@ -32,20 +42,25 @@ use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// First 8 bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"FCUBSNAP";
 /// Newest format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+/// Oldest format version this build still reads.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 /// Fixed-size header: magic + version + index length + index CRC.
 const HEADER_LEN: u64 = 24;
 
-/// Section kinds in a version-1 snapshot.
+/// Section kinds.
 pub const KIND_SCHEMA: &str = "schema";
 pub const KIND_SPEC: &str = "spec";
 pub const KIND_PARAMS: &str = "params";
 pub const KIND_STATS: &str = "stats";
 pub const KIND_CUBOID: &str = "cuboid";
+/// Interned name table (format version 2 only).
+pub const KIND_STRINGS: &str = "strings";
 
 /// One entry of the snapshot index.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -127,7 +142,8 @@ fn canonical_stats(stats: &flowcube_core::BuildStats) -> flowcube_core::BuildSta
     s
 }
 
-/// Serialize `cube` into a snapshot file at `path`.
+/// Serialize `cube` into a snapshot file at `path`, in the newest
+/// format ([`FORMAT_VERSION`]).
 ///
 /// Cuboid sections are written in sorted [`CuboidKey`] order, and params /
 /// stats are canonicalized (no timings, no thread knobs), so the same cube
@@ -137,7 +153,24 @@ pub fn write_snapshot(
     cube: &FlowCube,
     path: impl AsRef<Path>,
 ) -> Result<SnapshotInfo, SnapshotError> {
+    write_snapshot_with_version(cube, path, FORMAT_VERSION)
+}
+
+/// Serialize `cube` at an explicit format version — the compatibility
+/// escape hatch for producing v1 files readable by older builds (and for
+/// pinning golden fixtures in tests).
+pub fn write_snapshot_with_version(
+    cube: &FlowCube,
+    path: impl AsRef<Path>,
+    version: u32,
+) -> Result<SnapshotInfo, SnapshotError> {
     let path = path.as_ref();
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
     let _span = flowcube_obs::span!("serve.snapshot.write");
 
     // Metadata sections first, then cuboids in deterministic order.
@@ -155,14 +188,21 @@ pub fn write_snapshot(
             encode("stats", &canonical_stats(cube.stats()))?,
         ),
     ];
+    let strings = if version >= 2 {
+        let table = StringTable::from_cube(cube);
+        payloads.push((KIND_STRINGS.into(), None, table.encode()));
+        Some(table)
+    } else {
+        None
+    };
     let mut cuboids: Vec<(&CuboidKey, &Cuboid)> = cube.cuboids().collect();
     cuboids.sort_by(|a, b| a.0.cmp(b.0));
     for (key, cuboid) in cuboids {
-        payloads.push((
-            KIND_CUBOID.into(),
-            Some(key.clone()),
-            encode("cuboid", cuboid)?,
-        ));
+        let bytes = match &strings {
+            Some(table) => encode_cuboid(cuboid, cube.schema(), table)?,
+            None => encode("cuboid", cuboid)?,
+        };
+        payloads.push((KIND_CUBOID.into(), Some(key.clone()), bytes));
     }
 
     let mut index: Vec<SectionDesc> = Vec::with_capacity(payloads.len());
@@ -182,7 +222,7 @@ pub fn write_snapshot(
     let mut file = File::create(path).map_err(|e| io_err(path, e))?;
     let mut header = Vec::with_capacity(HEADER_LEN as usize);
     header.extend_from_slice(&MAGIC);
-    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&version.to_le_bytes());
     header.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
     header.extend_from_slice(&crc32(&index_bytes).to_le_bytes());
     file.write_all(&header).map_err(|e| io_err(path, e))?;
@@ -205,8 +245,13 @@ pub struct Snapshot {
     file: Mutex<File>,
     path: PathBuf,
     data_start: u64,
+    version: u32,
     sections: Vec<SectionDesc>,
     shell: FlowCube,
+    /// Interned names resolved against the schema — present iff the
+    /// snapshot is format version ≥ 2. Shared (`Arc`) with every
+    /// columnar section view handed to the serving layer.
+    strings: Option<Arc<StringsCtx>>,
 }
 
 impl Snapshot {
@@ -240,7 +285,7 @@ impl Snapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = u32::from_le_bytes(le_array(&header[8..12]));
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -289,22 +334,51 @@ impl Snapshot {
         let spec = decode_section(&mut file, path, data_start, &meta(KIND_SPEC)?)?;
         let params = decode_section(&mut file, path, data_start, &meta(KIND_PARAMS)?)?;
         let stats = decode_section(&mut file, path, data_start, &meta(KIND_STATS)?)?;
+        let shell = FlowCube::from_parts(schema, spec, params, stats);
+        // v2: the interned name table is metadata — small, loaded
+        // eagerly, and resolved against the schema once so per-query
+        // translation is hash lookups and array indexing only.
+        let strings = if version >= 2 {
+            let bytes = read_section_bytes(&mut file, path, data_start, &meta(KIND_STRINGS)?)?;
+            let table = StringTable::decode(&bytes)?;
+            Some(Arc::new(StringsCtx::new(table, shell.schema())))
+        } else {
+            None
+        };
         Ok(Snapshot {
             file: Mutex::new(file),
             path: path.to_path_buf(),
             data_start,
+            version,
             sections,
-            shell: FlowCube::from_parts(schema, spec, params, stats),
+            shell,
+            strings,
         })
     }
 
-    /// Read one section payload, verify its CRC, and decode it.
+    /// The format version of the opened file.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The snapshot's resolved string context (format version ≥ 2 only).
+    pub fn strings_ctx(&self) -> Option<&Arc<StringsCtx>> {
+        self.strings.as_ref()
+    }
+
+    /// Read one section payload, verify its CRC, and JSON-decode it.
     fn read_section<T: for<'de> Deserialize<'de>>(
         &self,
         desc: &SectionDesc,
     ) -> Result<T, SnapshotError> {
         let mut file = self.file.lock();
         decode_section(&mut file, &self.path, self.data_start, desc)
+    }
+
+    /// Read one section payload and verify its CRC, without decoding.
+    fn read_section_raw(&self, desc: &SectionDesc) -> Result<Vec<u8>, SnapshotError> {
+        let mut file = self.file.lock();
+        read_section_bytes(&mut file, &self.path, self.data_start, desc)
     }
 
     /// An empty cube carrying the snapshot's schema, spec, params, and
@@ -320,28 +394,32 @@ impl Snapshot {
     }
 
     /// Exhaustively validate the snapshot: every section's payload is
-    /// read and CRC-checked, and every cuboid section is test-decoded.
-    /// [`Snapshot::open`] only validates the header, index, and metadata
-    /// sections (cuboids stay lazy); hot-reload calls this first so a
-    /// corrupt replacement file is rejected *before* the live cube is
-    /// swapped out.
+    /// read and CRC-checked, and every cuboid section is test-decoded
+    /// (v1) or structurally validated (v2 — bounds, alignment, ordering,
+    /// string-id resolution). [`Snapshot::open`] only validates the
+    /// header, index, and metadata sections (cuboids stay lazy);
+    /// hot-reload calls this first so a corrupt replacement file is
+    /// rejected *before* the live cube is swapped out.
     pub fn verify_all(&self) -> Result<(), SnapshotError> {
         let _span = flowcube_obs::span!("serve.snapshot.verify_all");
         for desc in &self.sections {
             if desc.kind == KIND_CUBOID {
-                let _cuboid: Cuboid = self.read_section(desc)?;
-            } else {
-                let mut file = self.file.lock();
-                let mut bytes = vec![0u8; desc.len as usize];
-                file.seek(SeekFrom::Start(self.data_start + desc.offset))
-                    .map_err(|e| io_err(&self.path, e))?;
-                file.read_exact(&mut bytes)
-                    .map_err(|e| io_err(&self.path, e))?;
-                if crc32(&bytes) != desc.crc {
-                    return Err(SnapshotError::ChecksumMismatch {
-                        section: section_label(desc),
-                    });
+                match &self.strings {
+                    Some(ctx) => {
+                        let bytes = self.read_section_raw(desc)?;
+                        ColumnarSection::validate(
+                            bytes,
+                            ctx,
+                            self.shell.schema(),
+                            &section_label(desc),
+                        )?;
+                    }
+                    None => {
+                        let _cuboid: Cuboid = self.read_section(desc)?;
+                    }
                 }
+            } else {
+                self.read_section_raw(desc)?;
             }
         }
         Ok(())
@@ -360,9 +438,13 @@ impl Snapshot {
             .count()
     }
 
-    /// Load one cuboid's cell table from disk (`Ok(None)` when the
-    /// snapshot holds no cuboid at `key`). Integrity is verified against
-    /// the section CRC on every load.
+    /// Load one cuboid's cell table from disk into its in-memory form
+    /// (`Ok(None)` when the snapshot holds no cuboid at `key`).
+    /// Integrity is verified against the section CRC on every load; v2
+    /// sections are additionally structurally validated before decoding.
+    /// This is the *materializing* path — the serving layer prefers
+    /// [`Snapshot::load_cuboid_columnar`] on v2 files and only
+    /// materializes when it must mutate (delta overlay, compaction).
     pub fn load_cuboid(&self, key: &CuboidKey) -> Result<Option<Cuboid>, SnapshotError> {
         let Some(desc) = self
             .sections
@@ -374,7 +456,44 @@ impl Snapshot {
         };
         let _span = flowcube_obs::span!("serve.snapshot.load_cuboid");
         flowcube_obs::counter_add("serve.snapshot.cuboid_loads", 1);
-        self.read_section(&desc).map(Some)
+        match &self.strings {
+            Some(ctx) => {
+                let bytes = self.read_section_raw(&desc)?;
+                let sec = ColumnarSection::validate(
+                    bytes,
+                    ctx,
+                    self.shell.schema(),
+                    &section_label(&desc),
+                )?;
+                sec.decode_cuboid(ctx).map(Some)
+            }
+            None => self.read_section(&desc).map(Some),
+        }
+    }
+
+    /// Load one cuboid as a validated zero-copy columnar section
+    /// (`Ok(None)` when the snapshot holds no cuboid at `key` **or** the
+    /// file is format version 1, which has no columnar representation —
+    /// callers fall back to [`Snapshot::load_cuboid`]).
+    pub fn load_cuboid_columnar(
+        &self,
+        key: &CuboidKey,
+    ) -> Result<Option<ColumnarSection>, SnapshotError> {
+        let Some(ctx) = &self.strings else {
+            return Ok(None);
+        };
+        let Some(desc) = self
+            .sections
+            .iter()
+            .find(|s| s.cuboid.as_ref() == Some(key))
+            .cloned()
+        else {
+            return Ok(None);
+        };
+        let _span = flowcube_obs::span!("serve.snapshot.load_cuboid");
+        flowcube_obs::counter_add("serve.snapshot.cuboid_loads", 1);
+        let bytes = self.read_section_raw(&desc)?;
+        ColumnarSection::validate(bytes, ctx, self.shell.schema(), &section_label(&desc)).map(Some)
     }
 
     /// Eagerly load every cuboid into a complete [`FlowCube`].
@@ -385,7 +504,19 @@ impl Snapshot {
             let key = desc.cuboid.clone().ok_or(SnapshotError::Corrupt {
                 detail: "cuboid section without a key".into(),
             })?;
-            let cuboid: Cuboid = self.read_section(desc)?;
+            let cuboid: Cuboid = match &self.strings {
+                Some(ctx) => {
+                    let bytes = self.read_section_raw(desc)?;
+                    ColumnarSection::validate(
+                        bytes,
+                        ctx,
+                        self.shell.schema(),
+                        &section_label(desc),
+                    )?
+                    .decode_cuboid(ctx)?
+                }
+                None => self.read_section(desc)?,
+            };
             cube.insert_cuboid(key, cuboid);
         }
         Ok(cube)
@@ -408,13 +539,15 @@ fn section_label(desc: &SectionDesc) -> String {
     }
 }
 
-/// Seek-read-verify-decode one section from an open snapshot file.
-fn decode_section<T: for<'de> Deserialize<'de>>(
+/// Seek-read-verify one section's raw payload from an open snapshot
+/// file — the shared front half of both the JSON and the columnar
+/// decode paths (and of raw CRC sweeps in `verify_all`).
+fn read_section_bytes(
     file: &mut File,
     path: &Path,
     data_start: u64,
     desc: &SectionDesc,
-) -> Result<T, SnapshotError> {
+) -> Result<Vec<u8>, SnapshotError> {
     let mut bytes = vec![0u8; desc.len as usize];
     file.seek(SeekFrom::Start(data_start + desc.offset))
         .map_err(|e| io_err(path, e))?;
@@ -436,6 +569,17 @@ fn decode_section<T: for<'de> Deserialize<'de>>(
             section: section_label(desc),
         });
     }
+    Ok(bytes)
+}
+
+/// Seek-read-verify-decode one JSON section from an open snapshot file.
+fn decode_section<T: for<'de> Deserialize<'de>>(
+    file: &mut File,
+    path: &Path,
+    data_start: u64,
+    desc: &SectionDesc,
+) -> Result<T, SnapshotError> {
+    let bytes = read_section_bytes(file, path, data_start, desc)?;
     let text = std::str::from_utf8(&bytes).map_err(|_| SnapshotError::Corrupt {
         detail: format!("{} is not UTF-8", section_label(desc)),
     })?;

@@ -3,13 +3,26 @@
 //! * property: an arbitrary small cube survives write → open → load with
 //!   **byte-identical** `lookup` / `roll_up` results;
 //! * snapshot writing is deterministic (same cube → same bytes);
-//! * corruption (truncation, flipped bytes, future format version, wrong
-//!   magic) fails with a typed [`SnapshotError`] — never a panic.
+//! * corruption (truncation, flipped bytes, unsupported format versions,
+//!   wrong magic) fails with a typed [`SnapshotError`] — never a panic;
+//! * v2 columnar sections: each structural corruption class (truncated
+//!   section, bad section magic, misaligned region, out-of-range string
+//!   id, overlapping cell ranges, bit-flip under CRC) surfaces its own
+//!   typed error. The patch harness below repairs every checksum around
+//!   a mutation, so the structural validator — not the CRC — must be the
+//!   thing that catches it;
+//! * golden v1 fixture: a checked-in v1 file stays byte-stable under the
+//!   current writer and answers queries identically through both the v1
+//!   decode path and a v2 re-encode.
 
 use flowcube_core::{display_key, FlowCube, FlowCubeParams, ItemPlan};
 use flowcube_datagen::{generate, DimShape, GeneratorConfig};
 use flowcube_hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel, Schema};
-use flowcube_serve::{write_snapshot, Snapshot, SnapshotError, FORMAT_VERSION};
+use flowcube_serve::crc::crc32;
+use flowcube_serve::snapshot::{SectionDesc, KIND_CUBOID};
+use flowcube_serve::{
+    write_snapshot, write_snapshot_with_version, Snapshot, SnapshotError, FORMAT_VERSION,
+};
 use proptest::prelude::*;
 use std::path::PathBuf;
 
@@ -242,4 +255,276 @@ fn wrong_magic_is_rejected() {
         Err(SnapshotError::BadMagic)
     ));
     let _ = std::fs::remove_file(&path);
+}
+
+/// Version 0 never existed; like any version outside
+/// `MIN_FORMAT_VERSION..=FORMAT_VERSION` it is rejected at `open` with
+/// both sides of the negotiation in the error.
+#[test]
+fn version_zero_is_rejected() {
+    let cube = small_cube(50, 5, 6);
+    let path = tmp("ver0.snap");
+    write_snapshot(&cube, &path).expect("write");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&0u32.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    match Snapshot::open(&path).map(|_| ()) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 0);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// v2 columnar corruption classes
+// ---------------------------------------------------------------------------
+
+/// Fixed container header length (magic + version + index len + index CRC).
+const HEADER_LEN: usize = 24;
+
+/// Parse the container: the section index and the data-region offset.
+fn parse_container(full: &[u8]) -> (Vec<SectionDesc>, usize) {
+    let index_len = u64::from_le_bytes(full[12..20].try_into().unwrap()) as usize;
+    let text = std::str::from_utf8(&full[HEADER_LEN..HEADER_LEN + index_len]).unwrap();
+    let index: Vec<SectionDesc> = serde_json::from_str(text).unwrap();
+    (index, HEADER_LEN + index_len)
+}
+
+/// Rebuild a snapshot around one mutated section payload, **repairing
+/// every checksum**: the section's CRC in the index, the re-serialized
+/// index, and the header's index length + CRC. The only inconsistency
+/// left in the file is the mutation itself, so the structural validator
+/// — not a checksum — is what must catch it.
+fn rebuild_with_patched_section(
+    full: &[u8],
+    target: usize,
+    mutate: impl FnOnce(&mut Vec<u8>),
+) -> Vec<u8> {
+    let (mut index, data_start) = parse_container(full);
+    let mut payloads: Vec<Vec<u8>> = index
+        .iter()
+        .map(|d| {
+            full[data_start + d.offset as usize..data_start + (d.offset + d.len) as usize].to_vec()
+        })
+        .collect();
+    mutate(&mut payloads[target]);
+    let mut offset = 0u64;
+    for (d, p) in index.iter_mut().zip(&payloads) {
+        d.offset = offset;
+        d.len = p.len() as u64;
+        d.crc = crc32(p);
+        offset += d.len;
+    }
+    let index_bytes = serde_json::to_string(&index).unwrap().into_bytes();
+    let mut out = Vec::with_capacity(full.len());
+    out.extend_from_slice(&full[..12]);
+    out.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&index_bytes).to_le_bytes());
+    out.extend_from_slice(&index_bytes);
+    for p in &payloads {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Write `bytes` to a temp file, open it, and exhaustively verify it —
+/// the hot-reload admission path, and the one that must reject every
+/// corruption class below with a typed error instead of a panic.
+fn open_and_verify(bytes: &[u8], name: &str) -> Result<(), SnapshotError> {
+    let p = tmp(name);
+    std::fs::write(&p, bytes).unwrap();
+    let r = Snapshot::open(&p).and_then(|s| s.verify_all());
+    let _ = std::fs::remove_file(&p);
+    r
+}
+
+/// A v2 snapshot's bytes, plus the index position of a cuboid section
+/// holding at least `min_cells` cells (every class below needs real rows
+/// to corrupt).
+fn v2_bytes_with_cuboid(name: &str, min_cells: u64) -> (Vec<u8>, usize) {
+    let cube = small_cube(120, 11, 4);
+    let p = tmp(name);
+    write_snapshot(&cube, &p).expect("write");
+    let full = std::fs::read(&p).unwrap();
+    let _ = std::fs::remove_file(&p);
+    let (index, data_start) = parse_container(&full);
+    let target = index
+        .iter()
+        .position(|d| {
+            d.kind == KIND_CUBOID && d.len >= 128 && {
+                let off = data_start + d.offset as usize;
+                u64::from_le_bytes(full[off + 8..off + 16].try_into().unwrap()) >= min_cells
+            }
+        })
+        .expect("a cuboid section with enough cells");
+    (full, target)
+}
+
+/// Read a u64 field out of a cuboid section payload's fixed header.
+fn hdr_u64(payload: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(payload[off..off + 8].try_into().unwrap())
+}
+
+/// Class 1 — truncation at a section boundary: the payload ends before
+/// its own fixed header. CRCs all agree, so only structural validation
+/// can notice.
+#[test]
+fn v2_truncated_cuboid_section_is_typed() {
+    let (full, target) = v2_bytes_with_cuboid("c1-base.snap", 1);
+    let bad = rebuild_with_patched_section(&full, target, |p| p.truncate(100));
+    match open_and_verify(&bad, "c1.snap") {
+        Err(SnapshotError::Truncated { .. }) => {}
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+/// Class 2 — bad inner section magic: the container is fine but the
+/// cuboid payload does not start with `FCC2`.
+#[test]
+fn v2_bad_section_magic_is_typed() {
+    let (full, target) = v2_bytes_with_cuboid("c2-base.snap", 1);
+    let bad = rebuild_with_patched_section(&full, target, |p| p[..4].copy_from_slice(b"XXXX"));
+    match open_and_verify(&bad, "c2.snap") {
+        Err(SnapshotError::Corrupt { detail }) => {
+            assert!(detail.contains("magic"), "got {detail:?}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+/// Class 3 — misaligned region offset: `keys_off` nudged off its 8-byte
+/// boundary. Rejecting this keeps every in-place accessor's arithmetic
+/// honest.
+#[test]
+fn v2_misaligned_region_offset_is_typed() {
+    let (full, target) = v2_bytes_with_cuboid("c3-base.snap", 1);
+    let bad = rebuild_with_patched_section(&full, target, |p| {
+        let keys_off = hdr_u64(p, 16);
+        p[16..24].copy_from_slice(&(keys_off + 4).to_le_bytes());
+    });
+    match open_and_verify(&bad, "c3.snap") {
+        Err(SnapshotError::Misaligned { what, .. }) => {
+            assert!(what.contains("keys"), "got {what:?}")
+        }
+        other => panic!("expected Misaligned, got {other:?}"),
+    }
+}
+
+/// Class 4 — out-of-bounds string-table id: a cell key's interned name
+/// id points past the shared table.
+#[test]
+fn v2_out_of_bounds_string_id_is_typed() {
+    let (full, target) = v2_bytes_with_cuboid("c4-base.snap", 1);
+    let bad = rebuild_with_patched_section(&full, target, |p| {
+        let keys_off = hdr_u64(p, 16) as usize;
+        p[keys_off..keys_off + 4].copy_from_slice(&0xFFFF_FF00u32.to_le_bytes());
+    });
+    match open_and_verify(&bad, "c4.snap") {
+        Err(SnapshotError::OutOfBounds { what, .. }) => {
+            assert!(what.contains("string id"), "got {what:?}")
+        }
+        other => panic!("expected OutOfBounds, got {other:?}"),
+    }
+}
+
+/// Class 5 — overlapping cell ranges: the second cell's flowgraph rows
+/// are re-pointed at the first cell's. Disjointness is what lets the
+/// reader treat the node table as per-cell without a reference count.
+#[test]
+fn v2_overlapping_cell_ranges_is_typed() {
+    let (full, target) = v2_bytes_with_cuboid("c5-base.snap", 2);
+    let bad = rebuild_with_patched_section(&full, target, |p| {
+        let cells_off = hdr_u64(p, 24) as usize;
+        // Second cell row (40 bytes per row), gstart field at +16.
+        let gstart = cells_off + 40 + 16;
+        p[gstart..gstart + 8].copy_from_slice(&0u64.to_le_bytes());
+    });
+    match open_and_verify(&bad, "c5.snap") {
+        Err(SnapshotError::Overlapping { what, .. }) => {
+            assert!(what.contains("node rows"), "got {what:?}")
+        }
+        other => panic!("expected Overlapping, got {other:?}"),
+    }
+}
+
+/// Class 6 — a bit-flip *without* checksum repair is still the CRC's
+/// job: the structural validator never even runs.
+#[test]
+fn v2_bit_flip_under_crc_is_typed() {
+    let (full, target) = v2_bytes_with_cuboid("c6-base.snap", 1);
+    let (index, data_start) = parse_container(&full);
+    let mut bad = full.clone();
+    bad[data_start + index[target].offset as usize + 64] ^= 0x01;
+    match open_and_verify(&bad, "c6.snap") {
+        Err(SnapshotError::ChecksumMismatch { section }) => {
+            assert!(section.contains("cuboid"), "got {section:?}")
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden v1 fixture
+// ---------------------------------------------------------------------------
+
+/// The checked-in v1 fixture's cube — any change here invalidates the
+/// fixture (regenerate with `regenerate_golden_v1_fixture` below).
+fn golden_cube() -> FlowCube {
+    small_cube(30, 1, 4)
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_v1.snap")
+}
+
+/// Compatibility contract for the checked-in v1 file: the current build
+/// opens it, decodes it, re-writes it **byte-identically** at v1 (the v1
+/// writer has not drifted), and a v2 re-encode answers the same queries
+/// (the formats are semantically interchangeable).
+#[test]
+fn golden_v1_fixture_round_trips() {
+    let fixture = std::fs::read(golden_path()).expect(
+        "tests/fixtures/golden_v1.snap missing — run \
+         `cargo test -p flowcube-serve --test snapshot_roundtrip -- --ignored regenerate`",
+    );
+    let p = tmp("golden-in.snap");
+    std::fs::write(&p, &fixture).unwrap();
+    let snap = Snapshot::open(&p).expect("open golden v1");
+    assert_eq!(snap.version(), 1);
+    let cube = snap.load_cube().expect("load golden v1");
+    let _ = std::fs::remove_file(&p);
+
+    // Writer stability: the loaded cube re-encodes to the exact fixture.
+    let rewrite = tmp("golden-rewrite.snap");
+    write_snapshot_with_version(&cube, &rewrite, 1).expect("rewrite v1");
+    assert_eq!(
+        std::fs::read(&rewrite).unwrap(),
+        fixture,
+        "v1 writer drifted from the checked-in golden fixture"
+    );
+    let _ = std::fs::remove_file(&rewrite);
+
+    // Cross-format equivalence: v2 of the same cube answers identically.
+    let v2 = tmp("golden-v2.snap");
+    write_snapshot(&cube, &v2).expect("write v2");
+    let loaded_v2 = Snapshot::open(&v2)
+        .expect("open v2")
+        .load_cube()
+        .expect("load v2");
+    assert_eq!(query_fingerprint(&loaded_v2), query_fingerprint(&cube));
+    let _ = std::fs::remove_file(&v2);
+}
+
+/// Regeneration path for the golden fixture — run explicitly with
+/// `cargo test -p flowcube-serve --test snapshot_roundtrip -- --ignored`
+/// after an *intentional* v1 writer change, and commit the new bytes.
+#[test]
+#[ignore = "writes the golden fixture; run only to intentionally regenerate it"]
+fn regenerate_golden_v1_fixture() {
+    let out = golden_path();
+    std::fs::create_dir_all(out.parent().unwrap()).unwrap();
+    write_snapshot_with_version(&golden_cube(), &out, 1).expect("write fixture");
 }

@@ -1,0 +1,216 @@
+//! Byte-level differential suite for the FCUBSNAP formats (DESIGN.md
+//! §14): **snapshot bytes are the correctness currency**.
+//!
+//! The serving layer has three representations of the same cube — the
+//! in-memory `FlowCube`, a format-v1 (JSON sections) snapshot, and a
+//! format-v2 (zero-copy columnar) snapshot. A query must not be able to
+//! tell them apart: every endpoint's `(status, body)` pair is compared
+//! byte-for-byte across all three, over every materialized cell of a
+//! generated cube, for every endpoint the server registers.
+//!
+//! The second property pins the v2 writer itself: write → open →
+//! `load_cube` → write again must reproduce the file byte-for-byte.
+//! Together the two properties say the columnar encode/decode pair is
+//! lossless *and* canonical — there is exactly one v2 byte string per
+//! cube content.
+
+use flowcube::datagen::{generate, DimShape, GeneratorConfig};
+use flowcube::hier::{ConceptId, DurationLevel, LocationCut, PathLatticeSpec, PathLevel, Schema};
+use flowcube::serve::http::Request;
+use flowcube::serve::{
+    handle_request, write_snapshot, write_snapshot_with_version, AppState, ResponseCache,
+    ServedCube, Snapshot,
+};
+use flowcube::{FlowCube, FlowCubeParams, ItemPlan};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("flowcube-snap-diff-{}-{name}", std::process::id()))
+}
+
+/// A small deterministic cube with exceptions on — the v2 exception
+/// columns must survive the round trip too, not just the flowgraphs.
+fn small_cube(paths: usize, seed: u64, min_support: u64) -> FlowCube {
+    let config = GeneratorConfig {
+        num_paths: paths,
+        dims: vec![DimShape::new(vec![2, 3], 0.7); 2],
+        num_sequences: 5,
+        seed,
+        ..Default::default()
+    };
+    let db = generate(&config).db;
+    let loc = db.schema().locations();
+    let fine = LocationCut::uniform_level(loc, loc.max_level());
+    let spec = PathLatticeSpec::new(vec![
+        PathLevel::new("fine", fine.clone(), DurationLevel::Raw),
+        PathLevel::new("fine/any", fine, DurationLevel::Any),
+    ]);
+    FlowCube::build(
+        &db,
+        spec,
+        FlowCubeParams::new(min_support).with_threads(1),
+        ItemPlan::All,
+    )
+}
+
+fn get(path: &str, query: &[(&str, &str)]) -> Request {
+    Request {
+        method: "GET".to_string(),
+        path: path.to_string(),
+        query: query
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    }
+}
+
+/// Render a cell key the way a client would spell it: value names,
+/// `*` for the all-aggregated root.
+fn cell_spec(key: &[ConceptId], schema: &Schema) -> String {
+    key.iter()
+        .enumerate()
+        .map(|(d, &c)| {
+            if c == ConceptId::ROOT {
+                "*".to_string()
+            } else {
+                schema.dim(d as u8).name_of(c).to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Every query endpoint, over every materialized cell of the cube, in a
+/// deterministic order: point lookups, rollup and drilldown along every
+/// dimension, slices and dices over each cuboid, top-k paths, and
+/// exceptions. Misses (rollup past the apex, unmaterialized children)
+/// are part of the matrix on purpose — error answers must agree too.
+fn request_matrix(cube: &FlowCube) -> Vec<Request> {
+    let schema = cube.schema();
+    let mut reqs = Vec::new();
+    let mut cuboids: Vec<_> = cube.cuboids().collect();
+    cuboids.sort_by(|a, b| a.0.cmp(b.0));
+    for (ck, cuboid) in cuboids {
+        let level = cube.spec().level(ck.path_level).name.clone();
+        let at = ck
+            .item_level
+            .0
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut keys: Vec<_> = cuboid.iter().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        for key in keys {
+            let spec = cell_spec(&key, schema);
+            reqs.push(get("/cell", &[("cell", &spec), ("level", &level)]));
+            for dim in 0..schema.num_dims() {
+                let d = dim.to_string();
+                reqs.push(get(
+                    "/rollup",
+                    &[("cell", &spec), ("level", &level), ("dim", &d)],
+                ));
+                reqs.push(get(
+                    "/drilldown",
+                    &[("cell", &spec), ("level", &level), ("dim", &d)],
+                ));
+            }
+            reqs.push(get(
+                "/paths/topk",
+                &[("cell", &spec), ("level", &level), ("k", "3")],
+            ));
+            reqs.push(get("/exceptions", &[("cell", &spec), ("level", &level)]));
+            if key[0] != ConceptId::ROOT {
+                let value = schema.dim(0).name_of(key[0]).to_string();
+                reqs.push(get(
+                    "/slice",
+                    &[
+                        ("at", &at),
+                        ("level", &level),
+                        ("dim", "0"),
+                        ("value", &value),
+                    ],
+                ));
+                reqs.push(get(
+                    "/dice",
+                    &[
+                        ("at", &at),
+                        ("level", &level),
+                        ("where", &format!("0:{value}")),
+                    ],
+                ));
+            }
+        }
+        // The unconstrained dice enumerates the whole cuboid — a direct
+        // probe of `keys_sorted` order across representations.
+        reqs.push(get("/dice", &[("at", &at), ("level", &level)]));
+    }
+    reqs
+}
+
+/// `(request, status, body)` for every request — the unit of comparison.
+fn answers(state: &AppState, reqs: &[Request]) -> Vec<(String, u16, String)> {
+    reqs.iter()
+        .map(|r| {
+            let (status, body) = handle_request(state, r);
+            (format!("{} {:?}", r.path, r.query), status, body)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Tentpole differential: the in-memory cube, the v1 snapshot, and
+    /// the v2 snapshot answer every endpoint identically — and the v2
+    /// file survives write → open → load → rewrite byte-for-byte.
+    #[test]
+    fn endpoints_identical_across_mem_v1_v2(
+        paths in 40usize..120,
+        seed in 0u64..1000,
+        min_support in 2u64..10,
+    ) {
+        let cube = small_cube(paths, seed, min_support);
+        let reqs = request_matrix(&cube);
+        let tag = format!("{paths}-{seed}-{min_support}");
+        let v1 = tmp(&format!("v1-{tag}.snap"));
+        let v2 = tmp(&format!("v2-{tag}.snap"));
+        write_snapshot_with_version(&cube, &v1, 1).expect("write v1");
+        write_snapshot(&cube, &v2).expect("write v2");
+
+        let mem = AppState::new(ServedCube::from_cube(cube), ResponseCache::new(64));
+        let snap1 = Snapshot::open(&v1).expect("open v1");
+        prop_assert_eq!(snap1.version(), 1);
+        let from_v1 = AppState::new(ServedCube::from_snapshot(snap1), ResponseCache::new(64));
+        let snap2 = Snapshot::open(&v2).expect("open v2");
+        prop_assert_eq!(snap2.version(), 2);
+        let from_v2 = AppState::new(ServedCube::from_snapshot(snap2), ResponseCache::new(64));
+
+        let want = answers(&mem, &reqs);
+        prop_assert_eq!(
+            &answers(&from_v1, &reqs), &want,
+            "v1 snapshot diverged from the in-memory cube ({} requests)", reqs.len()
+        );
+        prop_assert_eq!(
+            &answers(&from_v2, &reqs), &want,
+            "v2 snapshot diverged from the in-memory cube ({} requests)", reqs.len()
+        );
+
+        // v2 re-encode stability: one canonical byte string per content.
+        let reloaded = Snapshot::open(&v2).expect("reopen v2").load_cube().expect("load v2");
+        let v2b = tmp(&format!("v2b-{tag}.snap"));
+        write_snapshot(&reloaded, &v2b).expect("rewrite v2");
+        prop_assert_eq!(
+            std::fs::read(&v2).expect("read v2"),
+            std::fs::read(&v2b).expect("read v2b"),
+            "v2 write → open → load → rewrite is not byte-stable"
+        );
+
+        for p in [&v1, &v2, &v2b] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
