@@ -89,6 +89,33 @@ pub fn timed_get(addr: SocketAddr, target: &str) -> std::io::Result<(u16, Durati
     Ok((status, elapsed))
 }
 
+/// One blocking HTTP GET that also keeps the response body; returns
+/// `(status, body, latency)`. The degraded-replica bench needs the body
+/// to prove answers stayed full (no `"partial": true`) — `timed_get`
+/// throws it away.
+pub fn timed_get_body(addr: SocketAddr, target: &str) -> std::io::Result<(u16, String, Duration)> {
+    let start = Instant::now();
+    let mut s = TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(Duration::from_secs(10)))?;
+    s.write_all(
+        format!("GET {target} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw)?;
+    let elapsed = start.elapsed();
+    let text = String::from_utf8_lossy(&raw);
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body, elapsed))
+}
+
 /// Fold raw microsecond samples into the percentile series.
 pub fn series_from_us(label: &str, mut us: Vec<f64>) -> LatencySeries {
     us.sort_by(f64::total_cmp);

@@ -120,6 +120,16 @@ mod tests {
     }
 
     #[test]
+    fn replica_set_backend_spec_passes_through_unmangled() {
+        let a = parse("federate --backends a:1|a:2,b:1|b:2 --retry-budget 2").unwrap();
+        assert_eq!(a.get("backends"), Some("a:1|a:2,b:1|b:2"));
+        assert_eq!(a.num::<u32>("retry-budget", 3).unwrap(), 2);
+        let a = parse("federate --backends=h:1|h:2 --no-hedge").unwrap();
+        assert_eq!(a.get("backends"), Some("h:1|h:2"));
+        assert!(a.flag("no-hedge"));
+    }
+
+    #[test]
     fn errors() {
         assert!(parse("x --a 1 --a 2").is_err());
         let a = parse("x --n abc").unwrap();

@@ -38,9 +38,11 @@ USAGE:
                     [--degraded-after N] [--access-log FILE|-] [--slow-ms MS]
                     [--compact-after-bytes N] [--compact-after-secs S]
                     (or --cube cube.json to serve a JSON cube directly)
-  flowcube federate --backends h1:p1,h2:p2,… [--shards N] [--addr HOST:PORT]
-                    [--deadline-ms MS] [--shard-timeout-ms MS]
-                    [--workers N] [--queue-depth N]
+  flowcube federate --backends h1:p1|h1r2:p,h2:p2,… [--shards N]
+                    [--addr HOST:PORT] [--deadline-ms MS]
+                    [--shard-timeout-ms MS] [--workers N] [--queue-depth N]
+                    [--hedge-after-ms MS | --no-hedge] [--retry-budget N]
+                    [--breaker-failures N] [--breaker-cooldown-ms MS]
   flowcube ingest   --text paths.txt --schema-from db.json --out clean.json
                     [--on-error strict|lenient|quarantine]
                     [--quarantine-cap N] [--quarantine-out FILE]
@@ -77,6 +79,20 @@ SHARDED BUILD + FEDERATION:
   `serve` backends (backend K serves shard K's cube): query endpoints
   fan out, counts merge, and a slow or dead shard degrades the answer
   (\"partial\": true + Retry-After) instead of failing it.
+
+REPLICA SETS (federate --backends):
+  Each shard entry may name several replicas separated by '|'
+  (e.g. \"a:1|a:2,b:1|b:2\" — 2 shards, 2 replicas each; every replica
+  of entry K must serve shard K's cube). The front picks a replica by
+  health-weighted round-robin, skips replicas whose circuit breaker is
+  open (--breaker-failures consecutive transport failures open it;
+  after --breaker-cooldown-ms a /healthz probe closes it), fires a
+  hedged second request when the first is slower than the shard's
+  recent p95 (--hedge-after-ms pins the threshold, --no-hedge disables
+  hedging), and retries failed replicas against the rest of the set.
+  Hedges and retries share one per-request token pool
+  (--retry-budget), so retry storms cannot amplify a brownout. An
+  answer degrades to partial only when an entire replica set is down.
 
 SNAPSHOT FORMAT (--snapshot-format):
   V=2 (default) writes the zero-copy columnar format the server queries
@@ -336,16 +352,23 @@ pub fn merge(args: &Args) -> Result<(), CliError> {
 }
 
 /// `flowcube federate` — boot the scatter-gather front tier over a
-/// comma-separated shard map of backend `host:port` addresses.
+/// shard map of backend replica sets: `,` separates shards, `|`
+/// separates replicas of one shard (`"a:1|a:2,b:1|b:2"`).
 pub fn federate(args: &Args) -> Result<(), CliError> {
     flowcube_obs::enable();
-    let backends: Vec<String> = args
-        .require("backends")?
-        .split(',')
-        .map(|s| s.trim().trim_start_matches("http://").to_string())
-        .filter(|s| !s.is_empty())
-        .collect();
+    let backends = flowcube_federate::parse_backend_spec(args.require("backends")?)?;
     let shards: u32 = args.num("shards", backends.len() as u32)?;
+    let replicas: usize = backends.iter().map(|s| s.replicas.len()).sum();
+    let hedge = if args.flag("no-hedge") {
+        flowcube_federate::HedgePolicy::Off
+    } else {
+        match args.get("hedge-after-ms") {
+            Some(_) => flowcube_federate::HedgePolicy::Fixed(std::time::Duration::from_millis(
+                args.num("hedge-after-ms", 0u64)?,
+            )),
+            None => flowcube_federate::HedgePolicy::Adaptive,
+        }
+    };
     let config = flowcube_federate::FrontConfig {
         addr: args.get_or("addr", "127.0.0.1:7080").to_string(),
         workers: args.num("workers", 4usize)?,
@@ -354,10 +377,17 @@ pub fn federate(args: &Args) -> Result<(), CliError> {
         shards,
         request_deadline: std::time::Duration::from_millis(args.num("deadline-ms", 2000u64)?),
         shard_timeout: std::time::Duration::from_millis(args.num("shard-timeout-ms", 1000u64)?),
+        hedge,
+        retry_budget: args.num("retry-budget", 3u32)?,
+        breaker: flowcube_federate::BreakerConfig {
+            failure_threshold: args.num("breaker-failures", 3u32)?,
+            cooldown: std::time::Duration::from_millis(args.num("breaker-cooldown-ms", 1000u64)?),
+            ..Default::default()
+        },
     };
     let handle = flowcube_federate::serve_front(config)?;
     println!(
-        "federating {shards} shards on http://{}/ (try /healthz, /metrics)",
+        "federating {shards} shards ({replicas} replicas) on http://{}/ (try /healthz, /metrics)",
         handle.addr()
     );
     handle.wait_for_signals();
@@ -756,6 +786,7 @@ fn ingest_follow(args: &Args) -> Result<(), CliError> {
         timeout: std::time::Duration::from_millis(args.num("post-timeout-ms", 5000u64)?),
         retries: args.num("post-retries", 3u32)?,
         backoff: std::time::Duration::from_millis(args.num("post-backoff-ms", 100u64)?),
+        ..Default::default()
     };
 
     let mut emitted = 0usize;

@@ -30,8 +30,15 @@ pub struct ClientConfig {
     pub timeout: Duration,
     /// Extra attempts after the first when the connect is refused.
     pub retries: u32,
-    /// Sleep before the first retry; doubles each retry after that.
+    /// Base for the retry backoff: the `n`-th retry sleeps a uniformly
+    /// random ("full jitter") duration in `[0, backoff * 2^n]`, so a
+    /// fleet of shippers restarted together does not reconnect in
+    /// lockstep.
     pub backoff: Duration,
+    /// Seed for the jitter RNG. `None` (production) seeds from clock
+    /// entropy; tests pin a seed to make the sleep schedule
+    /// reproducible.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for ClientConfig {
@@ -40,8 +47,48 @@ impl Default for ClientConfig {
             timeout: Duration::from_secs(5),
             retries: 3,
             backoff: Duration::from_millis(100),
+            jitter_seed: None,
         }
     }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn entropy_seed() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ (d.as_secs() << 20))
+        .unwrap_or(0);
+    // Mix in an ASLR-dependent address so two shippers started in the
+    // same nanosecond still diverge.
+    nanos ^ (&nanos as *const u64 as u64)
+}
+
+/// The full-jitter backoff schedule for `retries` sleeps: sleep `n`
+/// (0-based) is uniform in `[0, backoff * 2^n]`. Pure given a seed —
+/// `client_faults.rs` pins `jitter_seed` and asserts against exactly
+/// this function.
+pub fn backoff_schedule(cfg: &ClientConfig, retries: u32) -> Vec<Duration> {
+    let mut state = cfg.jitter_seed.unwrap_or_else(entropy_seed);
+    let mut base = cfg.backoff;
+    let mut out = Vec::with_capacity(retries as usize);
+    for _ in 0..retries {
+        let cap = base.as_nanos().min(u64::MAX as u128) as u64;
+        let sleep_ns = if cap == 0 {
+            0
+        } else {
+            splitmix64(&mut state) % (cap + 1)
+        };
+        out.push(Duration::from_nanos(sleep_ns));
+        base = base.saturating_mul(2);
+    }
+    out
 }
 
 /// How one attempt failed: at connect (nothing was sent — safe to
@@ -127,10 +174,11 @@ pub fn parse_url(url: &str) -> Result<(&str, String), FederateError> {
 }
 
 /// `POST` a JSON body to `url`, honoring `cfg.timeout` on every socket
-/// operation and retrying with exponential backoff when the connect is
-/// **refused** (server restarting, not yet listening). Failures after
-/// bytes were sent are never retried: the request may have been
-/// applied, and deltas must not be double-ingested.
+/// operation and retrying with full-jitter exponential backoff
+/// ([`backoff_schedule`]) when the connect is **refused** (server
+/// restarting, not yet listening). Failures after bytes were sent are
+/// never retried: the request may have been applied, and deltas must
+/// not be double-ingested.
 pub fn http_post(
     url: &str,
     body: &str,
@@ -142,7 +190,7 @@ pub fn http_post(
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
-    let mut backoff = cfg.backoff;
+    let sleeps = backoff_schedule(cfg, cfg.retries);
     let mut attempt = 0u32;
     loop {
         match exchange(host, &request, cfg.timeout) {
@@ -153,10 +201,9 @@ pub fn http_post(
                 return Ok(ok);
             }
             Err(AttemptError::Refused(_)) if attempt < cfg.retries => {
-                attempt += 1;
                 flowcube_obs::counter_add("federate.client.post_retries", 1);
-                std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
+                std::thread::sleep(sleeps[attempt as usize]);
+                attempt += 1;
             }
             Err(AttemptError::Refused(detail)) | Err(AttemptError::Other(detail)) => {
                 return Err(FederateError::Io { detail });
@@ -168,6 +215,42 @@ pub fn http_post(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn jitter_schedule_is_deterministic_under_a_pinned_seed() {
+        let cfg = ClientConfig {
+            backoff: Duration::from_millis(20),
+            jitter_seed: Some(7),
+            ..ClientConfig::default()
+        };
+        let a = backoff_schedule(&cfg, 4);
+        let b = backoff_schedule(&cfg, 4);
+        assert_eq!(a, b, "same seed, same schedule");
+        // Full jitter: sleep n is bounded by backoff * 2^n.
+        for (n, sleep) in a.iter().enumerate() {
+            let cap = Duration::from_millis(20 * (1 << n));
+            assert!(*sleep <= cap, "sleep {n} = {sleep:?} over cap {cap:?}");
+        }
+        let other = backoff_schedule(
+            &ClientConfig {
+                jitter_seed: Some(8),
+                ..cfg
+            },
+            4,
+        );
+        assert_ne!(a, other, "different seeds diverge");
+    }
+
+    #[test]
+    fn unseeded_schedules_diverge() {
+        let cfg = ClientConfig {
+            backoff: Duration::from_millis(500),
+            ..ClientConfig::default()
+        };
+        // Two entropy-seeded schedules agreeing on all 8 sleeps is
+        // astronomically unlikely.
+        assert_ne!(backoff_schedule(&cfg, 8), backoff_schedule(&cfg, 8));
+    }
 
     #[test]
     fn parses_urls() {

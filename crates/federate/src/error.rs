@@ -19,6 +19,10 @@ pub enum FederateError {
     PartMismatch { detail: String },
     /// A configuration problem caught before any work started.
     Config { detail: String },
+    /// A malformed replica-set spec: an empty shard entry in
+    /// `--backends "a:1|a:2,b:1"`, or a shard whose replica set is
+    /// empty.
+    ReplicaSpec { detail: String },
     /// A typed core failure surfaced by the merge machinery.
     Core(CoreError),
     /// One backend shard could not be reached or answered garbage.
@@ -38,6 +42,7 @@ impl fmt::Display for FederateError {
             }
             FederateError::PartMismatch { detail } => write!(f, "shard parts mismatch: {detail}"),
             FederateError::Config { detail } => write!(f, "federate config: {detail}"),
+            FederateError::ReplicaSpec { detail } => write!(f, "replica set spec: {detail}"),
             FederateError::Core(e) => write!(f, "{e}"),
             FederateError::Shard { shard, detail } => write!(f, "shard {shard}: {detail}"),
             FederateError::AllShardsFailed { shards } => {

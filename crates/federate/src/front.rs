@@ -1,11 +1,11 @@
 //! The scatter-gather front tier.
 //!
-//! A front server owns a **shard map** — `backends[k]` serves shard `k`
-//! of a `shards`-way EPC partition — and answers the federated query
-//! endpoints (`/cell`, `/rollup`, `/drilldown`, `/paths/topk`,
-//! `/exceptions`) by fanning the request out to every backend, merging
-//! the answers per the rules in [`crate::merge`], and degrading rather
-//! than failing when a shard is slow or down:
+//! A front server owns a **shard map** — `backends[k]` is the *replica
+//! set* serving shard `k` of a `shards`-way EPC partition — and answers
+//! the federated query endpoints (`/cell`, `/rollup`, `/drilldown`,
+//! `/paths/topk`, `/exceptions`) by fanning the request out to every
+//! shard, merging the answers per the rules in [`crate::merge`], and
+//! degrading rather than failing when a shard is slow or down:
 //!
 //! * every shard answered → a plain merged `200`;
 //! * some shards failed or timed out → a merged `200` with
@@ -15,15 +15,24 @@
 //! * every shard failed → `503` with `Retry-After`, through the same
 //!   typed-error path as a single node's deadline miss.
 //!
+//! Within a shard, [`crate::replica`] makes the leg resilient before
+//! degradation is even considered: health-weighted replica selection
+//! over per-replica circuit breakers ([`crate::health`]), a hedged
+//! second request after the shard's recent p95, and budgeted retries —
+//! a shard leg fails only when its *entire replica set* is down.
+//!
 //! The front reuses the serving layer's wire code (`serve::http`) and
 //! observability idiom: per-endpoint × status latency histograms under
 //! `federate.request.latency_us`, per-shard latency and error series
-//! labeled `shard=K`, and flight-recorder `Scatter`/`Gather`/
-//! `ShardTimeout` events tied to the request's trace id.
+//! labeled `shard=K`, per-replica `federate.replica.*` counters labeled
+//! `shard=K replica=R`, and flight-recorder `Scatter`/`Gather`/
+//! `ShardTimeout`/`Hedge`/`BreakerOpen`/`BreakerClose` events tied to
+//! the request's trace id.
 
-use crate::client;
 use crate::error::FederateError;
+use crate::health::BreakerConfig;
 use crate::merge;
+use crate::replica::{HedgePolicy, ReplicaSet, RetryBudget, ShardOutcome, ShardRuntime};
 use flowcube_obs::flight::{self, FlightKind};
 use flowcube_serve::http::{read_request, write_response_with, HttpError, Request};
 use flowcube_serve::{assign_request_id, ApiError};
@@ -44,15 +53,23 @@ pub struct FrontConfig {
     pub workers: usize,
     /// Accepted-but-unserved connections held before shedding.
     pub queue_depth: usize,
-    /// Backend `host:port` per shard — `backends[k]` must serve the cube
-    /// built from shard `k`. Length must equal `shards`.
-    pub backends: Vec<String>,
+    /// Replica set per shard — every replica of `backends[k]` must serve
+    /// the cube built from shard `k`. Length must equal `shards`.
+    pub backends: Vec<ReplicaSet>,
     /// Shard count the backends were built with.
     pub shards: u32,
     /// Whole-request budget at the front.
     pub request_deadline: Duration,
-    /// Per-shard cap inside the request budget.
+    /// Per-attempt cap inside the request budget. A shard leg may spend
+    /// longer than this across retries, but never a single socket.
     pub shard_timeout: Duration,
+    /// When to fire the hedged second request within a replica set.
+    pub hedge: HedgePolicy,
+    /// Extra attempts (hedges + retries combined) one request may spend
+    /// across all of its shard legs.
+    pub retry_budget: u32,
+    /// Per-replica circuit-breaker policy.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for FrontConfig {
@@ -65,7 +82,53 @@ impl Default for FrontConfig {
             shards: 0,
             request_deadline: Duration::from_secs(2),
             shard_timeout: Duration::from_secs(1),
+            hedge: HedgePolicy::Adaptive,
+            retry_budget: 3,
+            breaker: BreakerConfig::default(),
         }
+    }
+}
+
+/// The routing state of a running front: the validated config plus one
+/// [`ShardRuntime`] (replica breakers, round-robin cursor, latency
+/// window) per shard. Construct with [`Front::new`]; [`serve_front`]
+/// wraps one in a listener. Public so tests can drive the routing table
+/// without sockets.
+pub struct Front {
+    config: FrontConfig,
+    shards: Vec<Arc<ShardRuntime>>,
+}
+
+impl Front {
+    /// Validate the shard map and build the per-shard runtimes.
+    pub fn new(config: FrontConfig) -> Result<Front, FederateError> {
+        if config.shards == 0 {
+            return Err(FederateError::Config {
+                detail: "front tier needs --shards >= 1".into(),
+            });
+        }
+        if config.backends.len() != config.shards as usize {
+            return Err(FederateError::ShardCountMismatch {
+                expected: config.shards,
+                actual: config.backends.len() as u32,
+            });
+        }
+        if let Some(k) = config.backends.iter().position(|s| s.replicas.is_empty()) {
+            return Err(FederateError::ReplicaSpec {
+                detail: format!("shard {k} has an empty replica set"),
+            });
+        }
+        let shards = config
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(k, set)| Arc::new(ShardRuntime::new(k as u32, set, config.breaker.clone())))
+            .collect();
+        Ok(Front { config, shards })
+    }
+
+    pub fn config(&self) -> &FrontConfig {
+        &self.config
     }
 }
 
@@ -189,17 +252,8 @@ impl FrontHandle {
 /// Validate the shard map and start the front tier. Returns once the
 /// listener is bound and the workers are running.
 pub fn serve_front(config: FrontConfig) -> Result<FrontHandle, FederateError> {
-    if config.shards == 0 {
-        return Err(FederateError::Config {
-            detail: "front tier needs --shards >= 1".into(),
-        });
-    }
-    if config.backends.len() != config.shards as usize {
-        return Err(FederateError::ShardCountMismatch {
-            expected: config.shards,
-            actual: config.backends.len() as u32,
-        });
-    }
+    let front = Arc::new(Front::new(config)?);
+    let config = &front.config;
     let listener = TcpListener::bind(&config.addr).map_err(|e| FederateError::Io {
         detail: format!("bind {}: {e}", config.addr),
     })?;
@@ -210,7 +264,6 @@ pub fn serve_front(config: FrontConfig) -> Result<FrontHandle, FederateError> {
 
     let stop = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(ConnQueue::new(config.queue_depth));
-    let config = Arc::new(config);
     let mut threads = Vec::with_capacity(config.workers + 1);
 
     {
@@ -239,7 +292,7 @@ pub fn serve_front(config: FrontConfig) -> Result<FrontHandle, FederateError> {
     for i in 0..config.workers.max(1) {
         let stop = stop.clone();
         let queue = queue.clone();
-        let config = config.clone();
+        let front = front.clone();
         threads.push(
             std::thread::Builder::new()
                 .name(format!("federate-worker-{i}"))
@@ -248,7 +301,7 @@ pub fn serve_front(config: FrontConfig) -> Result<FrontHandle, FederateError> {
                         let Some(stream) = queue.pop(Duration::from_millis(100)) else {
                             continue;
                         };
-                        serve_connection(stream, &config);
+                        serve_connection(stream, &front);
                     }
                 })
                 .map_err(|e| FederateError::Io {
@@ -265,9 +318,14 @@ pub fn serve_front(config: FrontConfig) -> Result<FrontHandle, FederateError> {
     })
 }
 
-fn serve_connection(mut stream: TcpStream, config: &FrontConfig) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+fn serve_connection(mut stream: TcpStream, front: &Front) {
+    // Client-facing socket budget derives from the request deadline —
+    // a front configured for a 200ms deadline must not keep sockets
+    // alive for a hardcoded 5s. The small grace covers header I/O on a
+    // loaded loopback.
+    let io_budget = front.config.request_deadline + Duration::from_millis(250);
+    let _ = stream.set_read_timeout(Some(io_budget));
+    let _ = stream.set_write_timeout(Some(io_budget));
     let req = match read_request(&mut stream) {
         Ok(req) => req,
         Err(HttpError::Disconnected) => return,
@@ -291,23 +349,32 @@ fn serve_connection(mut stream: TcpStream, config: &FrontConfig) {
             return;
         }
     };
-    let (status, content_type, headers, body) = handle_front_request(&req, config);
+    let (status, content_type, headers, body) = front.handle_request(&req);
     let _ = write_response_with(&mut stream, status, content_type, &headers, &body);
 }
 
-/// Route and answer one front request, with the serve-style metric and
-/// flight envelope around it. Public so in-process tests can drive the
-/// routing table without sockets.
-pub fn handle_front_request(
+impl Front {
+    /// Route and answer one front request, with the serve-style metric
+    /// and flight envelope around it. Public so in-process tests can
+    /// drive the routing table without sockets.
+    pub fn handle_request(
+        &self,
+        req: &Request,
+    ) -> (u16, &'static str, Vec<(String, String)>, String) {
+        handle_front_request(req, self)
+    }
+}
+
+fn handle_front_request(
     req: &Request,
-    config: &FrontConfig,
+    front: &Front,
 ) -> (u16, &'static str, Vec<(String, String)>, String) {
     let start = Instant::now();
     let tag = endpoint_tag(&req.path);
     let (id, trace) = assign_request_id(req);
     flowcube_obs::counter_add("federate.requests.total", 1);
 
-    let (status, content_type, mut headers, body) = route(req, config, trace);
+    let (status, content_type, mut headers, body) = route(req, front, trace);
 
     let us = start.elapsed().as_micros() as f64;
     flowcube_obs::histogram_record("federate.latency_us", us);
@@ -347,9 +414,10 @@ fn api_error(e: FederateError) -> (u16, &'static str, Vec<(String, String)>, Str
 
 fn route(
     req: &Request,
-    config: &FrontConfig,
+    front: &Front,
     trace: u64,
 ) -> (u16, &'static str, Vec<(String, String)>, String) {
+    let config = &front.config;
     if req.method != "GET" {
         return (
             405,
@@ -360,6 +428,33 @@ fn route(
     }
     match req.path.as_str() {
         "/healthz" => {
+            let replica_sets: Vec<Value> = front
+                .shards
+                .iter()
+                .map(|rt| {
+                    let replicas: Vec<Value> = rt
+                        .states()
+                        .into_iter()
+                        .map(|(addr, state, failures)| {
+                            Value::Object(vec![
+                                ("addr".into(), Value::String(addr)),
+                                ("state".into(), Value::String(state.name().into())),
+                                (
+                                    "consecutive_failures".into(),
+                                    Value::Number(serde_json::Number::U(failures as u64)),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    Value::Object(vec![
+                        (
+                            "shard".into(),
+                            Value::Number(serde_json::Number::U(rt.shard as u64)),
+                        ),
+                        ("replicas".into(), Value::Array(replicas)),
+                    ])
+                })
+                .collect();
             let body = serde_json::to_string(&Value::Object(vec![
                 ("ok".into(), Value::Bool(true)),
                 ("status".into(), Value::String("ok".into())),
@@ -367,6 +462,7 @@ fn route(
                     "shards".into(),
                     Value::Number(serde_json::Number::U(config.shards as u64)),
                 ),
+                ("replica_sets".into(), Value::Array(replica_sets)),
             ]))
             .unwrap_or_default();
             (200, "application/json", Vec::new(), body)
@@ -398,7 +494,7 @@ fn route(
             let body = serde_json::to_string(&events).unwrap_or_default();
             (200, "application/json", Vec::new(), body)
         }
-        path if FEDERATED.contains(&path) => scatter_gather(req, config, trace),
+        path if FEDERATED.contains(&path) => scatter_gather(req, front, trace),
         other => (
             404,
             "application/json",
@@ -416,9 +512,10 @@ enum ShardReply {
 
 fn scatter_gather(
     req: &Request,
-    config: &FrontConfig,
+    front: &Front,
     trace: u64,
 ) -> (u16, &'static str, Vec<(String, String)>, String) {
+    let config = &front.config;
     let deadline = Instant::now() + config.request_deadline;
     let target = rebuild_target(req);
     let scatter_label = flight::intern("scatter");
@@ -430,23 +527,31 @@ fn scatter_gather(
         config.shards as u64,
     );
 
-    let mut replies: Vec<ShardReply> = Vec::with_capacity(config.backends.len());
+    // One retry budget per request, shared across every shard leg:
+    // hedges and retries all draw from it, so a brownout that slows
+    // every shard cannot multiply this request's backend load past
+    // `shards + retry_budget` attempts.
+    let budget = RetryBudget::new(config.retry_budget);
+    let mut replies: Vec<ShardReply> = Vec::with_capacity(front.shards.len());
     std::thread::scope(|scope| {
-        let handles: Vec<_> = config
-            .backends
+        let handles: Vec<_> = front
+            .shards
             .iter()
-            .enumerate()
-            .map(|(shard, backend)| {
+            .map(|rt| {
                 let target = target.clone();
+                let budget = &budget;
                 scope.spawn(move || {
-                    let budget = config
-                        .shard_timeout
-                        .min(deadline.saturating_duration_since(Instant::now()))
-                        .max(Duration::from_millis(1));
                     let shard_start = Instant::now();
-                    let result = client::http_get(backend, &target, budget);
+                    let outcome = rt.query(
+                        &target,
+                        deadline,
+                        config.shard_timeout,
+                        &config.hedge,
+                        budget,
+                        trace,
+                    );
                     let us = shard_start.elapsed().as_micros() as f64;
-                    let shard_label = shard.to_string();
+                    let shard_label = rt.shard.to_string();
                     flowcube_obs::histogram_record(
                         &flowcube_obs::labeled(
                             "federate.shard.latency_us",
@@ -454,9 +559,11 @@ fn scatter_gather(
                         ),
                         us,
                     );
-                    match result {
-                        Ok((status, body)) => ShardReply::Answered { status, body },
-                        Err(detail) => {
+                    match outcome {
+                        ShardOutcome::Answered { status, body } => {
+                            ShardReply::Answered { status, body }
+                        }
+                        ShardOutcome::Failed { detail } => {
                             flowcube_obs::counter_add(
                                 &flowcube_obs::labeled(
                                     "federate.shard.errors",
@@ -469,7 +576,7 @@ fn scatter_gather(
                                 trace,
                                 scatter_label,
                                 0,
-                                shard as u64,
+                                rt.shard as u64,
                             );
                             ShardReply::Failed { detail }
                         }
@@ -633,7 +740,7 @@ mod tests {
     #[test]
     fn rejects_mismatched_shard_map() {
         let config = FrontConfig {
-            backends: vec!["127.0.0.1:1".into()],
+            backends: vec![ReplicaSet::single("127.0.0.1:1")],
             shards: 2,
             ..FrontConfig::default()
         };
@@ -647,6 +754,42 @@ mod tests {
     }
 
     #[test]
+    fn rejects_empty_replica_sets() {
+        let config = FrontConfig {
+            backends: vec![
+                ReplicaSet::single("127.0.0.1:1"),
+                ReplicaSet {
+                    replicas: Vec::new(),
+                },
+            ],
+            shards: 2,
+            ..FrontConfig::default()
+        };
+        assert!(matches!(
+            Front::new(config),
+            Err(FederateError::ReplicaSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn healthz_reports_replica_states() {
+        let config = FrontConfig {
+            backends: vec![
+                ReplicaSet::parse("127.0.0.1:1|127.0.0.1:2").unwrap(),
+                ReplicaSet::single("127.0.0.1:3"),
+            ],
+            shards: 2,
+            ..FrontConfig::default()
+        };
+        let front = Front::new(config).expect("valid map");
+        let (status, _, _, body) = front.handle_request(&get("/healthz", &[]));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"replica_sets\""), "{body}");
+        assert!(body.contains("127.0.0.1:2"), "{body}");
+        assert!(body.contains("\"state\":\"closed\""), "{body}");
+    }
+
+    #[test]
     fn rebuilds_targets_with_escapes() {
         let req = get("/cell", &[("cell", "a b,*"), ("level", "loc0/dur0")]);
         assert_eq!(rebuild_target(&req), "/cell?cell=a%20b,*&level=loc0/dur0");
@@ -655,11 +798,12 @@ mod tests {
     #[test]
     fn non_federated_paths_404() {
         let config = FrontConfig {
-            backends: vec!["127.0.0.1:1".into()],
+            backends: vec![ReplicaSet::single("127.0.0.1:1")],
             shards: 1,
             ..FrontConfig::default()
         };
-        let (status, _, _, body) = handle_front_request(&get("/stats", &[]), &config);
+        let front = Front::new(config).expect("valid map");
+        let (status, _, _, body) = front.handle_request(&get("/stats", &[]));
         assert_eq!(status, 404);
         assert!(body.contains("not a federated endpoint"), "{body}");
     }
@@ -667,7 +811,7 @@ mod tests {
     #[test]
     fn all_failed_maps_to_503() {
         let config = FrontConfig {
-            backends: vec!["x".into(), "y".into()],
+            backends: vec![ReplicaSet::single("x"), ReplicaSet::single("y")],
             shards: 2,
             ..FrontConfig::default()
         };
@@ -687,7 +831,7 @@ mod tests {
     #[test]
     fn partial_when_some_shards_fail() {
         let config = FrontConfig {
-            backends: vec!["x".into(), "y".into()],
+            backends: vec![ReplicaSet::single("x"), ReplicaSet::single("y")],
             shards: 2,
             ..FrontConfig::default()
         };
@@ -709,7 +853,7 @@ mod tests {
     #[test]
     fn all_not_found_passes_404_through() {
         let config = FrontConfig {
-            backends: vec!["x".into(), "y".into()],
+            backends: vec![ReplicaSet::single("x"), ReplicaSet::single("y")],
             shards: 2,
             ..FrontConfig::default()
         };

@@ -29,12 +29,16 @@ pub mod build;
 pub mod client;
 pub mod error;
 pub mod front;
+pub mod health;
 pub mod merge;
+pub mod replica;
 pub mod shard;
 
 pub use build::{build_shard_part, build_sharded, merge_shard_parts, partial_params};
 pub use client::{http_get, http_post, ClientConfig};
 pub use error::FederateError;
-pub use front::{serve_front, FrontConfig, FrontHandle};
+pub use front::{serve_front, Front, FrontConfig, FrontHandle};
+pub use health::{BreakerConfig, BreakerState};
 pub use merge::merge_endpoint;
+pub use replica::{parse_backend_spec, HedgePolicy, ReplicaSet, RetryBudget};
 pub use shard::{shard_db, shard_of, ShardPart};

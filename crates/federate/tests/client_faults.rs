@@ -38,17 +38,22 @@ fn tiny_server(responses: usize) -> (String, std::thread::JoinHandle<usize>) {
     (format!("http://{addr}/admin/ingest"), handle)
 }
 
+/// A pinned jitter seed keeps the backoff schedule — now full-jitter —
+/// reproducible across runs of this suite.
+const JITTER_SEED: u64 = 0xF10C;
+
 fn cfg(retries: u32) -> ClientConfig {
     ClientConfig {
         timeout: Duration::from_secs(2),
         retries,
         backoff: Duration::from_millis(20),
+        jitter_seed: Some(JITTER_SEED),
     }
 }
 
 /// Two refused connects, then the server is "back": the POST succeeds
-/// after retry-with-backoff, and the wait covers the configured backoff
-/// schedule (20ms + 40ms).
+/// after retry-with-backoff, and the wait matches the seeded full-jitter
+/// schedule (`backoff_schedule` with the same pinned seed).
 #[test]
 fn refused_connect_is_retried_with_backoff() {
     let _guard = lock_failpoints();
@@ -60,6 +65,9 @@ fn refused_connect_is_retried_with_backoff() {
         2,
         FailAction::ReturnErr(Some("connection refused".into())),
     );
+    let expected: Duration = flowcube_federate::client::backoff_schedule(&cfg(3), 2)
+        .iter()
+        .sum();
     let start = Instant::now();
     let (status, body) = http_post(&url, "{}", &cfg(3)).expect("third attempt succeeds");
     let waited = start.elapsed();
@@ -67,8 +75,12 @@ fn refused_connect_is_retried_with_backoff() {
     assert!(body.contains("\"ok\":true"), "got {body:?}");
     assert_eq!(flowcube_testkit::hits("federate.client.connect"), 2);
     assert!(
-        waited >= Duration::from_millis(60),
-        "backoff must actually wait (20ms + 40ms), got {waited:?}"
+        waited >= expected,
+        "backoff must wait out the seeded jitter schedule ({expected:?}), got {waited:?}"
+    );
+    assert!(
+        waited < expected + Duration::from_secs(2),
+        "jitter is bounded: slept {waited:?} against schedule {expected:?}"
     );
     flowcube_testkit::reset();
     assert_eq!(

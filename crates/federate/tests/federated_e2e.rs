@@ -11,7 +11,7 @@
 
 use flowcube_core::{FlowCube, FlowCubeParams, ItemPlan};
 use flowcube_datagen::{generate, DimShape, GeneratorConfig};
-use flowcube_federate::{serve_front, shard_db, FrontConfig, FrontHandle};
+use flowcube_federate::{serve_front, shard_db, FrontConfig, FrontHandle, ReplicaSet};
 use flowcube_hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel};
 use flowcube_pathdb::PathDatabase;
 use flowcube_serve::{serve_cube, ServedCube, ServerConfig, ServerHandle};
@@ -74,7 +74,10 @@ fn boot_federation(
         })
         .collect();
     let front = serve_front(FrontConfig {
-        backends: backends.iter().map(|b| b.addr().to_string()).collect(),
+        backends: backends
+            .iter()
+            .map(|b| ReplicaSet::single(b.addr().to_string()))
+            .collect(),
         shards,
         workers: 2,
         ..Default::default()

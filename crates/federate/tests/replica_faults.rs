@@ -1,0 +1,433 @@
+//! Fault-injection tests for replica sets in the federated front tier:
+//! hedged requests (first reply wins, the loser is abandoned, a hedge
+//! pair is never gathered twice), retry budgets (an exhausted budget
+//! suppresses the hedge), breaker-gated routing (a refused replica opens
+//! its breaker, a half-open `/healthz` probe closes it), and the
+//! acceptance path — one replica per shard killed mid-run yields 100%
+//! full, non-partial 200s.
+//!
+//! The failpoint registry, metrics registry, and flight ring are all
+//! process-global; these tests serialize on one mutex and reset all
+//! three at entry.
+
+use flowcube_core::{FlowCube, FlowCubeParams, ItemPlan};
+use flowcube_datagen::{generate, DimShape, GeneratorConfig};
+use flowcube_federate::{
+    serve_front, shard_db, BreakerConfig, FrontConfig, FrontHandle, HedgePolicy, ReplicaSet,
+};
+use flowcube_hier::{DurationLevel, LocationCut, PathLatticeSpec, PathLevel};
+use flowcube_obs::flight::{self, FlightKind};
+use flowcube_pathdb::PathDatabase;
+use flowcube_serve::{serve_cube, ServedCube, ServerConfig, ServerHandle};
+use flowcube_testkit::FailAction;
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn lock_globals() -> MutexGuard<'static, ()> {
+    let guard = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    flowcube_testkit::reset();
+    flowcube_obs::enable();
+    flowcube_obs::reset();
+    flight::enable();
+    flight::clear();
+    guard
+}
+
+fn gen_db(paths: usize, seed: u64) -> (PathDatabase, PathLatticeSpec) {
+    let config = GeneratorConfig {
+        num_paths: paths,
+        dims: vec![DimShape::new(vec![2, 3], 0.7); 2],
+        num_sequences: 5,
+        seed,
+        ..Default::default()
+    };
+    let db = generate(&config).db;
+    let loc = db.schema().locations();
+    let spec = PathLatticeSpec::new(vec![PathLevel::new(
+        "fine",
+        LocationCut::uniform_level(loc, loc.max_level()),
+        DurationLevel::Raw,
+    )]);
+    (db, spec)
+}
+
+fn start_backend(cube: FlowCube) -> ServerHandle {
+    serve_cube(
+        ServedCube::from_cube(cube),
+        ServerConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .expect("backend starts")
+}
+
+/// Boot `shards` shard cubes, each served by `replicas` identical
+/// backends (δ = 1: Lemma 4.2 merges counts by addition), federated
+/// behind one front with the given knobs. Replica servers are grouped by
+/// shard so tests can kill specific ones.
+fn boot_replicated(
+    db: &PathDatabase,
+    spec: &PathLatticeSpec,
+    shards: u32,
+    replicas: usize,
+    tune: impl FnOnce(&mut FrontConfig),
+) -> (Vec<Vec<ServerHandle>>, FrontHandle) {
+    let params = FlowCubeParams::new(1);
+    let groups: Vec<Vec<ServerHandle>> = (0..shards)
+        .map(|k| {
+            let shard = shard_db(db, shards, k).expect("shard splits");
+            let cube = FlowCube::build(&shard, spec.clone(), params.clone(), ItemPlan::All);
+            (0..replicas).map(|_| start_backend(cube.clone())).collect()
+        })
+        .collect();
+    let mut config = FrontConfig {
+        backends: groups
+            .iter()
+            .map(|g| ReplicaSet {
+                replicas: g.iter().map(|b| b.addr().to_string()).collect(),
+            })
+            .collect(),
+        shards,
+        workers: 2,
+        ..Default::default()
+    };
+    tune(&mut config);
+    let front = serve_front(config).expect("front starts");
+    (groups, front)
+}
+
+fn shutdown_all(groups: Vec<Vec<ServerHandle>>, front: FrontHandle) {
+    front.shutdown();
+    front.join();
+    for group in groups {
+        for b in group {
+            b.shutdown();
+            b.join();
+        }
+    }
+}
+
+fn raw_get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(
+        format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .expect("write");
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    let status: u16 = out
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let body = out
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn parse(body: &str) -> Value {
+    serde_json::parse_value_str(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e:?}"))
+}
+
+fn counter(name: &str, labels: &[(&str, &str)]) -> u64 {
+    let key = flowcube_obs::labeled(name, labels);
+    flowcube_obs::snapshot()
+        .counters
+        .get(&key)
+        .copied()
+        .unwrap_or(0)
+}
+
+fn flight_kinds() -> Vec<FlightKind> {
+    flight::snapshot().into_iter().map(|e| e.kind).collect()
+}
+
+/// A slow primary loses the hedge race: the hedged second request
+/// answers first, the answer is returned without waiting out the
+/// primary's delay, and the loser is abandoned — not gathered.
+#[test]
+fn hedge_first_reply_wins_and_abandons_the_slow_replica() {
+    let _guard = lock_globals();
+    let (db, spec) = gen_db(50, 71);
+    let (groups, front) = boot_replicated(&db, &spec, 1, 2, |c| {
+        c.hedge = HedgePolicy::Fixed(Duration::from_millis(20));
+    });
+
+    // Replica 0 is the first request's primary (the rotation cursor
+    // starts at 0); make every attempt against it crawl.
+    flowcube_testkit::arm(
+        "federate.replica.s0.r0",
+        FailAction::Delay(Duration::from_millis(400)),
+    );
+    let start = Instant::now();
+    let (status, body) = raw_get(front.addr(), "/cell?cell=*,*&level=fine");
+    let elapsed = start.elapsed();
+    assert_eq!(status, 200, "got {body:?}");
+    let v = parse(&body);
+    assert_eq!(
+        v.get("support").and_then(Value::as_u64),
+        Some(db.len() as u64),
+        "the hedge winner's answer is complete: {body}"
+    );
+    assert!(
+        v.get("partial").is_none(),
+        "a won hedge is not a degradation: {body}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(300),
+        "first reply wins — the 400ms primary must not gate the answer, took {elapsed:?}"
+    );
+    assert_eq!(
+        counter(
+            "federate.replica.hedged",
+            &[("shard", "0"), ("replica", "1")]
+        ),
+        1,
+        "exactly one hedge fired"
+    );
+    assert_eq!(
+        counter(
+            "federate.replica.hedge_won",
+            &[("shard", "0"), ("replica", "1")]
+        ),
+        1,
+        "the hedge won the race"
+    );
+    assert_eq!(
+        counter("federate.replica.abandoned", &[("shard", "0")]),
+        1,
+        "the slow primary was abandoned"
+    );
+    assert!(
+        flight_kinds().contains(&FlightKind::Hedge),
+        "hedging leaves a flight event"
+    );
+
+    flowcube_testkit::reset();
+    shutdown_all(groups, front);
+}
+
+/// A hedge pair is one shard leg, not two: with every shard's primary
+/// slowed so every leg hedges, the federated support still equals the
+/// database size exactly — the abandoned loser is never merged.
+#[test]
+fn hedge_pair_is_never_gathered_twice() {
+    let _guard = lock_globals();
+    let (db, spec) = gen_db(60, 72);
+    let (groups, front) = boot_replicated(&db, &spec, 2, 2, |c| {
+        c.hedge = HedgePolicy::Fixed(Duration::from_millis(15));
+    });
+
+    for shard in 0..2 {
+        flowcube_testkit::arm(
+            &format!("federate.replica.s{shard}.r0"),
+            FailAction::Delay(Duration::from_millis(300)),
+        );
+    }
+    for _ in 0..3 {
+        let (status, body) = raw_get(front.addr(), "/cell?cell=*,*&level=fine");
+        assert_eq!(status, 200, "got {body:?}");
+        let v = parse(&body);
+        assert_eq!(
+            v.get("support").and_then(Value::as_u64),
+            Some(db.len() as u64),
+            "hedged legs merge exactly once: {body}"
+        );
+        assert!(v.get("partial").is_none(), "not a degradation: {body}");
+    }
+    assert!(
+        counter(
+            "federate.replica.hedged",
+            &[("shard", "0"), ("replica", "1")]
+        ) >= 1
+            && counter(
+                "federate.replica.hedged",
+                &[("shard", "1"), ("replica", "1")]
+            ) >= 1,
+        "both shards actually hedged"
+    );
+
+    flowcube_testkit::reset();
+    shutdown_all(groups, front);
+}
+
+/// An exhausted retry budget suppresses the hedge: the request waits out
+/// the slow primary instead of sending a second attempt it has no
+/// tokens for.
+#[test]
+fn exhausted_budget_suppresses_the_hedge() {
+    let _guard = lock_globals();
+    let (db, spec) = gen_db(40, 73);
+    let (groups, front) = boot_replicated(&db, &spec, 1, 2, |c| {
+        c.hedge = HedgePolicy::Fixed(Duration::from_millis(10));
+        c.retry_budget = 0;
+    });
+
+    flowcube_testkit::arm(
+        "federate.replica.s0.r0",
+        FailAction::Delay(Duration::from_millis(150)),
+    );
+    let start = Instant::now();
+    let (status, body) = raw_get(front.addr(), "/cell?cell=*,*&level=fine");
+    let elapsed = start.elapsed();
+    assert_eq!(status, 200, "got {body:?}");
+    assert!(
+        elapsed >= Duration::from_millis(140),
+        "with no budget the request waits for the primary, took {elapsed:?}"
+    );
+    assert_eq!(
+        counter(
+            "federate.replica.hedged",
+            &[("shard", "0"), ("replica", "1")]
+        ),
+        0,
+        "no hedge without a token"
+    );
+    assert_eq!(
+        counter(
+            "federate.replica.selected",
+            &[("shard", "0"), ("replica", "1")]
+        ),
+        0,
+        "replica 1 was never contacted"
+    );
+
+    flowcube_testkit::reset();
+    shutdown_all(groups, front);
+}
+
+/// The breaker lifecycle: injected failures open a replica's breaker
+/// (visible in `/healthz` and the flight ring), the cooldown elapses,
+/// the half-open `/healthz` probe finds the replica healthy again, and
+/// the breaker closes — without any data request ever failing.
+#[test]
+fn breaker_opens_on_failures_and_probe_closes_it() {
+    let _guard = lock_globals();
+    let (db, spec) = gen_db(40, 74);
+    let (groups, front) = boot_replicated(&db, &spec, 1, 2, |c| {
+        c.hedge = HedgePolicy::Off;
+        c.breaker = BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(50),
+            probe_timeout: Duration::from_millis(500),
+        };
+    });
+
+    // The first request's primary (replica 0) fails once: threshold 1
+    // opens the breaker, the retry answers from replica 1.
+    flowcube_testkit::arm_times(
+        "federate.replica.s0.r0",
+        1,
+        FailAction::ReturnErr(Some("injected transport failure".into())),
+    );
+    let (status, body) = raw_get(front.addr(), "/cell?cell=*,*&level=fine");
+    assert_eq!(status, 200, "retry hides the failure: {body:?}");
+    assert!(parse(&body).get("partial").is_none(), "full answer: {body}");
+    assert_eq!(
+        counter(
+            "federate.replica.breaker_open",
+            &[("shard", "0"), ("replica", "0")]
+        ),
+        1
+    );
+    assert_eq!(
+        counter(
+            "federate.replica.retried",
+            &[("shard", "0"), ("replica", "1")]
+        ),
+        1
+    );
+    let (status, health) = raw_get(front.addr(), "/healthz");
+    assert_eq!(status, 200);
+    assert!(
+        health.contains("\"open\""),
+        "healthz names the open replica: {health}"
+    );
+    assert!(flight_kinds().contains(&FlightKind::BreakerOpen));
+
+    // Past the cooldown, a data request triggers the half-open probe;
+    // the replica's real /healthz answers, so the breaker closes.
+    std::thread::sleep(Duration::from_millis(80));
+    let deadline = Instant::now() + Duration::from_secs(3);
+    loop {
+        let (status, body) = raw_get(front.addr(), "/cell?cell=*,*&level=fine");
+        assert_eq!(status, 200, "got {body:?}");
+        let (_, health) = raw_get(front.addr(), "/healthz");
+        if !health.contains("\"open\"") && !health.contains("\"half_open\"") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "breaker never closed; healthz: {health}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        counter(
+            "federate.replica.breaker_close",
+            &[("shard", "0"), ("replica", "0")]
+        ),
+        1
+    );
+    assert!(flight_kinds().contains(&FlightKind::BreakerClose));
+
+    flowcube_testkit::reset();
+    shutdown_all(groups, front);
+}
+
+/// The acceptance path: 2 shards x 2 replicas, one replica per shard
+/// killed mid-run. Every answer before and after the kill is a full,
+/// non-partial 200 with the exact database support — partial-200
+/// degradation is reserved for a whole replica set being down.
+#[test]
+fn one_dead_replica_per_shard_keeps_every_answer_full() {
+    let _guard = lock_globals();
+    let (db, spec) = gen_db(80, 75);
+    let (mut groups, front) = boot_replicated(&db, &spec, 2, 2, |_| {});
+
+    let assert_full = |tag: &str| {
+        let (status, body) = raw_get(front.addr(), "/cell?cell=*,*&level=fine");
+        assert_eq!(status, 200, "{tag}: got {body:?}");
+        let v = parse(&body);
+        assert_eq!(
+            v.get("support").and_then(Value::as_u64),
+            Some(db.len() as u64),
+            "{tag}: full support: {body}"
+        );
+        assert!(v.get("partial").is_none(), "{tag}: non-partial: {body}");
+    };
+
+    for _ in 0..5 {
+        assert_full("healthy");
+    }
+    // Kill replica 1 of every shard mid-run.
+    for group in &mut groups {
+        let dead = group.remove(1);
+        dead.shutdown();
+        dead.join();
+    }
+    for _ in 0..30 {
+        assert_full("one replica per shard dead");
+    }
+
+    // The dead replicas were discovered: they carry failure streaks (or
+    // open breakers) in /healthz, yet no answer was partial.
+    let (_, health) = raw_get(front.addr(), "/healthz");
+    let v = parse(&health);
+    let sets = v
+        .get("replica_sets")
+        .and_then(Value::as_array)
+        .expect("replica_sets in healthz");
+    assert_eq!(sets.len(), 2);
+
+    shutdown_all(groups, front);
+}

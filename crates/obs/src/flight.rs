@@ -62,6 +62,15 @@ pub enum FlightKind {
     /// One shard of a federated fan-out timed out or failed; `value` =
     /// shard id.
     ShardTimeout,
+    /// A shard leg fired a hedged second request; `value` packs
+    /// `shard << 32 | replica`.
+    Hedge,
+    /// A replica's circuit breaker opened after consecutive transport
+    /// failures; `value` packs `shard << 32 | replica`.
+    BreakerOpen,
+    /// A half-open `/healthz` probe succeeded and closed the breaker;
+    /// `value` packs `shard << 32 | replica`.
+    BreakerClose,
 }
 
 impl FlightKind {
@@ -79,6 +88,9 @@ impl FlightKind {
             FlightKind::Scatter => 9,
             FlightKind::Gather => 10,
             FlightKind::ShardTimeout => 11,
+            FlightKind::Hedge => 12,
+            FlightKind::BreakerOpen => 13,
+            FlightKind::BreakerClose => 14,
         }
     }
 
@@ -96,6 +108,9 @@ impl FlightKind {
             9 => FlightKind::Scatter,
             10 => FlightKind::Gather,
             11 => FlightKind::ShardTimeout,
+            12 => FlightKind::Hedge,
+            13 => FlightKind::BreakerOpen,
+            14 => FlightKind::BreakerClose,
             _ => return None,
         })
     }

@@ -53,6 +53,17 @@
 //! `pathdb.parse.line`, `mining.chunk`, `serve.worker`, `serve.request`,
 //! `snapshot.open`, `snapshot.section`. Sites are documented where they
 //! live; DESIGN.md §10 carries the full catalog.
+//!
+//! A site may be **instance-addressed** when one code path serves many
+//! peers: the federated front tier evaluates
+//! `federate.replica.s{shard}.r{replica}` on each replica attempt and
+//! `federate.replica.probe.s{shard}.r{replica}` on each half-open
+//! health probe, so a test can make exactly replica 1 of shard 0 slow
+//! (`delay(ms)`), refused (`return`), or flap its probe — the
+//! replica-fault suite drives hedging, retry budgets, and breaker
+//! transitions this way. Instance-addressed sites format their name at
+//! evaluation time, so the host code must guard the lookup with
+//! [`any_armed`] to keep the disabled path allocation-free.
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
